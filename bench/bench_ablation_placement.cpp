@@ -1,0 +1,64 @@
+// Ablation A2 — value of the traffic-oriented placement and of the
+// Erlang-B server choice, holding the rest of RFH fixed.
+//
+// Runs the RFH machinery (same thresholds, migration, suicide) with the
+// target datacenter chosen four ways — traffic hub (the paper's design),
+// near-owner, near-requester, random — and with Erlang-B selection
+// on/off, under the flash-crowd workload. If the paper's design story
+// holds, hub placement wins utilization and path length, and Erlang-B
+// wins load balance.
+#include <cstdio>
+#include <string>
+
+#include "harness/runner.h"
+
+namespace {
+
+void report(const std::string& label, const rfh::Scenario& s,
+            const rfh::RfhPolicy::Options& opt) {
+  const rfh::PolicyRun run = rfh::run_policy(s, rfh::PolicyKind::kRfh, {},
+                                             opt);
+  const std::size_t tail = 100;
+  double util = 0.0;
+  double path = 0.0;
+  double imbalance = 0.0;
+  double replicas = 0.0;
+  for (std::size_t e = run.series.size() - tail; e < run.series.size(); ++e) {
+    util += run.series[e].utilization;
+    path += run.series[e].path_length;
+    imbalance += run.series[e].load_imbalance;
+    replicas += run.series[e].total_replicas;
+  }
+  std::printf("%-24s %11.3f %8.2f %10.2f %10.1f\n", label.c_str(),
+              util / tail, path / tail, imbalance / tail, replicas / tail);
+}
+
+}  // namespace
+
+int main() {
+  rfh::Scenario s = rfh::Scenario::paper_flash_crowd();
+  s.epochs = 300;
+
+  std::printf("# Ablation: placement family x server selection "
+              "(flash crowd, %u epochs, tail-100 means)\n",
+              s.epochs);
+  std::printf("%-24s %11s %8s %10s %10s\n", "variant", "utilization", "path",
+              "imbalance", "replicas");
+
+  using Placement = rfh::RfhPolicy::Options::Placement;
+  const std::pair<const char*, Placement> placements[] = {
+      {"traffic-hub", Placement::kTrafficHub},
+      {"near-owner", Placement::kNearOwner},
+      {"near-requester", Placement::kNearRequester},
+      {"random-dc", Placement::kRandom},
+  };
+  for (const auto& [name, placement] : placements) {
+    for (const bool erlang : {true, false}) {
+      rfh::RfhPolicy::Options opt;
+      opt.placement = placement;
+      opt.erlang_b_selection = erlang;
+      report(std::string(name) + (erlang ? "+erlangB" : "+firstfit"), s, opt);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig. 7 — migration cost (Eq. 1 with migration bandwidth, cumulative).
+//   (a) total, random query            (b) average per migration, random
+//   (c) total, flash crowd             (d) average per migration, flash
+//
+// Paper shape: request-oriented pays the most (long-haul moves towards
+// requesters); random and owner-oriented pay zero; RFH pays little; all
+// migration costs rise under flash crowd versus random query.
+#include <iostream>
+
+#include "harness/report.h"
+
+int main() {
+  {
+    const rfh::Scenario s = rfh::Scenario::paper_random_query();
+    const rfh::ComparativeResult r = rfh::run_comparison(s);
+    rfh::print_figure(std::cout,
+                      "Fig 7(a): total migration cost, random query", r,
+                      &rfh::EpochMetrics::migration_cost_total);
+    rfh::print_figure(std::cout, "Fig 7(b): avg migration cost, random query",
+                      r, &rfh::EpochMetrics::migration_cost_avg);
+  }
+  {
+    const rfh::Scenario s = rfh::Scenario::paper_flash_crowd();
+    const rfh::ComparativeResult r = rfh::run_comparison(s);
+    rfh::print_figure(std::cout,
+                      "Fig 7(c): total migration cost, flash crowd", r,
+                      &rfh::EpochMetrics::migration_cost_total);
+    rfh::print_figure(std::cout, "Fig 7(d): avg migration cost, flash crowd",
+                      r, &rfh::EpochMetrics::migration_cost_avg);
+  }
+  return 0;
+}

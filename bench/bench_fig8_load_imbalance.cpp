@@ -1,0 +1,25 @@
+// Fig. 8 — load imbalance (Eqs. 24-26: population stddev of per-server
+// workload), per epoch.
+//   (a) random query;  (b) flash crowd.
+//
+// Paper shape: RFH lowest (Erlang-B server choice), and it *improves*
+// under flash crowd while the other algorithms get worse.
+#include <iostream>
+
+#include "harness/report.h"
+
+int main() {
+  {
+    const rfh::Scenario s = rfh::Scenario::paper_random_query();
+    const rfh::ComparativeResult r = rfh::run_comparison(s);
+    rfh::print_figure(std::cout, "Fig 8(a): load imbalance, random query", r,
+                      &rfh::EpochMetrics::load_imbalance);
+  }
+  {
+    const rfh::Scenario s = rfh::Scenario::paper_flash_crowd();
+    const rfh::ComparativeResult r = rfh::run_comparison(s);
+    rfh::print_figure(std::cout, "Fig 8(b): load imbalance, flash crowd", r,
+                      &rfh::EpochMetrics::load_imbalance);
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Extension experiment — response latency and SLA attainment.
+//
+// The paper's introduction motivates RFH with Amazon's SLA ("a response
+// within 300 ms for 99.9 % of its requests") but never plots latency.
+// This bench closes the loop: per-query latency under the latency model
+// of DESIGN.md (2 ms per hop + fibre propagation; blocked queries wait
+// out the overload), compared across the four algorithms under both
+// query settings.
+#include <iostream>
+
+#include "harness/report.h"
+
+int main() {
+  {
+    const rfh::Scenario s = rfh::Scenario::paper_random_query();
+    const rfh::ComparativeResult r = rfh::run_comparison(s);
+    rfh::print_figure(std::cout, "SLA: mean latency (ms), random query", r,
+                      &rfh::EpochMetrics::latency_mean_ms);
+    rfh::print_figure(std::cout, "SLA: p99.9 latency (ms), random query", r,
+                      &rfh::EpochMetrics::latency_p999_ms);
+    rfh::print_figure(std::cout,
+                      "SLA: attainment (<=300ms fraction), random query", r,
+                      &rfh::EpochMetrics::sla_attainment);
+  }
+  {
+    const rfh::Scenario s = rfh::Scenario::paper_flash_crowd();
+    const rfh::ComparativeResult r = rfh::run_comparison(s);
+    rfh::print_figure(std::cout, "SLA: mean latency (ms), flash crowd", r,
+                      &rfh::EpochMetrics::latency_mean_ms);
+    rfh::print_figure(std::cout,
+                      "SLA: attainment (<=300ms fraction), flash crowd", r,
+                      &rfh::EpochMetrics::sla_attainment);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Capacity planning with the library's analytic building blocks:
+//  * Eq. 14 — how many copies does a target availability need at a given
+//    per-copy failure probability?
+//  * Eq. 18 — how many service channels keep the blocking probability
+//    under an SLA at a given offered load (Erlang-B)?
+//
+//   $ ./capacity_planning
+#include <cstdio>
+#include <initializer_list>
+
+#include "common/availability.h"
+#include "common/erlang.h"
+
+int main() {
+  std::printf("Minimum copies for target availability (Eq. 14)\n");
+  std::printf("%10s", "target");
+  for (const double f : {0.05, 0.1, 0.2, 0.3}) {
+    std::printf("   f=%.2f", f);
+  }
+  std::printf("\n");
+  for (const double target : {0.8, 0.9, 0.99, 0.999, 0.99999}) {
+    std::printf("%10.5f", target);
+    for (const double f : {0.05, 0.1, 0.2, 0.3}) {
+      std::printf("%9u", rfh::min_replicas(target, f));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nErlang-B: channels needed for blocking <= 1%% (Eq. 18)\n");
+  std::printf("%14s %10s %18s\n", "offered (Erl)", "channels",
+              "achieved blocking");
+  for (const double offered : {0.5, 1.0, 2.0, 5.0, 10.0, 20.0}) {
+    const std::uint32_t c = rfh::erlang_b_channels_for(offered, 0.01);
+    std::printf("%14.1f %10u %18.5f\n", offered, c, rfh::erlang_b(offered, c));
+  }
+
+  std::printf("\nErlang-C: waiting behaviour if queueing instead of "
+              "blocking (same channel counts)\n");
+  std::printf("%14s %10s %12s %22s\n", "offered (Erl)", "channels",
+              "P(wait)", "mean wait (svc times)");
+  for (const double offered : {0.5, 1.0, 2.0, 5.0, 10.0, 20.0}) {
+    const std::uint32_t c = rfh::erlang_b_channels_for(offered, 0.01);
+    std::printf("%14.1f %10u %12.5f %22.5f\n", offered, c,
+                rfh::erlang_c(offered, c),
+                rfh::erlang_c_mean_wait(offered, c));
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Failure drill (paper Fig. 10 and Section III-G, extended): run RFH
+// under uniform load, then throw the paper's whole failure taxonomy at
+// it — a mass server kill, a network (link) failure, and a full
+// datacenter disaster — recovering each in turn. Watch the copy count
+// crater and rebuild, and the unserved fraction spike and decay.
+//
+//   $ ./failure_drill
+#include <cstdio>
+
+#include "harness/runner.h"
+#include "harness/scenario.h"
+
+int main() {
+  rfh::Scenario scenario = rfh::Scenario::paper_random_query();
+  scenario.epochs = 400;
+
+  auto sim = rfh::make_simulation(scenario, rfh::PolicyKind::kRfh);
+  const rfh::DatacenterId tokyo = sim->world().by_letter('I');
+  const rfh::DatacenterId vancouver = sim->world().by_letter('D');
+  const rfh::DatacenterId zurich = sim->world().by_letter('F');
+
+  std::vector<rfh::ServerId> victims;
+  std::vector<rfh::ServerId> disaster;
+  for (rfh::Epoch e = 0; e < scenario.epochs; ++e) {
+    switch (e) {
+      case 100:
+        victims = sim->fail_random_servers(30);
+        std::printf("-- epoch 100: killed 30 random servers (%u live)\n",
+                    sim->cluster().live_server_count());
+        break;
+      case 170:
+        sim->recover_servers(victims);
+        std::printf("-- epoch 170: recovered them (%u live)\n",
+                    sim->cluster().live_server_count());
+        break;
+      case 200:
+        sim->fail_link(tokyo, vancouver);
+        std::printf("-- epoch 200: trans-Pacific link I-D down "
+                    "(Asia reroutes via Beijing/Zurich)\n");
+        break;
+      case 260:
+        sim->restore_link(tokyo, vancouver);
+        std::printf("-- epoch 260: link I-D restored\n");
+        break;
+      case 300:
+        disaster = sim->fail_datacenter(zurich);
+        std::printf("-- epoch 300: datacenter F (Zurich) destroyed "
+                    "(%zu servers)\n",
+                    disaster.size());
+        break;
+      case 360:
+        sim->recover_servers(disaster);
+        std::printf("-- epoch 360: Zurich rebuilt\n");
+        break;
+      default:
+        break;
+    }
+    const rfh::EpochReport report = sim->step();
+    if (e % 20 == 0 || e == 100 || e == 101 || e == 300 || e == 301) {
+      std::printf("epoch %3u: %3u replicas, %2u data losses, "
+                  "unserved %.1f%%\n",
+                  report.epoch, report.total_replicas, sim->data_losses(),
+                  report.total_queries > 0.0
+                      ? 100.0 * report.unserved_queries / report.total_queries
+                      : 0.0);
+    }
+  }
+  sim->cluster().check_invariants();
+  std::printf("final: %u replicas on %u live servers, %u data losses\n",
+              sim->cluster().total_replicas(),
+              sim->cluster().live_server_count(), sim->data_losses());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Traffic-hub anatomy: where do the "conjunction nodes of many necessary
+// routing paths" actually form?
+//
+// Prints (1) the static transit structure of the paper world — how many
+// shortest paths towards each holder pass through each datacenter — and
+// (2) the live smoothed traffic per datacenter under the flash-crowd
+// stage 1 (80% of queries from H, I, J), next to where RFH actually
+// placed its copies. This is the paper's Fig. 1 narrative, measured.
+//
+//   $ ./hub_analysis
+#include <cstdio>
+#include <vector>
+
+#include "core/rfh_policy.h"
+#include "harness/scenario.h"
+#include "net/graph.h"
+#include "net/shortest_paths.h"
+
+int main() {
+  const rfh::World world = rfh::build_paper_world();
+  const rfh::DcGraph graph(world.topology.datacenter_count(), world.links);
+  const rfh::ShortestPaths paths(graph);
+
+  std::printf("static transit counts (paths from all DCs towards column "
+              "DC that pass through row DC):\n      ");
+  for (char to = 'A'; to <= 'J'; ++to) std::printf("%4c", to);
+  std::printf("\n");
+  for (char via = 'A'; via <= 'J'; ++via) {
+    std::printf("via %c:", via);
+    for (char to = 'A'; to <= 'J'; ++to) {
+      const auto counts = paths.transit_counts(world.by_letter(to));
+      std::printf("%4u", counts[world.by_letter(via).value()]);
+    }
+    std::printf("\n");
+  }
+
+  // Live run: flash-crowd stage 1 only (crowd near H, I, J).
+  rfh::Scenario scenario = rfh::Scenario::paper_flash_crowd();
+  scenario.epochs = 400;  // stage length 100; we stop inside stage 1
+  auto sim = rfh::make_simulation(scenario, rfh::PolicyKind::kRfh);
+  for (rfh::Epoch e = 0; e < 80; ++e) sim->step();
+
+  std::printf("\nflash stage 1 (80%% of queries near H, I, J), epoch 80:\n");
+  std::printf("%3s %18s %10s %8s\n", "DC", "smoothed traffic", "copies",
+              "primaries");
+  for (char letter = 'A'; letter <= 'J'; ++letter) {
+    const rfh::DatacenterId dc = sim->world().by_letter(letter);
+    double traffic = 0.0;
+    for (const rfh::ServerId s : sim->topology().servers_in(dc)) {
+      for (std::uint32_t p = 0; p < scenario.sim.partitions; ++p) {
+        traffic += sim->stats().node_traffic(rfh::PartitionId{p}, s);
+      }
+    }
+    std::uint32_t copies = 0;
+    std::uint32_t primaries = 0;
+    for (std::uint32_t p = 0; p < scenario.sim.partitions; ++p) {
+      for (const rfh::ServerId host :
+           sim->cluster().hosts_in_dc(rfh::PartitionId{p}, dc)) {
+        ++copies;
+        if (sim->cluster().primary_of(rfh::PartitionId{p}) == host) {
+          ++primaries;
+        }
+      }
+    }
+    std::printf("%3c %18.1f %10u %8u\n", letter, traffic, copies, primaries);
+  }
+  std::printf("\n(gateway DCs on the Asia->US routes should dominate both "
+              "the traffic column and the non-primary copy counts)\n");
+  return 0;
+}

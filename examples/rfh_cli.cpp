@@ -1,0 +1,69 @@
+// Command-line experiment driver (flag grammar: see src/harness/cli.h).
+//
+// Examples:
+//   ./rfh_cli --workload=flash --metric=utilization --compare
+//   ./rfh_cli --policy=rfh --kill=30@290 --epochs=500 --metric=replicas
+//   ./rfh_cli --write-fraction=0.2 --metric=stale --compare --quiet
+#include <cstdio>
+#include <iostream>
+
+#include "harness/cli.h"
+#include "harness/report.h"
+
+namespace {
+
+void emit(const rfh::CliOptions& options,
+          const std::vector<rfh::PolicyRun>& runs) {
+  bool ok = true;
+  if (!options.quiet) {
+    std::vector<rfh::NamedSeries> series;
+    for (const rfh::PolicyRun& run : runs) {
+      std::vector<double> values;
+      values.reserve(run.series.size());
+      for (const rfh::EpochMetrics& m : run.series) {
+        values.push_back(rfh::metric_value(m, options.metric, &ok));
+      }
+      series.push_back(rfh::NamedSeries{
+          std::string(rfh::policy_name(run.kind)), std::move(values)});
+    }
+    rfh::write_csv(std::cout, series);
+  }
+  std::printf("# %s tail-mean(50):", options.metric.c_str());
+  for (const rfh::PolicyRun& run : runs) {
+    const std::size_t n = std::min<std::size_t>(50, run.series.size());
+    double sum = 0.0;
+    for (std::size_t i = run.series.size() - n; i < run.series.size(); ++i) {
+      sum += rfh::metric_value(run.series[i], options.metric, &ok);
+    }
+    std::printf(" %s=%.4f", std::string(rfh::policy_name(run.kind)).c_str(),
+                sum / static_cast<double>(n));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rfh::CliParseResult parsed = rfh::parse_cli(
+      std::span<const char* const>(argv + 1, static_cast<std::size_t>(argc - 1)));
+  if (!parsed.ok) {
+    std::fprintf(stderr, "rfh_cli: %s\n", parsed.error.c_str());
+    std::fprintf(stderr, "metrics:");
+    for (const std::string& name : rfh::metric_names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n(see src/harness/cli.h for the flag grammar)\n");
+    return 2;
+  }
+  const rfh::CliOptions& options = parsed.options;
+
+  std::vector<rfh::PolicyRun> runs;
+  if (options.compare) {
+    runs = rfh::run_comparison(options.scenario, options.failures).runs;
+  } else {
+    runs.push_back(
+        rfh::run_policy(options.scenario, options.policy, options.failures));
+  }
+  emit(options, runs);
+  return 0;
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure's CSV and, when gnuplot is available,
+# render PNG plots next to them.
+#
+#   scripts/plot_figures.sh [build-dir] [out-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-figures}"
+mkdir -p "$OUT_DIR"
+
+benches=(
+  bench_fig3_utilization
+  bench_fig4_replica_number
+  bench_fig5_replication_cost
+  bench_fig6_migration_times
+  bench_fig7_migration_cost
+  bench_fig8_load_imbalance
+  bench_fig9_path_length
+  bench_fig10_failure_recovery
+)
+
+for bench in "${benches[@]}"; do
+  echo ">> $bench"
+  "$BUILD_DIR/bench/$bench" > "$OUT_DIR/$bench.txt"
+  # Split the multi-panel output into one CSV per "# Fig ..." block.
+  awk -v out="$OUT_DIR/$bench" '
+    /^# tail-mean/ { next }
+    /^# /    { if (f) close(f); n += 1; f = out "_panel" n ".csv"; next }
+    /^epoch/ { if (f) print > f; next }
+    /,/      { if (f) print > f }
+  ' "$OUT_DIR/$bench.txt"
+done
+
+if ! command -v gnuplot >/dev/null 2>&1; then
+  echo "gnuplot not found: CSVs written to $OUT_DIR/, skipping PNG render"
+  exit 0
+fi
+
+for csv in "$OUT_DIR"/*_panel*.csv; do
+  png="${csv%.csv}.png"
+  gnuplot <<EOF
+set datafile separator ','
+set terminal pngcairo size 800,500
+set output '$png'
+set key outside
+set xlabel 'epoch'
+plot '$csv' using 1:2 with lines title 'Request', \
+     ''     using 1:3 with lines title 'Owner', \
+     ''     using 1:4 with lines title 'Random', \
+     ''     using 1:5 with lines title 'RFH'
+EOF
+  echo "rendered $png"
+done

@@ -1,0 +1,35 @@
+// The owner-oriented comparator (paper refs [7][11][12][13]: Oceanstore,
+// PAST, CFS, Overlook).
+//
+// "The coordinator considers maximizing availability while minimizing
+// replication cost" (Eq. 1: c = d*f*s/b): new copies go to the *nearest
+// distinct datacenter* without one (availability level 5 at the smallest
+// distance d), falling back to a different rack in the home datacenter
+// when everything remote is saturated. Migration exists but its condition
+// — a strictly better availability-per-cost placement — "actually happens
+// only when physical nodes are added into or removed from the system", so
+// the policy only scans for better placements on epochs where cluster
+// membership changed. No suicide.
+#pragma once
+
+#include <string_view>
+
+#include "sim/policy.h"
+
+namespace rfh {
+
+class OwnerOrientedPolicy final : public ReplicationPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Owner"; }
+  [[nodiscard]] Actions decide(const PolicyContext& ctx) override;
+
+ private:
+  /// Best replication target for p around its owner; invalid if none.
+  [[nodiscard]] static ServerId best_target(const PolicyContext& ctx,
+                                            PartitionId p);
+
+  std::uint32_t last_live_count_ = 0;
+  bool seen_first_epoch_ = false;
+};
+
+}  // namespace rfh

@@ -1,0 +1,23 @@
+// The "random" comparator (paper refs [4][21][22]: Dynamo, GFS, HDFS).
+//
+// Replicates at the clockwise ring successors of the partition's key —
+// adjacent in ID space, geographically random. Grows a copy when below
+// the availability floor or when the holder is overloaded (same trigger
+// as the other algorithms, so all four face identical demand), but never
+// migrates and never reclaims: exactly the static scheme the paper argues
+// against, which is why its replica count and cost run away.
+#pragma once
+
+#include <string_view>
+
+#include "sim/policy.h"
+
+namespace rfh {
+
+class RandomPolicy final : public ReplicationPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Random"; }
+  [[nodiscard]] Actions decide(const PolicyContext& ctx) override;
+};
+
+}  // namespace rfh

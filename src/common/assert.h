@@ -1,0 +1,32 @@
+// Lightweight always-on assertion macro.
+//
+// Simulation correctness depends on internal invariants (traffic is never
+// negative, storage accounting balances, ...). We keep these checks enabled
+// in every build type: the simulator is small enough that the cost is
+// negligible, and a silently-corrupted experiment is far more expensive
+// than the branch.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rfh {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "RFH_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace rfh
+
+#define RFH_ASSERT(expr)                                         \
+  do {                                                           \
+    if (!(expr)) ::rfh::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define RFH_ASSERT_MSG(expr, msg)                                \
+  do {                                                           \
+    if (!(expr)) ::rfh::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

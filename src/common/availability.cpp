@@ -1,0 +1,35 @@
+#include "common/availability.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace rfh {
+
+double availability(std::uint32_t replicas, double failure_prob) noexcept {
+  RFH_ASSERT(failure_prob >= 0.0 && failure_prob <= 1.0);
+  if (replicas == 0) return 0.0;
+  return 1.0 - std::pow(failure_prob, static_cast<double>(replicas));
+}
+
+double availability_eq14_literal(std::uint32_t replicas,
+                                 double failure_prob) noexcept {
+  RFH_ASSERT(failure_prob >= 0.0 && failure_prob <= 1.0);
+  // 1 - sum_{j>=1} (-1)^{j+1} C(r,j) f^j = sum_{j>=0} C(r,j) (-f)^j
+  //                                      = (1 - f)^r.
+  return std::pow(1.0 - failure_prob, static_cast<double>(replicas));
+}
+
+std::uint32_t min_replicas(double target, double failure_prob,
+                           std::uint32_t floor_copies) noexcept {
+  RFH_ASSERT(target >= 0.0 && target < 1.0);
+  RFH_ASSERT(failure_prob >= 0.0 && failure_prob < 1.0);
+  std::uint32_t r = floor_copies > 0 ? floor_copies : 1;
+  while (availability(r, failure_prob) < target) {
+    ++r;
+    RFH_ASSERT_MSG(r < 1u << 16, "min_replicas diverged");
+  }
+  return r;
+}
+
+}  // namespace rfh

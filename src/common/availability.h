@@ -1,0 +1,35 @@
+// Availability lower limit (paper Eq. 14 and Section II-D).
+//
+// With r independent copies each failing with probability f, the
+// probability that at least one copy survives is 1 - f^r. The paper's
+// printed inequation is OCR-garbled (its inclusion-exclusion expansion
+// collapses to (1-f)^r, which *decreases* in r), but its worked example is
+// unambiguous about the intent: "if the system requires a minimum
+// availability of 0.8 and the failure probability is 0.1, then the minimum
+// replica number is 2". We therefore use the standard monotone bound
+// 1 - f^r together with a floor of 2 copies (a single copy is never
+// fault-tolerant), which reproduces the worked example exactly. The
+// literal inclusion-exclusion form is also provided for reference.
+#pragma once
+
+#include <cstdint>
+
+namespace rfh {
+
+/// P(at least one of r copies survives) when each copy independently fails
+/// with probability f in the evaluation window.
+double availability(std::uint32_t replicas, double failure_prob) noexcept;
+
+/// The literal inclusion-exclusion expansion printed as Eq. 14:
+/// 1 - sum_{j=1}^{r} (-1)^{j+1} C(r, j) f^j  ==  (1 - f)^r.
+/// Kept for documentation/tests; not used by the decision tree.
+double availability_eq14_literal(std::uint32_t replicas,
+                                 double failure_prob) noexcept;
+
+/// Minimum number of copies (primary included) needed so that
+/// availability(r, f) >= target, floored at `floor_copies` (default 2,
+/// matching the paper's worked example).
+std::uint32_t min_replicas(double target, double failure_prob,
+                           std::uint32_t floor_copies = 2) noexcept;
+
+}  // namespace rfh

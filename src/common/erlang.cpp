@@ -1,0 +1,52 @@
+#include "common/erlang.h"
+
+#include <limits>
+
+#include "common/assert.h"
+
+namespace rfh {
+
+double erlang_b(double offered, std::uint32_t channels) noexcept {
+  RFH_ASSERT(offered >= 0.0);
+  if (offered == 0.0) return 0.0;
+  double b = 1.0;  // B(0)
+  for (std::uint32_t c = 1; c <= channels; ++c) {
+    b = offered * b / (static_cast<double>(c) + offered * b);
+  }
+  return b;
+}
+
+std::uint32_t erlang_b_channels_for(double offered, double target) noexcept {
+  RFH_ASSERT(target > 0.0 && target < 1.0);
+  if (offered == 0.0) return 0;  // nothing arrives, nothing blocks
+  double b = 1.0;
+  std::uint32_t c = 0;
+  while (b > target) {
+    ++c;
+    b = offered * b / (static_cast<double>(c) + offered * b);
+    RFH_ASSERT_MSG(c < 1u << 20, "erlang_b_channels_for diverged");
+  }
+  return c;
+}
+
+double erlang_c(double offered, std::uint32_t channels) noexcept {
+  RFH_ASSERT(offered >= 0.0);
+  if (offered == 0.0) return 0.0;
+  if (channels == 0 ||
+      offered >= static_cast<double>(channels)) {
+    return 1.0;  // unstable: every arrival waits
+  }
+  const double b = erlang_b(offered, channels);
+  const double rho = offered / static_cast<double>(channels);
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+double erlang_c_mean_wait(double offered, std::uint32_t channels) noexcept {
+  if (offered >= static_cast<double>(channels)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return erlang_c(offered, channels) /
+         (static_cast<double>(channels) - offered);
+}
+
+}  // namespace rfh

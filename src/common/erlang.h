@@ -1,0 +1,40 @@
+// Erlang-B blocking probability (paper Eq. 18).
+//
+// RFH picks, among the physical servers of the chosen datacenter, the one
+// with the lowest blocking probability under an M/G/c loss model:
+//
+//   BP = (a^c / c!) / sum_{k=0}^{c} a^k / k!,    a = lambda * tau
+//
+// where lambda is the Poisson arrival rate observed at the server, tau its
+// mean service time, and c its number of service channels. The blocking
+// probability of an M/G/c/c system depends on the service distribution
+// only through its mean (insensitivity), so the Erlang-B formula applies
+// verbatim.
+#pragma once
+
+#include <cstdint>
+
+namespace rfh {
+
+/// Erlang-B blocking probability for offered load `offered` (= lambda*tau,
+/// in Erlangs) and `channels` servers. Uses the numerically stable
+/// recursion B(0) = 1, B(c) = a*B(c-1) / (c + a*B(c-1)); never over- or
+/// underflows for any practical input.
+double erlang_b(double offered, std::uint32_t channels) noexcept;
+
+/// Smallest channel count c such that erlang_b(offered, c) <= target.
+/// Useful for capacity planning (see examples/capacity_planning.cpp).
+std::uint32_t erlang_b_channels_for(double offered, double target) noexcept;
+
+/// Erlang-C: probability that an arrival must *wait* in an M/M/c queue
+/// with infinite buffer (the companion planning formula to Eq. 18's loss
+/// model). Requires offered < channels for a stable queue; returns 1.0
+/// when offered >= channels (every arrival waits, the queue diverges).
+/// Computed from Erlang-B via C = B / (1 - rho * (1 - B)).
+double erlang_c(double offered, std::uint32_t channels) noexcept;
+
+/// Mean waiting time in the same M/M/c queue, in units of one service
+/// time: W = C(a, c) / (c - a). Infinity when offered >= channels.
+double erlang_c_mean_wait(double offered, std::uint32_t channels) noexcept;
+
+}  // namespace rfh

@@ -1,0 +1,69 @@
+// Strong ID types for every entity in the system.
+//
+// Using a distinct type per entity makes it impossible to pass a ServerId
+// where a PartitionId is expected; each is a thin wrapper around a 32-bit
+// index with an explicit invalid sentinel.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace rfh {
+
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalidValue =
+      std::numeric_limits<value_type>::max();
+
+  constexpr Id() noexcept : value_(kInvalidValue) {}
+  constexpr explicit Id(value_type value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalidValue;
+  }
+  [[nodiscard]] static constexpr Id invalid() noexcept { return Id{}; }
+
+  friend constexpr auto operator<=>(Id, Id) noexcept = default;
+
+ private:
+  value_type value_;
+};
+
+struct DatacenterTag {};
+struct RoomTag {};
+struct RackTag {};
+struct ServerTag {};
+struct PartitionTag {};
+struct VnodeTag {};
+
+/// A datacenter (the unit of geographic diversity, availability level 5).
+using DatacenterId = Id<DatacenterTag>;
+/// A room within a datacenter (availability level 4).
+using RoomId = Id<RoomTag>;
+/// A rack within a room (availability level 3).
+using RackId = Id<RackTag>;
+/// A physical storage host (availability levels 1-2).
+using ServerId = Id<ServerTag>;
+/// A data partition (512 KB stripe in the default Table I setting).
+using PartitionId = Id<PartitionTag>;
+/// A virtual node on the consistent-hashing ring.
+using VnodeId = Id<VnodeTag>;
+
+}  // namespace rfh
+
+namespace std {
+
+template <typename Tag>
+struct hash<rfh::Id<Tag>> {
+  size_t operator()(rfh::Id<Tag> id) const noexcept {
+    return std::hash<typename rfh::Id<Tag>::value_type>{}(id.value());
+  }
+};
+
+}  // namespace std

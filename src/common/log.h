@@ -1,0 +1,20 @@
+// Minimal leveled logging. The simulator is a library: logging defaults to
+// warnings only and writes to stderr, so benchmark CSV on stdout stays
+// machine-readable.
+#pragma once
+
+#include <cstdarg>
+
+namespace rfh {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level (default kWarn).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// printf-style logging; drops messages below the configured level.
+void log(LogLevel level, const char* fmt, ...) noexcept
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace rfh

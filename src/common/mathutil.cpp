@@ -1,0 +1,38 @@
+#include "common/mathutil.h"
+
+#include <cmath>
+
+namespace rfh {
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double population_stddev(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (const double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double coefficient_of_variation(std::span<const double> values) noexcept {
+  const double m = mean(values);
+  if (m == 0.0) return 0.0;
+  return population_stddev(values) / m;
+}
+
+double binomial(std::uint32_t n, std::uint32_t k) noexcept {
+  if (k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double result = 1.0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    result = result * static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+}  // namespace rfh

@@ -1,0 +1,23 @@
+// Small statistical helpers shared by metrics and tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rfh {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> values) noexcept;
+
+/// Population standard deviation (divide by n, as in paper Eq. 25);
+/// 0 for spans with fewer than one element.
+double population_stddev(std::span<const double> values) noexcept;
+
+/// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+double coefficient_of_variation(std::span<const double> values) noexcept;
+
+/// Binomial coefficient C(n, k) as a double (exact for the small n used
+/// by the availability formulas).
+double binomial(std::uint32_t n, std::uint32_t k) noexcept;
+
+}  // namespace rfh

@@ -1,0 +1,157 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace rfh {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : state_) s = sm.next();
+}
+
+Rng::result_type Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
+  RFH_ASSERT(bound > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) noexcept {
+  RFH_ASSERT(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform_real() noexcept {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real_range(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform_real();
+}
+
+double Rng::normal() noexcept {
+  // Box-Muller; discard the second variate to keep the stream simple.
+  double u1 = uniform_real();
+  const double u2 = uniform_real();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  RFH_ASSERT(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth's multiplicative method.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform_real();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // large-lambda sweeps in the benchmark harness.
+  const double x = mean + std::sqrt(mean) * normal() + 0.5;
+  if (x <= 0.0) return 0;
+  return static_cast<std::uint64_t>(x);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(
+    std::size_t n, std::size_t k) noexcept {
+  RFH_ASSERT(k <= n);
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  // Partial Fisher-Yates: the first k slots end up as the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(uniform(static_cast<std::uint64_t>(n - i)));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+Rng Rng::fork(std::uint64_t tag) const noexcept {
+  SplitMix64 sm(seed_ ^ (tag * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+  return Rng(sm.next());
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  RFH_ASSERT(!weights.empty());
+  cdf_.reserve(weights.size());
+  double total = 0.0;
+  for (const double w : weights) {
+    RFH_ASSERT_MSG(w >= 0.0, "weights must be nonnegative");
+    total += w;
+    cdf_.push_back(total);
+  }
+  RFH_ASSERT_MSG(total > 0.0, "at least one weight must be positive");
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform_real() * cdf_.back();
+  // Binary search for the first cdf entry > u.
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] > u) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double DiscreteSampler::probability(std::size_t i) const noexcept {
+  RFH_ASSERT(i < cdf_.size());
+  const double prev = i == 0 ? 0.0 : cdf_[i - 1];
+  return (cdf_[i] - prev) / cdf_.back();
+}
+
+std::vector<double> ZipfSampler::make_weights(std::size_t n, double exponent) {
+  RFH_ASSERT(n > 0);
+  RFH_ASSERT(exponent >= 0.0);
+  std::vector<double> w(n);
+  for (std::size_t rank = 1; rank <= n; ++rank) {
+    w[rank - 1] = 1.0 / std::pow(static_cast<double>(rank), exponent);
+  }
+  return w;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent)
+    : inner_(make_weights(n, exponent)) {}
+
+}  // namespace rfh

@@ -1,0 +1,48 @@
+// Exponential smoothing as used by the paper (Eqs. 10-11):
+//
+//   v_t = alpha * v_{t-1} + (1 - alpha) * x_t,   0 < alpha < 1
+//
+// Note the orientation: alpha weights *history*. The Table I default
+// alpha = 0.2 therefore adapts quickly (80 % weight on the newest sample).
+#pragma once
+
+#include "common/assert.h"
+
+namespace rfh {
+
+class Ewma {
+ public:
+  constexpr explicit Ewma(double alpha) noexcept : alpha_(alpha) {
+    RFH_ASSERT(alpha > 0.0 && alpha < 1.0);
+  }
+
+  /// Feed one observation; returns the new smoothed value. The first
+  /// observation initializes the average directly (no zero bias).
+  constexpr double update(double x) noexcept {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * value_ + (1.0 - alpha_) * x;
+    }
+    return value_;
+  }
+
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool initialized() const noexcept {
+    return initialized_;
+  }
+  [[nodiscard]] constexpr double alpha() const noexcept { return alpha_; }
+
+  constexpr void reset() noexcept {
+    value_ = 0.0;
+    initialized_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace rfh

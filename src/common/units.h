@@ -1,0 +1,29 @@
+// Byte / bandwidth units used throughout the simulator.
+//
+// The Table I defaults are expressed per epoch (10 s): replication
+// bandwidth 300 MB/epoch, migration bandwidth 100 MB/epoch, partition size
+// 512 KB, server storage 10 GB.
+#pragma once
+
+#include <cstdint>
+
+namespace rfh {
+
+/// Storage sizes in bytes.
+using Bytes = std::uint64_t;
+
+/// Bandwidth in bytes per epoch (the simulator's unit of time).
+using BytesPerEpoch = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+constexpr Bytes kib(std::uint64_t n) noexcept { return n * kKiB; }
+constexpr Bytes mib(std::uint64_t n) noexcept { return n * kMiB; }
+constexpr Bytes gib(std::uint64_t n) noexcept { return n * kGiB; }
+
+/// Epoch index. Epoch 0 is the first simulated interval.
+using Epoch = std::uint32_t;
+
+}  // namespace rfh

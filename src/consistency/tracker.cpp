@@ -1,0 +1,141 @@
+#include "consistency/tracker.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace rfh {
+
+ConsistencyTracker::ConsistencyTracker(std::uint32_t partitions,
+                                       std::uint32_t servers,
+                                       std::uint32_t history)
+    : partitions_(partitions),
+      servers_(servers),
+      history_(history),
+      version_(static_cast<std::size_t>(partitions) * servers, 0.0),
+      primary_history_(static_cast<std::size_t>(partitions) * history, 0.0),
+      primary_now_(partitions, 0.0) {
+  RFH_ASSERT(history_ > 1);
+}
+
+std::size_t ConsistencyTracker::index(PartitionId p, ServerId s) const {
+  RFH_ASSERT(p.value() < partitions_ && s.value() < servers_);
+  return static_cast<std::size_t>(p.value()) * servers_ + s.value();
+}
+
+double ConsistencyTracker::historic_version(PartitionId p,
+                                            std::uint32_t age) const {
+  RFH_ASSERT(p.value() < partitions_);
+  const std::uint32_t clamped =
+      std::min(age, std::min(epoch_, history_ - 1));
+  const std::uint32_t slot = (epoch_ - clamped) % history_;
+  return primary_history_[static_cast<std::size_t>(p.value()) * history_ +
+                          slot];
+}
+
+void ConsistencyTracker::advance(const ClusterState& cluster,
+                                 const Topology& topology,
+                                 const ShortestPaths& paths,
+                                 std::span<const double> writes) {
+  RFH_ASSERT(writes.size() == partitions_);
+  ++epoch_;
+
+  for (std::uint32_t pv = 0; pv < partitions_; ++pv) {
+    const PartitionId p{pv};
+    const ServerId primary = cluster.primary_of(p);
+
+    // Accept this epoch's writes at the primary.
+    if (primary.valid()) {
+      primary_now_[pv] += writes[pv];
+      version_[index(p, primary)] = primary_now_[pv];
+    }
+    primary_history_[static_cast<std::size_t>(pv) * history_ +
+                     epoch_ % history_] = primary_now_[pv];
+
+    if (!primary.valid()) continue;
+    const DatacenterId primary_dc = topology.server(primary).datacenter;
+
+    // Replicas catch up to the primary version as of `delay` epochs ago.
+    for (const Replica& replica : cluster.replicas_of(p)) {
+      if (replica.primary) continue;
+      const DatacenterId dc = topology.server(replica.server).datacenter;
+      const auto hops = paths.hop_count(primary_dc, dc);
+      const std::uint32_t delay = std::max(1u, hops);
+      double& v = version_[index(p, replica.server)];
+      // Versions only move forward (a straggler copy never regresses).
+      v = std::max(v, historic_version(p, delay));
+    }
+  }
+}
+
+double ConsistencyTracker::on_promote(PartitionId p, ServerId new_primary) {
+  RFH_ASSERT(p.value() < partitions_);
+  const double survivor_version = version_[index(p, new_primary)];
+  const double lost = std::max(0.0, primary_now_[p.value()] -
+                                        survivor_version);
+  lost_writes_ += lost;
+  primary_now_[p.value()] = survivor_version;
+  // The surviving version becomes the truth for the whole history window,
+  // so replicas never "catch up" to discarded writes.
+  for (std::uint32_t h = 0; h < history_; ++h) {
+    double& slot =
+        primary_history_[static_cast<std::size_t>(p.value()) * history_ + h];
+    slot = std::min(slot, survivor_version);
+  }
+  return lost;
+}
+
+void ConsistencyTracker::on_server_failed(ServerId s) {
+  RFH_ASSERT(s.value() < servers_);
+  for (std::uint32_t pv = 0; pv < partitions_; ++pv) {
+    version_[index(PartitionId{pv}, s)] = 0.0;
+  }
+}
+
+double ConsistencyTracker::primary_version(PartitionId p) const {
+  RFH_ASSERT(p.value() < partitions_);
+  return primary_now_[p.value()];
+}
+
+double ConsistencyTracker::replica_version(PartitionId p, ServerId s) const {
+  return version_[index(p, s)];
+}
+
+double ConsistencyTracker::lag(PartitionId p, ServerId s) const {
+  return std::max(0.0, primary_now_[p.value()] - version_[index(p, s)]);
+}
+
+double ConsistencyTracker::mean_replica_lag(
+    const ClusterState& cluster) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::uint32_t pv = 0; pv < partitions_; ++pv) {
+    const PartitionId p{pv};
+    for (const Replica& replica : cluster.replicas_of(p)) {
+      if (replica.primary) continue;
+      sum += lag(p, replica.server);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double ConsistencyTracker::stale_read_fraction(const EpochTraffic& traffic,
+                                               const ClusterState& cluster,
+                                               double tolerance) const {
+  double stale = 0.0;
+  double served = 0.0;
+  for (std::uint32_t pv = 0; pv < partitions_; ++pv) {
+    const PartitionId p{pv};
+    for (const Replica& replica : cluster.replicas_of(p)) {
+      const double q = traffic.served(p, replica.server);
+      served += q;
+      if (!replica.primary && lag(p, replica.server) > tolerance) {
+        stale += q;
+      }
+    }
+  }
+  return served == 0.0 ? 0.0 : stale / served;
+}
+
+}  // namespace rfh

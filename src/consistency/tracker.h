@@ -1,0 +1,92 @@
+// Eventual-consistency tracking (the paper's declared future work).
+//
+// "Note that maintaining data consistency is not the focus of this work.
+//  ... As a future work, we will ... plan to focus on the research of
+//  consistency maintenance."
+//
+// This module adds the measurement side of that future work: every
+// partition carries a monotonically increasing version at its primary
+// (each accepted write bumps it); updates propagate to replicas
+// asynchronously, one datacenter hop per epoch along the primary's
+// shortest paths (anti-entropy at epoch cadence). From this we derive the
+// consistency/durability costs of each placement policy:
+//
+//  * replica lag           — versions a copy is behind its primary;
+//  * stale-read fraction   — queries served by a lagging copy;
+//  * lost writes           — versions discarded when a failover promotes
+//                            a lagging replica.
+//
+// The tracker is deliberately observational: it never changes routing or
+// placement, so every Section III experiment is unaffected when enabled.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/shortest_paths.h"
+#include "sim/cluster.h"
+#include "sim/traffic.h"
+#include "topology/topology.h"
+
+namespace rfh {
+
+class ConsistencyTracker {
+ public:
+  /// `history` bounds how many epochs of primary versions are retained;
+  /// it must exceed the largest propagation delay (datacenter-graph
+  /// diameter in hops). Copies farther than that simply see the oldest
+  /// retained version until they catch up.
+  ConsistencyTracker(std::uint32_t partitions, std::uint32_t servers,
+                     std::uint32_t history = 16);
+
+  /// Fold in one epoch: `writes[p]` new versions are accepted at p's
+  /// primary, then every replica advances to the primary version that is
+  /// `delay` epochs old, where delay = max(1, DC hops to the primary).
+  void advance(const ClusterState& cluster, const Topology& topology,
+               const ShortestPaths& paths, std::span<const double> writes);
+
+  /// Re-anchor p's version chain on `new_primary` after a failover.
+  /// Returns the number of versions lost (writes the survivor had not yet
+  /// received). The partition's version becomes the survivor's.
+  double on_promote(PartitionId p, ServerId new_primary);
+
+  /// A server died: its copy states are forgotten.
+  void on_server_failed(ServerId s);
+
+  [[nodiscard]] double primary_version(PartitionId p) const;
+  [[nodiscard]] double replica_version(PartitionId p, ServerId s) const;
+  /// Versions the copy on s is behind the primary (0 for the primary).
+  [[nodiscard]] double lag(PartitionId p, ServerId s) const;
+
+  /// Mean lag over all non-primary copies (0 when there are none).
+  [[nodiscard]] double mean_replica_lag(const ClusterState& cluster) const;
+  /// Fraction of served queries answered by a copy lagging by more than
+  /// `tolerance` versions (1e-9 = any lag). 0 when nothing was served.
+  [[nodiscard]] double stale_read_fraction(const EpochTraffic& traffic,
+                                           const ClusterState& cluster,
+                                           double tolerance = 1e-9) const;
+
+  /// Cumulative versions lost to failovers since construction.
+  [[nodiscard]] double lost_writes() const noexcept { return lost_writes_; }
+  [[nodiscard]] Epoch epoch() const noexcept { return epoch_; }
+
+ private:
+  [[nodiscard]] std::size_t index(PartitionId p, ServerId s) const;
+  /// Primary version of p as of `age` epochs ago (clamped to history).
+  [[nodiscard]] double historic_version(PartitionId p,
+                                        std::uint32_t age) const;
+
+  std::uint32_t partitions_;
+  std::uint32_t servers_;
+  std::uint32_t history_;
+  Epoch epoch_ = 0;
+  std::vector<double> version_;  // [p][s] version held by the copy on s
+  // Ring buffer of primary versions: [p][epoch % history].
+  std::vector<double> primary_history_;
+  std::vector<double> primary_now_;  // [p]
+  double lost_writes_ = 0.0;
+};
+
+}  // namespace rfh

@@ -1,0 +1,241 @@
+#include "core/rfh_policy.h"
+
+#include <algorithm>
+
+#include "common/availability.h"
+#include "core/selection.h"
+
+namespace rfh {
+
+std::vector<RfhPolicy::HubCandidate> RfhPolicy::hub_candidates(
+    const PolicyContext& ctx, PartitionId p, double gamma_threshold,
+    bool require_gamma) const {
+  std::vector<HubCandidate> out;
+  for (const Server& server : ctx.topology.servers()) {
+    if (!ctx.cluster.alive(server.id)) continue;
+    if (ctx.cluster.has_replica(p, server.id)) continue;
+    const double tr = ctx.stats.node_traffic(p, server.id);
+    if (tr <= 0.0) continue;
+    if (require_gamma && tr < gamma_threshold) continue;
+    out.push_back(HubCandidate{server.id, tr});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HubCandidate& a, const HubCandidate& b) {
+              if (a.traffic != b.traffic) return a.traffic > b.traffic;
+              return a.server < b.server;
+            });
+  return out;
+}
+
+ServerId RfhPolicy::select_in_dc(const PolicyContext& ctx, DatacenterId dc,
+                                 PartitionId p) const {
+  return options_.erlang_b_selection ? select_server_erlang_b(ctx, dc, p)
+                                     : select_server_first_fit(ctx, dc, p);
+}
+
+ServerId RfhPolicy::pick_target(const PolicyContext& ctx, PartitionId p,
+                                const std::vector<HubCandidate>& hubs) const {
+  using Placement = Options::Placement;
+  switch (options_.placement) {
+    case Placement::kTrafficHub: {
+      // Walk hubs in traffic order; the hub's datacenter hosts the copy on
+      // its lowest-blocking-probability server.
+      for (const HubCandidate& hub : hubs) {
+        const DatacenterId dc = ctx.topology.server(hub.server).datacenter;
+        const ServerId s = select_in_dc(ctx, dc, p);
+        if (s.valid()) return s;
+      }
+      return ServerId::invalid();
+    }
+    case Placement::kNearOwner: {
+      const ServerId primary = ctx.cluster.primary_of(p);
+      const DatacenterId home = ctx.topology.server(primary).datacenter;
+      std::vector<DatacenterId> dcs;
+      for (const Datacenter& dc : ctx.topology.datacenters()) {
+        if (dc.id != home) dcs.push_back(dc.id);
+      }
+      std::sort(dcs.begin(), dcs.end(),
+                [&](DatacenterId a, DatacenterId b) {
+                  return ctx.topology.distance_km(home, a) <
+                         ctx.topology.distance_km(home, b);
+                });
+      for (const DatacenterId dc : dcs) {
+        const ServerId s = select_in_dc(ctx, dc, p);
+        if (s.valid()) return s;
+      }
+      return select_in_dc(ctx, home, p);
+    }
+    case Placement::kNearRequester: {
+      std::vector<DatacenterId> dcs;
+      for (const Datacenter& dc : ctx.topology.datacenters()) {
+        dcs.push_back(dc.id);
+      }
+      std::sort(dcs.begin(), dcs.end(),
+                [&](DatacenterId a, DatacenterId b) {
+                  return ctx.stats.requester_queries(p, a) >
+                         ctx.stats.requester_queries(p, b);
+                });
+      for (const DatacenterId dc : dcs) {
+        const ServerId s = select_in_dc(ctx, dc, p);
+        if (s.valid()) return s;
+      }
+      return ServerId::invalid();
+    }
+    case Placement::kRandom: {
+      const std::size_t n = ctx.topology.datacenter_count();
+      const std::size_t start = static_cast<std::size_t>(ctx.rng.uniform(n));
+      for (std::size_t i = 0; i < n; ++i) {
+        const DatacenterId dc{static_cast<std::uint32_t>((start + i) % n)};
+        const ServerId s = select_in_dc(ctx, dc, p);
+        if (s.valid()) return s;
+      }
+      return ServerId::invalid();
+    }
+  }
+  return ServerId::invalid();
+}
+
+Actions RfhPolicy::decide(const PolicyContext& ctx) {
+  Actions actions;
+  const std::uint32_t rmin =
+      min_replicas(ctx.config.min_availability, ctx.config.failure_rate);
+  overload_streak_.resize(ctx.config.partitions, 0);
+  const auto streak_key = [](PartitionId p, ServerId s) {
+    return (std::uint64_t{p.value()} << 32) | s.value();
+  };
+
+  for (std::uint32_t pv = 0; pv < ctx.config.partitions; ++pv) {
+    const PartitionId p{pv};
+    const ServerId primary = ctx.cluster.primary_of(p);
+    if (!primary.valid()) continue;
+
+    const double q_bar = ctx.stats.avg_query(p);
+    const std::uint32_t r = ctx.cluster.replica_count(p);
+
+    // --- 1. Availability floor (Eq. 14) --------------------------------
+    if (r < rmin) {
+      auto hubs = hub_candidates(ctx, p, /*gamma_threshold=*/0.0,
+                                 /*require_gamma=*/false);
+      ServerId target = pick_target(ctx, p, hubs);
+      if (!target.valid()) {
+        // No traffic observed yet (cold partition, fresh cluster): fall
+        // back to diversity near the owner so the floor is restored even
+        // before the first query arrives.
+        Options near_owner = options_;
+        near_owner.placement = Options::Placement::kNearOwner;
+        target = RfhPolicy(near_owner).pick_target(ctx, p, hubs);
+      }
+      if (target.valid()) {
+        actions.replications.push_back(ReplicateAction{p, target});
+      }
+      continue;  // grow back to the floor before optimizing anything else
+    }
+
+    // --- 2. Overload relief (Eqs. 12-13, 16) ----------------------------
+    if (holder_overloaded(ctx, p, primary)) {
+      ++overload_streak_[pv];
+    } else {
+      overload_streak_[pv] = 0;
+    }
+    const bool overloaded =
+        overload_streak_[pv] >= options_.overload_streak_epochs;
+    bool replicated_this_epoch = false;
+
+    if (overloaded && r < ctx.config.max_replicas_per_partition) {
+      auto hubs = hub_candidates(ctx, p, ctx.config.gamma * q_bar,
+                                 /*require_gamma=*/true);
+      if (hubs.empty()) {
+        // Forced relief: availability reached but still too much traffic.
+        hubs = hub_candidates(ctx, p, 0.0, /*require_gamma=*/false);
+      }
+      if (hubs.empty()) {
+        // No forwarding node anywhere carries this partition's traffic:
+        // the demand originates at the holder's own datacenter (or every
+        // carrier already hosts a copy). Relieve locally — "some replicas
+        // are placed on the same datacenter of the primary partition
+        // holders, but in different servers" (Section III-C).
+        const DatacenterId home = ctx.topology.server(primary).datacenter;
+        const ServerId local = select_in_dc(ctx, home, p);
+        if (local.valid()) {
+          actions.replications.push_back(ReplicateAction{p, local});
+          replicated_this_epoch = true;
+        }
+      }
+      if (!hubs.empty()) {
+        if (hubs.size() > options_.top_hubs) hubs.resize(options_.top_hubs);
+        const ServerId target = pick_target(ctx, p, hubs);
+        if (target.valid()) {
+          // Migration check: is there a replica outside the top hub
+          // datacenters whose relocation clears the Eq. 16 benefit bar?
+          ServerId victim;
+          double victim_traffic = 0.0;
+          if (options_.enable_migration) {
+            auto in_top_dcs = [&](DatacenterId dc) {
+              return std::any_of(hubs.begin(), hubs.end(),
+                                 [&](const HubCandidate& h) {
+                                   return ctx.topology.server(h.server)
+                                              .datacenter == dc;
+                                 });
+            };
+            for (const Replica& replica : ctx.cluster.replicas_of(p)) {
+              if (replica.primary) continue;
+              const DatacenterId dc =
+                  ctx.topology.server(replica.server).datacenter;
+              if (in_top_dcs(dc)) continue;
+              const double tr = ctx.stats.node_traffic(p, replica.server);
+              // Only relocate replicas doing markedly less work than the
+              // hub would give them (cold in the Eq. 15 sense, or well
+              // under the hub's traffic): moving an actively-serving
+              // replica would just re-create the hole it was filling.
+              if (tr > std::max(ctx.config.delta * q_bar,
+                                0.3 * hubs.front().traffic)) {
+                continue;
+              }
+              if (!victim.valid() || tr < victim_traffic) {
+                victim = replica.server;
+                victim_traffic = tr;
+              }
+            }
+          }
+          const double mean_tr = ctx.stats.mean_node_traffic(
+              p, ctx.cluster.live_server_count());
+          if (victim.valid() &&
+              hubs.front().traffic - victim_traffic >=
+                  ctx.config.mu * mean_tr) {
+            actions.migrations.push_back(MigrateAction{p, victim, target});
+          } else {
+            actions.replications.push_back(ReplicateAction{p, target});
+          }
+          replicated_this_epoch = true;
+        }
+      }
+    }
+
+    // --- 3. Suicide (Eq. 15) --------------------------------------------
+    if (options_.enable_suicide && q_bar > 0.0) {
+      std::uint32_t remaining = r;
+      std::uint32_t done = 0;
+      for (const Replica& replica : ctx.cluster.replicas_of(p)) {
+        if (replica.primary) continue;
+        const std::uint64_t key = streak_key(p, replica.server);
+        const double tr = ctx.stats.node_traffic(p, replica.server);
+        if (tr > ctx.config.delta * q_bar) {
+          cold_streak_.erase(key);
+          continue;
+        }
+        const std::uint32_t streak = ++cold_streak_[key];
+        if (replicated_this_epoch || done >= options_.max_suicides_per_epoch ||
+            remaining <= rmin || streak < options_.cold_streak_epochs) {
+          continue;  // cold, but not removable (yet)
+        }
+        actions.suicides.push_back(SuicideAction{p, replica.server});
+        cold_streak_.erase(key);
+        --remaining;
+        ++done;
+      }
+    }
+  }
+  return actions;
+}
+
+}  // namespace rfh

@@ -1,0 +1,36 @@
+// Physical-server selection inside a datacenter (paper Eqs. 18-19).
+//
+// "Among the physical nodes in the same datacenter, RFH chooses a node
+// with the lowest blocking probability." Each server's offered load is
+// its smoothed arrival rate divided by its per-replica service rate; the
+// M/G/c blocking probability is Erlang-B. Servers over the phi storage
+// limit or their virtual-node cap are excluded (Eq. 19: "if the current
+// storage rate of a server is the upper limit, any replication or
+// migration request will not be allowed").
+#pragma once
+
+#include "common/ids.h"
+#include "sim/policy.h"
+
+namespace rfh {
+
+/// Blocking probability of server `s` given the current smoothed arrival
+/// rate (Eq. 18).
+double blocking_probability(const PolicyContext& ctx, ServerId s);
+
+/// The feasible server in `dc` with the lowest blocking probability for a
+/// new copy of `p` (ties broken by lower id); invalid if none is feasible.
+ServerId select_server_erlang_b(const PolicyContext& ctx, DatacenterId dc,
+                                PartitionId p);
+
+/// The first feasible server in `dc` in creation order (used by
+/// comparators that do not balance load); invalid if none.
+ServerId select_server_first_fit(const PolicyContext& ctx, DatacenterId dc,
+                                 PartitionId p);
+
+/// A uniformly random feasible server in `dc` (the request-oriented
+/// comparator's "random choosing method"); invalid if none.
+ServerId select_server_random(const PolicyContext& ctx, DatacenterId dc,
+                              PartitionId p, Rng& rng);
+
+}  // namespace rfh

@@ -1,0 +1,142 @@
+#include "harness/cli.h"
+
+#include <charconv>
+#include <cstring>
+
+namespace rfh {
+
+namespace {
+
+bool consume(const char* arg, const char* name, std::string& value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  value = arg + len;
+  return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parse_double(const std::string& text, double& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+std::vector<std::string> metric_names() {
+  return {"utilization", "replicas", "path",   "imbalance", "latency",
+          "sla",         "cost",     "migrations", "lag",   "stale",
+          "diversity"};
+}
+
+double metric_value(const EpochMetrics& m, const std::string& metric,
+                    bool* ok) {
+  *ok = true;
+  if (metric == "utilization") return m.utilization;
+  if (metric == "replicas") return m.total_replicas;
+  if (metric == "path") return m.path_length;
+  if (metric == "imbalance") return m.load_imbalance;
+  if (metric == "latency") return m.latency_mean_ms;
+  if (metric == "sla") return m.sla_attainment;
+  if (metric == "cost") return m.replication_cost_total;
+  if (metric == "migrations") return m.migrations_total;
+  if (metric == "lag") return m.mean_replica_lag;
+  if (metric == "stale") return m.stale_read_fraction;
+  if (metric == "diversity") return m.diversity_level;
+  *ok = false;
+  return 0.0;
+}
+
+CliParseResult parse_cli(std::span<const char* const> args) {
+  CliParseResult result;
+  CliOptions& options = result.options;
+  auto fail = [&](std::string message) {
+    result.ok = false;
+    result.error = std::move(message);
+    return result;
+  };
+
+  for (const char* arg : args) {
+    std::string value;
+    if (consume(arg, "--policy=", value)) {
+      if (value == "rfh") options.policy = PolicyKind::kRfh;
+      else if (value == "random") options.policy = PolicyKind::kRandom;
+      else if (value == "owner") options.policy = PolicyKind::kOwner;
+      else if (value == "request") options.policy = PolicyKind::kRequest;
+      else return fail("unknown policy '" + value + "'");
+    } else if (consume(arg, "--workload=", value)) {
+      if (value == "uniform") {
+        options.scenario.workload = WorkloadKind::kUniform;
+      } else if (value == "flash") {
+        const Epoch epochs = options.scenario.epochs;
+        options.scenario.workload = WorkloadKind::kFlashCrowd;
+        options.scenario.epochs =
+            epochs == Scenario::paper_random_query().epochs
+                ? Scenario::paper_flash_crowd().epochs
+                : epochs;
+      } else if (value == "hotspot") {
+        options.scenario.workload = WorkloadKind::kHotspotShift;
+      } else {
+        return fail("unknown workload '" + value + "'");
+      }
+    } else if (consume(arg, "--epochs=", value)) {
+      std::uint64_t epochs = 0;
+      if (!parse_u64(value, epochs) || epochs == 0) {
+        return fail("--epochs expects a positive integer");
+      }
+      options.scenario.epochs = static_cast<Epoch>(epochs);
+    } else if (consume(arg, "--seed=", value)) {
+      std::uint64_t seed = 0;
+      if (!parse_u64(value, seed)) return fail("--seed expects an integer");
+      options.scenario.sim.seed = seed;
+      options.scenario.world.seed = seed;
+    } else if (consume(arg, "--partitions=", value)) {
+      std::uint64_t partitions = 0;
+      if (!parse_u64(value, partitions) || partitions == 0) {
+        return fail("--partitions expects a positive integer");
+      }
+      options.scenario.sim.partitions =
+          static_cast<std::uint32_t>(partitions);
+    } else if (consume(arg, "--write-fraction=", value)) {
+      double fraction = 0.0;
+      if (!parse_double(value, fraction) || fraction < 0.0 ||
+          fraction > 1.0) {
+        return fail("--write-fraction expects a number in [0, 1]");
+      }
+      options.scenario.write_fraction = fraction;
+    } else if (consume(arg, "--kill=", value)) {
+      const std::size_t at = value.find('@');
+      std::uint64_t n = 0;
+      std::uint64_t epoch = 0;
+      if (at == std::string::npos ||
+          !parse_u64(value.substr(0, at), n) ||
+          !parse_u64(value.substr(at + 1), epoch) || n == 0) {
+        return fail("--kill expects N@E with positive N");
+      }
+      FailureEvent event;
+      event.kill_random = static_cast<std::uint32_t>(n);
+      event.epoch = static_cast<Epoch>(epoch);
+      options.failures.push_back(event);
+    } else if (consume(arg, "--metric=", value)) {
+      bool known = false;
+      (void)metric_value(EpochMetrics{}, value, &known);
+      if (!known) return fail("unknown metric '" + value + "'");
+      options.metric = value;
+    } else if (std::strcmp(arg, "--compare") == 0) {
+      options.compare = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      options.quiet = true;
+    } else {
+      return fail(std::string("unknown argument '") + arg + "'");
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace rfh

@@ -1,0 +1,52 @@
+// Command-line parsing for experiment drivers (examples/rfh_cli.cpp).
+//
+// Kept in the library (rather than the example binary) so the flag
+// grammar is unit-testable and reusable by downstream tools.
+//
+// Grammar:
+//   --policy=rfh|random|owner|request
+//   --workload=uniform|flash|hotspot
+//   --epochs=N --seed=N --partitions=N
+//   --write-fraction=F            (enables consistency tracking)
+//   --kill=N@E                    (repeatable: kill N random servers at E)
+//   --metric=<name>               (see metric_names())
+//   --compare                     (all four policies)
+//   --quiet                       (summary line only)
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace rfh {
+
+struct CliOptions {
+  PolicyKind policy = PolicyKind::kRfh;
+  bool compare = false;
+  bool quiet = false;
+  std::string metric = "utilization";
+  Scenario scenario = Scenario::paper_random_query();
+  std::vector<FailureEvent> failures;
+};
+
+struct CliParseResult {
+  bool ok = false;
+  std::string error;  // set when !ok
+  CliOptions options;
+};
+
+/// Parse the argument list (argv[1..]); never aborts — malformed input
+/// yields ok=false with a human-readable error.
+CliParseResult parse_cli(std::span<const char* const> args);
+
+/// Extract the named per-epoch metric; sets *ok=false (and returns 0) for
+/// an unknown name.
+double metric_value(const EpochMetrics& m, const std::string& metric,
+                    bool* ok);
+
+/// All metric names accepted by --metric.
+std::vector<std::string> metric_names();
+
+}  // namespace rfh

@@ -1,0 +1,115 @@
+#include "harness/runner.h"
+
+#include <future>
+#include <iterator>
+#include <optional>
+
+#include "common/assert.h"
+#include "consistency/tracker.h"
+
+namespace rfh {
+
+const PolicyRun& ComparativeResult::run(PolicyKind kind) const {
+  for (const PolicyRun& r : runs) {
+    if (r.kind == kind) return r;
+  }
+  RFH_ASSERT_MSG(false, "no run for requested policy");
+}
+
+PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
+                     const std::vector<FailureEvent>& failures,
+                     const RfhPolicy::Options& rfh) {
+  PolicyRun run;
+  run.kind = kind;
+  auto sim = make_simulation(scenario, kind, rfh);
+  MetricsCollector collector;
+
+  std::optional<ConsistencyTracker> tracker;
+  if (scenario.write_fraction > 0.0) {
+    tracker.emplace(scenario.sim.partitions,
+                    static_cast<std::uint32_t>(sim->topology().server_count()));
+  }
+
+  auto note_failures = [&](std::span<const ServerId> victims) {
+    if (!tracker) return;
+    // Promotions first (they read the survivors' versions), then forget
+    // the dead servers' copy state.
+    for (const Simulation::Promotion& promo : sim->last_promotions()) {
+      tracker->on_promote(promo.partition, promo.new_primary);
+    }
+    for (const ServerId victim : victims) {
+      tracker->on_server_failed(victim);
+    }
+  };
+
+  for (Epoch e = 0; e < scenario.epochs; ++e) {
+    for (const FailureEvent& event : failures) {
+      if (event.epoch != e) continue;
+      if (!event.kill.empty()) {
+        sim->fail_servers(event.kill);
+        note_failures(event.kill);
+      }
+      if (event.kill_random > 0) {
+        const auto victims = sim->fail_random_servers(event.kill_random);
+        note_failures(victims);
+        run.killed.insert(run.killed.end(), victims.begin(), victims.end());
+      }
+      if (!event.recover.empty()) sim->recover_servers(event.recover);
+    }
+    const EpochReport report = sim->step();
+    EpochMetrics metrics = collector.collect(*sim, report);
+    if (tracker) {
+      std::vector<double> writes(scenario.sim.partitions, 0.0);
+      for (std::uint32_t p = 0; p < scenario.sim.partitions; ++p) {
+        writes[p] = scenario.write_fraction *
+                    sim->traffic().partition_queries(PartitionId{p});
+      }
+      tracker->advance(sim->cluster(), sim->topology(), sim->paths(), writes);
+      metrics.mean_replica_lag = tracker->mean_replica_lag(sim->cluster());
+      metrics.stale_read_fraction =
+          tracker->stale_read_fraction(sim->traffic(), sim->cluster());
+      metrics.lost_writes_total = tracker->lost_writes();
+    }
+    run.series.push_back(metrics);
+  }
+  return run;
+}
+
+namespace {
+
+constexpr PolicyKind kComparedPolicies[] = {
+    PolicyKind::kRequest, PolicyKind::kOwner, PolicyKind::kRandom,
+    PolicyKind::kRfh};
+
+}  // namespace
+
+ComparativeResult run_comparison_sequential(
+    const Scenario& scenario, const std::vector<FailureEvent>& failures) {
+  ComparativeResult result;
+  for (const PolicyKind kind : kComparedPolicies) {
+    result.runs.push_back(run_policy(scenario, kind, failures));
+  }
+  return result;
+}
+
+ComparativeResult run_comparison(const Scenario& scenario,
+                                 const std::vector<FailureEvent>& failures) {
+  // One task per policy: simulations share nothing mutable (each builds
+  // its own World, workload stream and RNGs from the scenario seed), so
+  // this is embarrassingly parallel and stays deterministic.
+  std::vector<std::future<PolicyRun>> futures;
+  futures.reserve(std::size(kComparedPolicies));
+  for (const PolicyKind kind : kComparedPolicies) {
+    futures.push_back(std::async(std::launch::async, [&scenario, &failures,
+                                                      kind] {
+      return run_policy(scenario, kind, failures, RfhPolicy::Options{});
+    }));
+  }
+  ComparativeResult result;
+  for (auto& future : futures) {
+    result.runs.push_back(future.get());
+  }
+  return result;
+}
+
+}  // namespace rfh

@@ -1,0 +1,56 @@
+// Comparative experiment runner: the same scenario (identical world seed,
+// workload stream and failure schedule) executed once per policy, so the
+// four curves in every figure face byte-identical demand.
+#pragma once
+
+#include <vector>
+
+#include "harness/scenario.h"
+#include "metrics/collector.h"
+
+namespace rfh {
+
+/// Failure injection applied *before* the given epoch's step.
+struct FailureEvent {
+  Epoch epoch = 0;
+  /// Kill this many uniformly-random live servers.
+  std::uint32_t kill_random = 0;
+  /// Explicit victims (in addition to kill_random).
+  std::vector<ServerId> kill;
+  /// Servers to bring back.
+  std::vector<ServerId> recover;
+};
+
+struct PolicyRun {
+  PolicyKind kind = PolicyKind::kRfh;
+  std::vector<EpochMetrics> series;
+  /// Servers killed by `kill_random` events, in order.
+  std::vector<ServerId> killed;
+};
+
+struct ComparativeResult {
+  std::vector<PolicyRun> runs;
+
+  [[nodiscard]] const PolicyRun& run(PolicyKind kind) const;
+};
+
+/// Run one policy through the scenario with the failure schedule.
+PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
+                     const std::vector<FailureEvent>& failures = {},
+                     const RfhPolicy::Options& rfh = {});
+
+/// The paper's standard comparison: Request, Owner, Random, RFH. The four
+/// runs are fully independent (each has its own world, generators and
+/// seeds), so they execute on concurrent threads; results are
+/// bit-identical to running them sequentially.
+ComparativeResult run_comparison(const Scenario& scenario,
+                                 const std::vector<FailureEvent>& failures =
+                                     {});
+
+/// Sequential variant (used by tests to pin down determinism and by
+/// callers that must stay single-threaded).
+ComparativeResult run_comparison_sequential(
+    const Scenario& scenario,
+    const std::vector<FailureEvent>& failures = {});
+
+}  // namespace rfh

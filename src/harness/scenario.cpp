@@ -1,0 +1,87 @@
+#include "harness/scenario.h"
+
+#include "baselines/owner_policy.h"
+#include "baselines/random_policy.h"
+#include "baselines/request_policy.h"
+#include "common/assert.h"
+
+namespace rfh {
+
+std::string_view policy_name(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kRequest: return "Request";
+    case PolicyKind::kOwner: return "Owner";
+    case PolicyKind::kRandom: return "Random";
+    case PolicyKind::kRfh: return "RFH";
+  }
+  return "?";
+}
+
+Scenario Scenario::paper_random_query() {
+  Scenario s;
+  s.workload = WorkloadKind::kUniform;
+  s.epochs = 250;
+  return s;
+}
+
+Scenario Scenario::paper_flash_crowd() {
+  Scenario s;
+  s.workload = WorkloadKind::kFlashCrowd;
+  s.epochs = 400;
+  return s;
+}
+
+Scenario Scenario::paper_failure_recovery() {
+  Scenario s;
+  s.workload = WorkloadKind::kUniform;
+  s.epochs = 500;
+  return s;
+}
+
+std::unique_ptr<ReplicationPolicy> make_policy(PolicyKind kind,
+                                               const RfhPolicy::Options& rfh) {
+  switch (kind) {
+    case PolicyKind::kRequest:
+      return std::make_unique<RequestOrientedPolicy>();
+    case PolicyKind::kOwner:
+      return std::make_unique<OwnerOrientedPolicy>();
+    case PolicyKind::kRandom:
+      return std::make_unique<RandomPolicy>();
+    case PolicyKind::kRfh:
+      return std::make_unique<RfhPolicy>(rfh);
+  }
+  RFH_ASSERT_MSG(false, "unknown policy kind");
+}
+
+std::unique_ptr<WorkloadGenerator> make_workload(const Scenario& scenario,
+                                                 const World& world) {
+  WorkloadParams params;
+  params.partitions = scenario.sim.partitions;
+  params.datacenters =
+      static_cast<std::uint32_t>(world.topology.datacenter_count());
+  params.zipf_exponent = scenario.zipf_exponent;
+  switch (scenario.workload) {
+    case WorkloadKind::kUniform:
+      return std::make_unique<UniformWorkload>(params);
+    case WorkloadKind::kFlashCrowd:
+      return std::make_unique<FlashCrowdWorkload>(
+          params, FlashCrowdWorkload::paper_stages(world.dc),
+          scenario.epochs);
+    case WorkloadKind::kHotspotShift:
+      return std::make_unique<HotspotShiftWorkload>(
+          params, /*phase_epochs=*/scenario.epochs / 4 + 1);
+  }
+  RFH_ASSERT_MSG(false, "unknown workload kind");
+}
+
+std::unique_ptr<Simulation> make_simulation(const Scenario& scenario,
+                                            PolicyKind kind,
+                                            const RfhPolicy::Options& rfh) {
+  World world = build_paper_world(scenario.world);
+  auto workload = make_workload(scenario, world);
+  auto policy = make_policy(kind, rfh);
+  return std::make_unique<Simulation>(std::move(world), scenario.sim,
+                                      std::move(workload), std::move(policy));
+}
+
+}  // namespace rfh

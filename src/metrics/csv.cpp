@@ -1,0 +1,47 @@
+#include "metrics/csv.h"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace rfh {
+
+std::vector<double> extract(const std::vector<EpochMetrics>& series,
+                            double EpochMetrics::* field) {
+  std::vector<double> out;
+  out.reserve(series.size());
+  for (const EpochMetrics& m : series) out.push_back(m.*field);
+  return out;
+}
+
+std::vector<double> extract_u32(const std::vector<EpochMetrics>& series,
+                                std::uint32_t EpochMetrics::* field) {
+  std::vector<double> out;
+  out.reserve(series.size());
+  for (const EpochMetrics& m : series) {
+    out.push_back(static_cast<double>(m.*field));
+  }
+  return out;
+}
+
+void write_csv(std::ostream& out, const std::vector<NamedSeries>& series) {
+  out << "epoch";
+  std::size_t rows = 0;
+  for (const NamedSeries& s : series) {
+    out << ',' << s.name;
+    rows = std::max(rows, s.values.size());
+  }
+  out << '\n';
+  const auto flags = out.flags();
+  out << std::fixed << std::setprecision(4);
+  for (std::size_t row = 0; row < rows; ++row) {
+    out << row;
+    for (const NamedSeries& s : series) {
+      out << ',';
+      if (row < s.values.size()) out << s.values[row];
+    }
+    out << '\n';
+  }
+  out.flags(flags);
+}
+
+}  // namespace rfh

@@ -1,0 +1,30 @@
+// Minimal CSV emission for the figure benches: one row per epoch, one
+// column per algorithm, matching the series the paper plots.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.h"
+
+namespace rfh {
+
+/// A named per-epoch series (one algorithm's curve).
+struct NamedSeries {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Extract one field from a metrics series.
+std::vector<double> extract(const std::vector<EpochMetrics>& series,
+                            double EpochMetrics::* field);
+std::vector<double> extract_u32(const std::vector<EpochMetrics>& series,
+                                std::uint32_t EpochMetrics::* field);
+
+/// Write "epoch,<name1>,<name2>,..." header plus one row per epoch.
+/// Series may have different lengths; missing cells are left empty.
+void write_csv(std::ostream& out, const std::vector<NamedSeries>& series);
+
+}  // namespace rfh

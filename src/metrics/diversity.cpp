@@ -1,0 +1,47 @@
+#include "metrics/diversity.h"
+
+#include <algorithm>
+
+namespace rfh {
+
+std::uint32_t partition_diversity_level(const ClusterState& cluster,
+                                        const Topology& topology,
+                                        PartitionId p) {
+  const auto replicas = cluster.replicas_of(p);
+  if (replicas.size() < 2) return 0;
+  std::uint32_t best = 1;
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    for (std::size_t j = i + 1; j < replicas.size(); ++j) {
+      best = std::max(best, topology.availability_level(replicas[i].server,
+                                                        replicas[j].server));
+      if (best == 5) return 5;  // cannot improve further
+    }
+  }
+  return best;
+}
+
+double mean_diversity_level(const ClusterState& cluster,
+                            const Topology& topology) {
+  const std::uint32_t partitions = cluster.config().partitions;
+  if (partitions == 0) return 0.0;
+  double sum = 0.0;
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    sum += partition_diversity_level(cluster, topology, PartitionId{p});
+  }
+  return sum / partitions;
+}
+
+double datacenter_survivable_fraction(const ClusterState& cluster,
+                                      const Topology& topology) {
+  const std::uint32_t partitions = cluster.config().partitions;
+  if (partitions == 0) return 0.0;
+  std::uint32_t survivable = 0;
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    if (partition_diversity_level(cluster, topology, PartitionId{p}) == 5) {
+      ++survivable;
+    }
+  }
+  return static_cast<double>(survivable) / partitions;
+}
+
+}  // namespace rfh

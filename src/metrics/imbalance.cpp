@@ -1,0 +1,55 @@
+#include "metrics/imbalance.h"
+
+#include <vector>
+
+#include "common/mathutil.h"
+
+namespace rfh {
+
+namespace {
+
+std::vector<double> copy_loads(const EpochTraffic& traffic,
+                               const ClusterState& cluster) {
+  std::vector<double> loads;
+  loads.reserve(cluster.total_replicas());
+  for (std::uint32_t pv = 0; pv < cluster.config().partitions; ++pv) {
+    const PartitionId p{pv};
+    for (const Replica& r : cluster.replicas_of(p)) {
+      loads.push_back(traffic.served(p, r.server));
+    }
+  }
+  return loads;
+}
+
+std::vector<double> server_loads(const EpochTraffic& traffic,
+                                 const ClusterState& cluster) {
+  std::vector<double> loads;
+  for (const Server& s : cluster.topology().servers()) {
+    if (cluster.alive(s.id)) {
+      loads.push_back(traffic.server_work(s.id));
+    }
+  }
+  return loads;
+}
+
+}  // namespace
+
+double load_imbalance(const EpochTraffic& traffic,
+                      const ClusterState& cluster) {
+  const auto loads = copy_loads(traffic, cluster);
+  return population_stddev(loads);
+}
+
+double load_imbalance_servers(const EpochTraffic& traffic,
+                              const ClusterState& cluster) {
+  const auto loads = server_loads(traffic, cluster);
+  return population_stddev(loads);
+}
+
+double load_imbalance_cv(const EpochTraffic& traffic,
+                         const ClusterState& cluster) {
+  const auto loads = copy_loads(traffic, cluster);
+  return coefficient_of_variation(loads);
+}
+
+}  // namespace rfh

@@ -1,0 +1,29 @@
+// Load imbalance (paper Eqs. 24-26): the population standard deviation of
+// per-virtual-node workload. Lower is better.
+//
+// Eq. 24 defines l_i as "the workload of each virtual node" — i.e. of
+// each hosted copy, not of each physical server. A placement that keeps
+// every copy similarly busy (RFH's traffic hubs + Erlang-B server choice)
+// scores low; a placement that leaves most copies idle while a few are
+// saturated (random ring successors) scores high. A server-level variant
+// is provided for comparison.
+#pragma once
+
+#include "sim/cluster.h"
+#include "sim/traffic.h"
+
+namespace rfh {
+
+/// Eq. 25 over every hosted copy (primaries included); 0 when no copies.
+double load_imbalance(const EpochTraffic& traffic, const ClusterState& cluster);
+
+/// Same statistic over live physical servers (work = forwarding +
+/// absorption).
+double load_imbalance_servers(const EpochTraffic& traffic,
+                              const ClusterState& cluster);
+
+/// Scale-free variant of the per-copy statistic (stddev / mean).
+double load_imbalance_cv(const EpochTraffic& traffic,
+                         const ClusterState& cluster);
+
+}  // namespace rfh

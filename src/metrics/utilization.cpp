@@ -1,0 +1,31 @@
+#include "metrics/utilization.h"
+
+#include <algorithm>
+
+namespace rfh {
+
+double copy_utilization(const EpochTraffic& traffic, const Topology& topology,
+                        PartitionId p, ServerId s) {
+  const double cap = topology.server(s).spec.per_replica_capacity;
+  if (cap <= 0.0) return 0.0;
+  return std::clamp(traffic.served(p, s) / cap, 0.0, 1.0);
+}
+
+double replica_utilization(const EpochTraffic& traffic,
+                           const ClusterState& cluster,
+                           const Topology& topology,
+                           const UtilizationOptions& options) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::uint32_t pv = 0; pv < cluster.config().partitions; ++pv) {
+    const PartitionId p{pv};
+    for (const Replica& r : cluster.replicas_of(p)) {
+      if (r.primary && !options.include_primaries) continue;
+      sum += copy_utilization(traffic, topology, p, r.server);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace rfh

@@ -1,0 +1,34 @@
+// Replica utilization rate (paper Eqs. 20-23).
+//
+// Eq. 20 fills a node's replicas sequentially against the arriving
+// traffic: U = min(1, max(0, (tr - sum of upstream capacities) / C)).
+// Because the simulator enforces at most one copy of a partition per
+// server and tracks the absorbed amount per copy directly, a copy's
+// utilization is simply served / capacity, which is exactly Eq. 20's
+// value with the sequential fill already performed. Eq. 21 averages over
+// copies; `include_primaries` controls whether the primary copy counts
+// (the paper measures *replicas*, so the default excludes it).
+#pragma once
+
+#include "sim/cluster.h"
+#include "sim/traffic.h"
+#include "topology/topology.h"
+
+namespace rfh {
+
+struct UtilizationOptions {
+  bool include_primaries = false;
+};
+
+/// Average replica utilization over all copies, in [0, 1]; 0 when there
+/// are no qualifying copies.
+double replica_utilization(const EpochTraffic& traffic,
+                           const ClusterState& cluster,
+                           const Topology& topology,
+                           const UtilizationOptions& options = {});
+
+/// Utilization of the single copy of p on s (Eq. 20): served / capacity.
+double copy_utilization(const EpochTraffic& traffic, const Topology& topology,
+                        PartitionId p, ServerId s);
+
+}  // namespace rfh

@@ -1,0 +1,51 @@
+#include "net/graph.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace rfh {
+
+DcGraph::DcGraph(std::size_t datacenter_count, std::span<const Link> links)
+    : adjacency_(datacenter_count) {
+  for (const Link& link : links) {
+    RFH_ASSERT(link.a.value() < datacenter_count);
+    RFH_ASSERT(link.b.value() < datacenter_count);
+    RFH_ASSERT_MSG(link.a != link.b, "self-loop link");
+    RFH_ASSERT_MSG(link.km > 0.0, "link weight must be positive");
+    adjacency_[link.a.value()].push_back(Edge{link.b, link.km});
+    adjacency_[link.b.value()].push_back(Edge{link.a, link.km});
+  }
+  // Deterministic neighbor order regardless of input link order.
+  for (auto& edges : adjacency_) {
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge& x, const Edge& y) { return x.to < y.to; });
+  }
+}
+
+std::span<const Edge> DcGraph::neighbors(DatacenterId dc) const {
+  RFH_ASSERT(dc.value() < adjacency_.size());
+  return adjacency_[dc.value()];
+}
+
+bool DcGraph::connected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::vector<std::size_t> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::size_t at = stack.back();
+    stack.pop_back();
+    for (const Edge& e : adjacency_[at]) {
+      if (!seen[e.to.value()]) {
+        seen[e.to.value()] = true;
+        ++visited;
+        stack.push_back(e.to.value());
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+}  // namespace rfh

@@ -1,0 +1,37 @@
+// Weighted undirected datacenter-level network graph.
+//
+// The routing layer of RFH sits "on top of IP"; at the granularity the
+// paper reasons about (which datacenters a query transits, where the
+// traffic hubs form), the relevant structure is the inter-datacenter
+// backbone. Edge weights are kilometres (see topology/world.h).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "topology/world.h"
+
+namespace rfh {
+
+struct Edge {
+  DatacenterId to;
+  double km = 0.0;
+};
+
+class DcGraph {
+ public:
+  DcGraph(std::size_t datacenter_count, std::span<const Link> links);
+
+  [[nodiscard]] std::size_t size() const noexcept { return adjacency_.size(); }
+
+  [[nodiscard]] std::span<const Edge> neighbors(DatacenterId dc) const;
+
+  /// True if every datacenter can reach every other one.
+  [[nodiscard]] bool connected() const;
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace rfh

@@ -1,0 +1,105 @@
+#include "ring/chord.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "ring/hash.h"
+
+namespace rfh {
+
+namespace {
+
+/// Clockwise distance from `from` to `to` on the 2^64 ring.
+constexpr std::uint64_t clockwise(std::uint64_t from, std::uint64_t to) {
+  return to - from;  // modular arithmetic does the wrap
+}
+
+}  // namespace
+
+std::uint64_t ChordOverlay::position_of(ServerId member) {
+  return hash_combine(0x63686F7264000000ULL /* "chord" */,
+                      hash64(std::uint64_t{member.value()}));
+}
+
+ChordOverlay::ChordOverlay(std::span<const ServerId> members) {
+  RFH_ASSERT_MSG(!members.empty(), "overlay needs at least one member");
+  nodes_.reserve(members.size());
+  for (const ServerId member : members) {
+    nodes_.push_back(Node{position_of(member), member, {}});
+  }
+  std::sort(nodes_.begin(), nodes_.end(),
+            [](const Node& a, const Node& b) { return a.position < b.position; });
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    RFH_ASSERT_MSG(nodes_[i].position != nodes_[i - 1].position,
+                   "position collision (duplicate member?)");
+  }
+  // Finger tables: successor(position + 2^i) for i = 0..63.
+  for (Node& node : nodes_) {
+    node.fingers.resize(64);
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      node.fingers[i] = successor_index(node.position + (1ULL << i));
+    }
+  }
+}
+
+std::uint32_t ChordOverlay::successor_index(std::uint64_t key) const {
+  // First node with position >= key, wrapping to the front.
+  const auto it = std::lower_bound(
+      nodes_.begin(), nodes_.end(), key,
+      [](const Node& n, std::uint64_t k) { return n.position < k; });
+  if (it == nodes_.end()) return 0;
+  return static_cast<std::uint32_t>(it - nodes_.begin());
+}
+
+ServerId ChordOverlay::successor(std::uint64_t key) const {
+  return nodes_[successor_index(key)].id;
+}
+
+std::uint32_t ChordOverlay::index_of_member(ServerId member) const {
+  const std::uint64_t pos = position_of(member);
+  const std::uint32_t i = successor_index(pos);
+  RFH_ASSERT_MSG(nodes_[i].id == member, "lookup origin is not a member");
+  return i;
+}
+
+ChordOverlay::LookupResult ChordOverlay::lookup(ServerId from,
+                                                std::uint64_t key) const {
+  LookupResult result;
+  std::uint32_t at = index_of_member(from);
+  const std::uint32_t owner = successor_index(key);
+  result.path.push_back(nodes_[at].id);
+
+  while (at != owner) {
+    const Node& node = nodes_[at];
+    // Does the key fall to our immediate successor? Then one final hop.
+    const std::uint32_t next = node.fingers[0];
+    if (next == owner ||
+        clockwise(node.position, key) <=
+            clockwise(node.position, nodes_[next].position)) {
+      at = owner;
+    } else {
+      // Closest preceding finger: the largest jump that does not
+      // overshoot the key.
+      std::uint32_t best = next;
+      for (std::uint32_t i = 64; i-- > 0;) {
+        const std::uint32_t candidate = node.fingers[i];
+        if (candidate == at) continue;
+        const std::uint64_t jump =
+            clockwise(node.position, nodes_[candidate].position);
+        if (jump > 0 && jump < clockwise(node.position, key)) {
+          best = candidate;
+          break;
+        }
+      }
+      RFH_ASSERT_MSG(best != at, "lookup made no progress");
+      at = best;
+    }
+    result.path.push_back(nodes_[at].id);
+    ++result.hops;
+    RFH_ASSERT_MSG(result.hops <= nodes_.size(), "lookup cycled");
+  }
+  result.owner = nodes_[owner].id;
+  return result;
+}
+
+}  // namespace rfh

@@ -1,0 +1,65 @@
+// Chord-style overlay lookup with finger tables.
+//
+// The paper states "The cost of routing is O(log n)" for its
+// Oceanstore-like prefix routing. This module implements the classic
+// Chord lookup (finger table of successors at power-of-two distances,
+// greedy closest-preceding-finger forwarding) over the same 64-bit hash
+// space as HashRing, so the O(log n) claim is checkable as a property
+// (tests assert hop counts across ring sizes) and measurable as a
+// microbenchmark.
+//
+// The overlay is a static snapshot of the membership: the simulator
+// rebuilds it on membership change (node churn is modelled at epoch
+// granularity, where full rebuilds are cheap and deterministic).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace rfh {
+
+class ChordOverlay {
+ public:
+  /// One position per member, derived from the server id hash (distinct
+  /// members always get distinct positions).
+  explicit ChordOverlay(std::span<const ServerId> members);
+
+  struct LookupResult {
+    ServerId owner;
+    /// Overlay forwarding hops (0 when the origin already owns the key).
+    std::uint32_t hops = 0;
+    /// The nodes visited, origin first, owner last.
+    std::vector<ServerId> path;
+  };
+
+  /// Greedy finger-table lookup starting at `from` (must be a member).
+  [[nodiscard]] LookupResult lookup(ServerId from, std::uint64_t key) const;
+
+  /// The member responsible for `key` (first position at or after it,
+  /// wrapping).
+  [[nodiscard]] ServerId successor(std::uint64_t key) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Ring position of a member (exposed for tests).
+  [[nodiscard]] static std::uint64_t position_of(ServerId member);
+
+ private:
+  struct Node {
+    std::uint64_t position = 0;
+    ServerId id;
+    /// fingers[i] = index (into nodes_) of successor(position + 2^i).
+    std::vector<std::uint32_t> fingers;
+  };
+
+  /// Index of the node owning `key`.
+  [[nodiscard]] std::uint32_t successor_index(std::uint64_t key) const;
+  [[nodiscard]] std::uint32_t index_of_member(ServerId member) const;
+
+  std::vector<Node> nodes_;  // sorted by position
+};
+
+}  // namespace rfh

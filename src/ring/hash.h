@@ -1,0 +1,23 @@
+// 64-bit hashing for the consistent-hashing ring.
+//
+// FNV-1a over bytes followed by a SplitMix64 finalizer: cheap, portable,
+// and well-mixed enough that ring tokens spread uniformly. Implemented
+// here (rather than relying on std::hash) so that ring placement is
+// identical on every platform and standard library.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rfh {
+
+/// FNV-1a 64-bit over a byte string, with avalanche finalizer.
+std::uint64_t hash64(std::string_view bytes) noexcept;
+
+/// Hash a 64-bit integer (finalizer only; already fixed-width).
+std::uint64_t hash64(std::uint64_t value) noexcept;
+
+/// Order-dependent combination of two hashes.
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+}  // namespace rfh

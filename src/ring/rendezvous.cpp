@@ -1,0 +1,27 @@
+#include "ring/rendezvous.h"
+
+#include "common/assert.h"
+#include "ring/hash.h"
+
+namespace rfh {
+
+ServerId rendezvous_pick(std::uint64_t key,
+                         std::span<const ServerId> candidates) {
+  RFH_ASSERT_MSG(!candidates.empty(), "no candidates");
+  ServerId best = candidates.front();
+  std::uint64_t best_weight = 0;
+  bool first = true;
+  for (const ServerId candidate : candidates) {
+    const std::uint64_t weight =
+        hash_combine(key, hash64(std::uint64_t{candidate.value()}));
+    if (first || weight > best_weight ||
+        (weight == best_weight && candidate < best)) {
+      best = candidate;
+      best_weight = weight;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace rfh

@@ -1,0 +1,19 @@
+// Rendezvous (highest-random-weight) hashing.
+//
+// Used to pick the per-partition relay server inside a transit datacenter:
+// deterministic, uniformly spread across the datacenter's servers, and
+// stable under unrelated membership changes (only keys whose winner left
+// move).
+#pragma once
+
+#include <span>
+
+#include "common/ids.h"
+
+namespace rfh {
+
+/// The server in `candidates` with the highest hash weight for `key`.
+/// `candidates` must be non-empty.
+ServerId rendezvous_pick(std::uint64_t key, std::span<const ServerId> candidates);
+
+}  // namespace rfh

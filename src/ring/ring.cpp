@@ -1,0 +1,79 @@
+#include "ring/ring.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "ring/hash.h"
+
+namespace rfh {
+
+HashRing::HashRing(std::uint32_t tokens_per_server)
+    : tokens_per_server_(tokens_per_server) {
+  RFH_ASSERT(tokens_per_server_ > 0);
+}
+
+void HashRing::add_server(ServerId server) {
+  RFH_ASSERT(server.valid());
+  RFH_ASSERT_MSG(!contains(server), "server already on ring");
+  std::vector<std::uint64_t>& tokens = server_tokens_[server];
+  tokens.reserve(tokens_per_server_);
+  for (std::uint32_t i = 0; i < tokens_per_server_; ++i) {
+    std::uint64_t pos = hash_combine(hash64(std::uint64_t{server.value()}),
+                                     hash64(std::uint64_t{i}));
+    // Token collisions across servers are astronomically unlikely but
+    // would silently drop a token; probe linearly to keep the invariant
+    // "every server owns exactly tokens_per_server_ positions".
+    while (ring_.contains(pos)) ++pos;
+    ring_.emplace(pos, server);
+    tokens.push_back(pos);
+  }
+}
+
+void HashRing::remove_server(ServerId server) {
+  const auto it = server_tokens_.find(server);
+  RFH_ASSERT_MSG(it != server_tokens_.end(), "server not on ring");
+  for (const std::uint64_t pos : it->second) {
+    ring_.erase(pos);
+  }
+  server_tokens_.erase(it);
+}
+
+bool HashRing::contains(ServerId server) const {
+  return server_tokens_.contains(server);
+}
+
+ServerId HashRing::primary(std::uint64_t key) const {
+  RFH_ASSERT_MSG(!ring_.empty(), "ring is empty");
+  auto it = ring_.lower_bound(key);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<ServerId> HashRing::preference_list(std::uint64_t key,
+                                                std::size_t n) const {
+  RFH_ASSERT_MSG(!ring_.empty(), "ring is empty");
+  std::vector<ServerId> result;
+  result.reserve(std::min(n, server_tokens_.size()));
+  auto it = ring_.lower_bound(key);
+  for (std::size_t steps = 0;
+       result.size() < n && steps < ring_.size(); ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    const ServerId candidate = it->second;
+    if (std::find(result.begin(), result.end(), candidate) == result.end()) {
+      result.push_back(candidate);
+    }
+    ++it;
+  }
+  return result;
+}
+
+std::uint64_t HashRing::partition_key(PartitionId partition) {
+  return hash_combine(0x7061727469746E00ULL /* "partitn" */,
+                      hash64(std::uint64_t{partition.value()}));
+}
+
+ServerId HashRing::partition_owner(PartitionId partition) const {
+  return primary(partition_key(partition));
+}
+
+}  // namespace rfh

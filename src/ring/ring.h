@@ -1,0 +1,60 @@
+// Consistent-hashing ring with virtual nodes (paper Section II-B).
+//
+// "The partitioning scheme of RFH is built using a variant of consistent
+// hashing. A ring topology is employed as the output range of a hash
+// function. Each node is assigned a random value within the hashing space
+// to represent its position."
+//
+// Each physical server owns `tokens` positions (virtual-node tokens) on a
+// 64-bit ring. A partition's primary owner is the server owning the first
+// token clockwise from the partition's hash; Dynamo-style replica chains
+// are the next distinct servers clockwise. Join and departure move only
+// the keyspace adjacent to the affected tokens, which the tests verify
+// quantitatively.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace rfh {
+
+class HashRing {
+ public:
+  /// tokens: virtual-node positions created per server (Dynamo's "number
+  /// of virtual nodes" knob; more tokens -> smoother key distribution).
+  explicit HashRing(std::uint32_t tokens_per_server = 16);
+
+  void add_server(ServerId server);
+  void remove_server(ServerId server);
+  [[nodiscard]] bool contains(ServerId server) const;
+
+  /// The server owning the first token at or clockwise after `key`.
+  [[nodiscard]] ServerId primary(std::uint64_t key) const;
+
+  /// Up to `n` *distinct* servers starting at the primary and walking
+  /// clockwise (the Dynamo preference list for the key).
+  [[nodiscard]] std::vector<ServerId> preference_list(std::uint64_t key,
+                                                      std::size_t n) const;
+
+  /// Primary owner for a partition id.
+  [[nodiscard]] ServerId partition_owner(PartitionId partition) const;
+
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return server_tokens_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return ring_.empty(); }
+
+  /// Hash position used for a partition (exposed for tests).
+  [[nodiscard]] static std::uint64_t partition_key(PartitionId partition);
+
+ private:
+  std::uint32_t tokens_per_server_;
+  std::map<std::uint64_t, ServerId> ring_;  // token position -> owner
+  std::unordered_map<ServerId, std::vector<std::uint64_t>> server_tokens_;
+};
+
+}  // namespace rfh

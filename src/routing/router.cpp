@@ -1,0 +1,61 @@
+#include "routing/router.h"
+
+#include "common/assert.h"
+#include "ring/hash.h"
+#include "ring/rendezvous.h"
+#include "ring/ring.h"
+
+namespace rfh {
+
+Router::Router(const Topology& topology, const ShortestPaths& paths)
+    : topology_(&topology), paths_(&paths) {
+  RFH_ASSERT(topology.datacenter_count() == paths.size());
+}
+
+ServerId Router::relay_for(PartitionId partition, DatacenterId dc,
+                           std::span<const ServerId> live_servers) {
+  const std::uint64_t key = hash_combine(HashRing::partition_key(partition),
+                                         hash64(std::uint64_t{dc.value()}));
+  return rendezvous_pick(key, live_servers);
+}
+
+Route Router::route(PartitionId partition, DatacenterId requester,
+                    ServerId holder,
+                    std::span<const std::vector<ServerId>> live_by_dc) const {
+  RFH_ASSERT(holder.valid());
+  const DatacenterId holder_dc = topology_->server(holder).datacenter;
+  const std::vector<DatacenterId> dc_path =
+      paths_->path(requester, holder_dc);
+
+  Route route;
+  route.holder = holder;
+  route.stages.reserve(dc_path.size());
+
+  std::uint32_t hops = 1;  // client -> requester-DC relay
+  double latency = kHopLatencyMs;
+  for (const DatacenterId dc : dc_path) {
+    RFH_ASSERT(dc.value() < live_by_dc.size());
+    // Prefixes of a shortest path are shortest paths, so the cumulative
+    // fibre distance to this stage is the all-pairs distance.
+    latency = kHopLatencyMs * hops +
+              paths_->distance_km(requester, dc) / kFibreKmPerMs;
+    const std::vector<ServerId>& live = live_by_dc[dc.value()];
+    if (live.empty()) {
+      // Dead datacenter: traffic passes through its backbone router but no
+      // server can absorb or be a hub there.
+      ++hops;
+      continue;
+    }
+    const ServerId relay = dc == holder_dc
+                               ? holder
+                               : relay_for(partition, dc, live);
+    route.stages.push_back(RouteStage{dc, relay, hops, latency});
+    ++hops;
+  }
+  // Final descent from the holder datacenter's relay to the owning server.
+  route.total_hops = hops;
+  route.total_latency_ms = latency + kHopLatencyMs;
+  return route;
+}
+
+}  // namespace rfh

@@ -1,0 +1,71 @@
+// Query routing: requester datacenter -> holder server.
+//
+// A query for partition B_i issued near datacenter j travels the fixed
+// shortest path of datacenters towards the primary holder. Inside each
+// datacenter the query is handled by a deterministic *relay* server
+// (rendezvous-hashed per (partition, datacenter)); any replica hosted in a
+// transit datacenter can absorb the query there. Hop counting follows the
+// paper's lookup-path-length metric: one hop to enter the requester
+// datacenter's relay, one hop per further datacenter, and one final hop
+// from the holder datacenter's relay down to the owning server.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/shortest_paths.h"
+#include "topology/topology.h"
+
+namespace rfh {
+
+/// One datacenter visited by a query, in order.
+struct RouteStage {
+  DatacenterId dc;
+  /// The forwarding server inside `dc` that carries this partition's
+  /// pass-through traffic (a traffic-hub candidate).
+  ServerId relay;
+  /// Network hops from the client when the query reaches this stage.
+  std::uint32_t hops_at_entry = 0;
+  /// One-way network latency from the client to this stage: per-hop
+  /// switching cost plus fibre propagation over the kilometres travelled.
+  double latency_ms = 0.0;
+};
+
+struct Route {
+  std::vector<RouteStage> stages;  // requester DC first, holder DC last
+  ServerId holder;
+  /// Hops if the query must go all the way to the holder server.
+  std::uint32_t total_hops = 0;
+  /// Latency if the query must go all the way to the holder server.
+  double total_latency_ms = 0.0;
+};
+
+/// Latency model constants (see DESIGN.md): 2 ms switching cost per hop,
+/// ~200 km of fibre per millisecond of propagation.
+inline constexpr double kHopLatencyMs = 2.0;
+inline constexpr double kFibreKmPerMs = 200.0;
+
+class Router {
+ public:
+  Router(const Topology& topology, const ShortestPaths& paths);
+
+  /// Compute the route for queries from `requester` to the primary copy on
+  /// `holder`. `live_by_dc[dc]` lists the currently-alive servers of each
+  /// datacenter (relays are only chosen among live servers; a datacenter
+  /// with no live servers is skipped as a stage).
+  [[nodiscard]] Route route(
+      PartitionId partition, DatacenterId requester, ServerId holder,
+      std::span<const std::vector<ServerId>> live_by_dc) const;
+
+  /// Relay server for (partition, dc) among the given live servers.
+  [[nodiscard]] static ServerId relay_for(
+      PartitionId partition, DatacenterId dc,
+      std::span<const ServerId> live_servers);
+
+ private:
+  const Topology* topology_;
+  const ShortestPaths* paths_;
+};
+
+}  // namespace rfh

@@ -1,0 +1,47 @@
+// Replica-management actions a policy may issue each epoch.
+//
+// The engine validates and applies them under the physical constraints
+// (liveness, the phi storage limit, virtual-node caps, per-server
+// replication/migration bandwidth budgets) and accounts their cost per
+// Eq. 1. An action that fails validation is dropped for this epoch; the
+// policy re-evaluates next epoch with fresh state.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+
+namespace rfh {
+
+struct ReplicateAction {
+  PartitionId partition;
+  ServerId target;
+};
+
+struct MigrateAction {
+  PartitionId partition;
+  ServerId from;
+  ServerId to;
+};
+
+struct SuicideAction {
+  PartitionId partition;
+  ServerId server;
+};
+
+struct Actions {
+  std::vector<ReplicateAction> replications;
+  std::vector<MigrateAction> migrations;
+  std::vector<SuicideAction> suicides;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return replications.empty() && migrations.empty() && suicides.empty();
+  }
+  void clear() noexcept {
+    replications.clear();
+    migrations.clear();
+    suicides.clear();
+  }
+};
+
+}  // namespace rfh

@@ -1,0 +1,194 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace rfh {
+
+ClusterState::ClusterState(const Topology& topology, const SimConfig& config)
+    : topology_(&topology),
+      config_(&config),
+      replicas_(config.partitions),
+      storage_used_(topology.server_count(), 0),
+      copies_on_(topology.server_count(), 0),
+      alive_(topology.server_count(), false),
+      live_by_dc_(topology.datacenter_count()),
+      ring_(config.ring_tokens_per_server) {
+  for (const Server& s : topology.servers()) {
+    revive_server(s.id);
+  }
+}
+
+void ClusterState::add_replica(PartitionId p, ServerId s, bool primary) {
+  RFH_ASSERT(p.value() < replicas_.size());
+  RFH_ASSERT_MSG(alive(s), "cannot place a copy on a dead server");
+  RFH_ASSERT_MSG(!has_replica(p, s), "server already hosts this partition");
+  if (primary) {
+    RFH_ASSERT_MSG(!primary_of(p).valid(), "partition already has a primary");
+  }
+  replicas_[p.value()].push_back(Replica{s, primary});
+  storage_used_[s.value()] += config_->partition_size;
+  copies_on_[s.value()] += 1;
+  total_replicas_ += 1;
+}
+
+void ClusterState::remove_replica(PartitionId p, ServerId s) {
+  RFH_ASSERT(p.value() < replicas_.size());
+  auto& list = replicas_[p.value()];
+  const auto it = std::find_if(list.begin(), list.end(),
+                               [s](const Replica& r) { return r.server == s; });
+  RFH_ASSERT_MSG(it != list.end(), "no such replica");
+  list.erase(it);
+  RFH_ASSERT(storage_used_[s.value()] >= config_->partition_size);
+  storage_used_[s.value()] -= config_->partition_size;
+  RFH_ASSERT(copies_on_[s.value()] > 0);
+  copies_on_[s.value()] -= 1;
+  RFH_ASSERT(total_replicas_ > 0);
+  total_replicas_ -= 1;
+}
+
+void ClusterState::set_primary(PartitionId p, ServerId s) {
+  RFH_ASSERT(p.value() < replicas_.size());
+  bool found = false;
+  for (Replica& r : replicas_[p.value()]) {
+    if (r.server == s) {
+      r.primary = true;
+      found = true;
+    } else {
+      r.primary = false;
+    }
+  }
+  RFH_ASSERT_MSG(found, "set_primary: server hosts no copy");
+}
+
+ServerId ClusterState::primary_of(PartitionId p) const {
+  RFH_ASSERT(p.value() < replicas_.size());
+  for (const Replica& r : replicas_[p.value()]) {
+    if (r.primary) return r.server;
+  }
+  return ServerId::invalid();
+}
+
+std::span<const Replica> ClusterState::replicas_of(PartitionId p) const {
+  RFH_ASSERT(p.value() < replicas_.size());
+  return replicas_[p.value()];
+}
+
+bool ClusterState::has_replica(PartitionId p, ServerId s) const {
+  RFH_ASSERT(p.value() < replicas_.size());
+  return std::any_of(replicas_[p.value()].begin(), replicas_[p.value()].end(),
+                     [s](const Replica& r) { return r.server == s; });
+}
+
+std::uint32_t ClusterState::replica_count(PartitionId p) const {
+  RFH_ASSERT(p.value() < replicas_.size());
+  return static_cast<std::uint32_t>(replicas_[p.value()].size());
+}
+
+std::vector<ServerId> ClusterState::hosts_in_dc(PartitionId p,
+                                                DatacenterId dc) const {
+  std::vector<ServerId> non_primary;
+  std::vector<ServerId> primary;
+  for (const Replica& r : replicas_of(p)) {
+    if (topology_->server(r.server).datacenter == dc) {
+      (r.primary ? primary : non_primary).push_back(r.server);
+    }
+  }
+  std::sort(non_primary.begin(), non_primary.end());
+  non_primary.insert(non_primary.end(), primary.begin(), primary.end());
+  return non_primary;
+}
+
+Bytes ClusterState::storage_used(ServerId s) const {
+  RFH_ASSERT(s.value() < storage_used_.size());
+  return storage_used_[s.value()];
+}
+
+double ClusterState::storage_fraction(ServerId s) const {
+  const Bytes cap = topology_->server(s).spec.storage_capacity;
+  return cap == 0 ? 1.0
+                  : static_cast<double>(storage_used(s)) /
+                        static_cast<double>(cap);
+}
+
+std::uint32_t ClusterState::copies_on(ServerId s) const {
+  RFH_ASSERT(s.value() < copies_on_.size());
+  return copies_on_[s.value()];
+}
+
+bool ClusterState::can_accept(ServerId s, PartitionId p) const {
+  if (!alive(s) || has_replica(p, s)) return false;
+  const ServerSpec& spec = topology_->server(s).spec;
+  if (copies_on(s) >= spec.max_vnodes) return false;
+  const auto projected = static_cast<double>(storage_used(s) +
+                                             config_->partition_size);
+  return projected <=
+         config_->storage_limit * static_cast<double>(spec.storage_capacity);
+}
+
+bool ClusterState::alive(ServerId s) const {
+  RFH_ASSERT(s.value() < alive_.size());
+  return alive_[s.value()];
+}
+
+std::vector<ClusterState::LostCopy> ClusterState::kill_server(ServerId s) {
+  RFH_ASSERT_MSG(alive(s), "server already dead");
+  std::vector<LostCopy> lost;
+  for (std::uint32_t p = 0; p < replicas_.size(); ++p) {
+    const PartitionId pid{p};
+    if (has_replica(pid, s)) {
+      const bool was_primary = primary_of(pid) == s;
+      remove_replica(pid, s);
+      lost.push_back(LostCopy{pid, was_primary});
+    }
+  }
+  alive_[s.value()] = false;
+  live_count_ -= 1;
+  ring_.remove_server(s);
+  rebuild_live_by_dc();
+  return lost;
+}
+
+void ClusterState::revive_server(ServerId s) {
+  RFH_ASSERT(s.value() < alive_.size());
+  RFH_ASSERT_MSG(!alive_[s.value()], "server already alive");
+  alive_[s.value()] = true;
+  live_count_ += 1;
+  ring_.add_server(s);
+  rebuild_live_by_dc();
+}
+
+void ClusterState::rebuild_live_by_dc() {
+  for (auto& list : live_by_dc_) list.clear();
+  for (const Server& s : topology_->servers()) {
+    if (alive_[s.id.value()]) {
+      live_by_dc_[s.datacenter.value()].push_back(s.id);
+    }
+  }
+}
+
+void ClusterState::check_invariants() const {
+  std::vector<Bytes> used(storage_used_.size(), 0);
+  std::vector<std::uint32_t> copies(copies_on_.size(), 0);
+  std::uint32_t total = 0;
+  for (std::uint32_t p = 0; p < replicas_.size(); ++p) {
+    std::uint32_t primaries = 0;
+    for (const Replica& r : replicas_[p]) {
+      RFH_ASSERT_MSG(alive(r.server), "copy on dead server");
+      used[r.server.value()] += config_->partition_size;
+      copies[r.server.value()] += 1;
+      total += 1;
+      if (r.primary) ++primaries;
+    }
+    RFH_ASSERT_MSG(primaries <= 1, "multiple primaries");
+    if (!replicas_[p].empty()) {
+      RFH_ASSERT_MSG(primaries == 1, "partition without a primary");
+    }
+  }
+  RFH_ASSERT(total == total_replicas_);
+  RFH_ASSERT(used == storage_used_);
+  RFH_ASSERT(copies == copies_on_);
+}
+
+}  // namespace rfh

@@ -1,0 +1,102 @@
+// Mutable cluster state: server liveness, replica placement, storage
+// accounting, and the consistent-hashing ring of live servers.
+//
+// Invariants (enforced, not assumed):
+//  * at most one copy of a partition per server;
+//  * every live partition has exactly one primary copy;
+//  * storage accounting balances: used[s] == copies_on(s) * partition_size;
+//  * dead servers host nothing and are not on the ring.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "ring/ring.h"
+#include "sim/config.h"
+#include "topology/topology.h"
+
+namespace rfh {
+
+struct Replica {
+  ServerId server;
+  bool primary = false;
+};
+
+class ClusterState {
+ public:
+  ClusterState(const Topology& topology, const SimConfig& config);
+
+  // --- replica placement -------------------------------------------------
+  void add_replica(PartitionId p, ServerId s, bool primary = false);
+  void remove_replica(PartitionId p, ServerId s);
+  /// Make the copy on `s` (which must exist) the primary of p.
+  void set_primary(PartitionId p, ServerId s);
+
+  [[nodiscard]] ServerId primary_of(PartitionId p) const;
+  [[nodiscard]] std::span<const Replica> replicas_of(PartitionId p) const;
+  [[nodiscard]] bool has_replica(PartitionId p, ServerId s) const;
+  /// Copy count of p (primary included).
+  [[nodiscard]] std::uint32_t replica_count(PartitionId p) const;
+  /// Total copies across all partitions (primary included).
+  [[nodiscard]] std::uint32_t total_replicas() const noexcept {
+    return total_replicas_;
+  }
+  /// Servers in `dc` hosting a copy of p, non-primaries first, each group
+  /// in ascending server id (the deterministic absorption order).
+  [[nodiscard]] std::vector<ServerId> hosts_in_dc(PartitionId p,
+                                                  DatacenterId dc) const;
+
+  // --- capacity ------------------------------------------------------------
+  [[nodiscard]] Bytes storage_used(ServerId s) const;
+  [[nodiscard]] double storage_fraction(ServerId s) const;
+  [[nodiscard]] std::uint32_t copies_on(ServerId s) const;
+  /// True if `s` may accept a new copy of `p`: live, not already hosting,
+  /// under the phi storage limit (Eq. 19) and the virtual-node cap.
+  [[nodiscard]] bool can_accept(ServerId s, PartitionId p) const;
+
+  // --- liveness ------------------------------------------------------------
+  [[nodiscard]] bool alive(ServerId s) const;
+  [[nodiscard]] std::uint32_t live_server_count() const noexcept {
+    return live_count_;
+  }
+  /// Live servers per datacenter, indexable by DatacenterId::value().
+  [[nodiscard]] std::span<const std::vector<ServerId>> live_by_dc() const {
+    return live_by_dc_;
+  }
+  /// Kill a server: drops its copies and ring tokens. Returns the
+  /// partitions that lost a copy (with a flag for lost primaries).
+  struct LostCopy {
+    PartitionId partition;
+    bool was_primary = false;
+  };
+  std::vector<LostCopy> kill_server(ServerId s);
+  /// Bring a (previously killed or never-started) server online.
+  void revive_server(ServerId s);
+
+  // --- misc ------------------------------------------------------------
+  [[nodiscard]] const HashRing& ring() const noexcept { return ring_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return *topology_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return *config_; }
+
+  /// Debug invariant check (used by tests and after failure injection).
+  void check_invariants() const;
+
+ private:
+  void rebuild_live_by_dc();
+
+  const Topology* topology_;
+  const SimConfig* config_;
+  std::vector<std::vector<Replica>> replicas_;  // by partition
+  std::vector<Bytes> storage_used_;
+  std::vector<std::uint32_t> copies_on_;
+  std::vector<bool> alive_;
+  std::vector<std::vector<ServerId>> live_by_dc_;
+  HashRing ring_;
+  std::uint32_t live_count_ = 0;
+  std::uint32_t total_replicas_ = 0;
+};
+
+}  // namespace rfh

@@ -1,0 +1,360 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace rfh {
+
+Simulation::Simulation(World world, const SimConfig& config,
+                       std::unique_ptr<WorkloadGenerator> workload,
+                       std::unique_ptr<ReplicationPolicy> policy)
+    : world_(std::move(world)),
+      config_(config),
+      graph_(world_.topology.datacenter_count(), world_.links),
+      paths_(graph_),
+      router_(world_.topology, paths_),
+      cluster_(world_.topology, config_),
+      stats_(config_.partitions, world_.topology.server_count(),
+             world_.topology.datacenter_count(), config_.alpha,
+             config_.alpha_weights_history),
+      traffic_(config_.partitions, world_.topology.server_count(),
+               world_.topology.datacenter_count()),
+      workload_(std::move(workload)),
+      policy_(std::move(policy)),
+      rng_workload_(Rng(config_.seed).fork(0x776B6C64 /* "wkld" */)),
+      rng_policy_(Rng(config_.seed).fork(0x706F6C69 /* "poli" */)),
+      rng_failures_(Rng(config_.seed).fork(0x6661696C /* "fail" */)),
+      replication_bytes_(world_.topology.server_count(), 0),
+      migration_bytes_(world_.topology.server_count(), 0) {
+  RFH_ASSERT(workload_ != nullptr);
+  RFH_ASSERT(policy_ != nullptr);
+  RFH_ASSERT_MSG(graph_.connected(), "datacenter graph must be connected");
+  seed_primaries();
+}
+
+void Simulation::seed_primaries() {
+  for (std::uint32_t p = 0; p < config_.partitions; ++p) {
+    const PartitionId pid{p};
+    // Ring ownership decides the home, but "a physical node hosts an
+    // amount of virtual nodes within its capacity limit": walk the
+    // preference list past saturated servers.
+    const auto preference = cluster_.ring().preference_list(
+        HashRing::partition_key(pid), cluster_.live_server_count());
+    ServerId home = preference.front();
+    for (const ServerId candidate : preference) {
+      if (cluster_.can_accept(candidate, pid)) {
+        home = candidate;
+        break;
+      }
+    }
+    cluster_.add_replica(pid, home, /*primary=*/true);
+  }
+}
+
+double Simulation::transfer_cost(DatacenterId from, DatacenterId to,
+                                 Bytes bytes,
+                                 BytesPerEpoch bandwidth) const {
+  // Eq. 1: c = d * f * s / b. Distance in km (floored at 1 km so an
+  // intra-datacenter copy has a small nonzero cost), size/bandwidth as a
+  // dimensionless transfer fraction of one epoch's budget.
+  const double d = std::max(world_.topology.distance_km(from, to), 1.0);
+  const double s_over_b =
+      static_cast<double>(bytes) / static_cast<double>(bandwidth);
+  return d * config_.failure_rate * s_over_b;
+}
+
+void Simulation::propagate(const QueryBatch& batch) {
+  traffic_.reset();
+  const auto live_by_dc = cluster_.live_by_dc();
+
+  for (const QueryFlow& flow : batch) {
+    traffic_.add_total_queries(flow.queries);
+    traffic_.partition_queries_mut(flow.partition) += flow.queries;
+    traffic_.requester_queries_mut(flow.partition, flow.requester) +=
+        flow.queries;
+
+    const ServerId holder = cluster_.primary_of(flow.partition);
+    if (!holder.valid()) {
+      // Data currently unavailable (lost primary not yet reseeded).
+      traffic_.unserved_mut(flow.partition) += flow.queries;
+      continue;
+    }
+
+    const Route route =
+        router_.route(flow.partition, flow.requester, holder, live_by_dc);
+    double residual = flow.queries;
+    for (const RouteStage& stage : route.stages) {
+      if (residual <= 0.0) break;
+      // The relay sees (and forwards) the residual reaching this DC —
+      // this is Eq. 2's tr_ijkt for the forwarding node.
+      traffic_.node_traffic_mut(flow.partition, stage.relay) += residual;
+      traffic_.server_work_mut(stage.relay) += residual;
+
+      // Local absorption: every copy hosted in this datacenter takes up
+      // to its remaining per-replica capacity, non-primaries first, in
+      // deterministic order (Eqs. 2-8's sequential capacity subtraction).
+      for (const ServerId host :
+           cluster_.hosts_in_dc(flow.partition, stage.dc)) {
+        if (residual <= 0.0) break;
+        const double cap =
+            world_.topology.server(host).spec.per_replica_capacity;
+        const double already = traffic_.served(flow.partition, host);
+        const double take = std::min(residual, std::max(0.0, cap - already));
+        if (take <= 0.0) continue;
+        traffic_.served_mut(flow.partition, host) += take;
+        if (host != stage.relay) {
+          traffic_.node_traffic_mut(flow.partition, host) += take;
+          traffic_.server_work_mut(host) += take;
+        }
+        traffic_.add_path_sample(take, stage.hops_at_entry);
+        traffic_.add_latency(take, stage.latency_ms);
+        residual -= take;
+      }
+    }
+    if (residual > 0.0) {
+      // Demand beyond even the primary's capacity: blocked this epoch.
+      traffic_.unserved_mut(flow.partition) += residual;
+      traffic_.add_path_sample(residual, route.total_hops);
+      traffic_.add_latency(residual, route.total_latency_ms +
+                                         config_.blocked_penalty_ms);
+    }
+  }
+}
+
+void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
+  std::fill(replication_bytes_.begin(), replication_bytes_.end(), Bytes{0});
+  std::fill(migration_bytes_.begin(), migration_bytes_.end(), Bytes{0});
+
+  for (const ReplicateAction& a : actions.replications) {
+    const ServerId src = cluster_.primary_of(a.partition);
+    if (!src.valid() || !a.target.valid() ||
+        !cluster_.can_accept(a.target, a.partition) ||
+        cluster_.replica_count(a.partition) >=
+            config_.max_replicas_per_partition) {
+      ++report.dropped_actions;
+      continue;
+    }
+    const ServerSpec& spec = world_.topology.server(src).spec;
+    if (replication_bytes_[src.value()] + config_.partition_size >
+        spec.replication_bandwidth) {
+      ++report.dropped_actions;  // source out of replication bandwidth
+      continue;
+    }
+    replication_bytes_[src.value()] += config_.partition_size;
+    cluster_.add_replica(a.partition, a.target);
+    const double cost = transfer_cost(
+        world_.topology.server(src).datacenter,
+        world_.topology.server(a.target).datacenter, config_.partition_size,
+        spec.replication_bandwidth);
+    report.replications += 1;
+    report.replication_cost += cost;
+  }
+
+  for (const MigrateAction& a : actions.migrations) {
+    if (!a.from.valid() || !a.to.valid() ||
+        !cluster_.has_replica(a.partition, a.from) ||
+        cluster_.primary_of(a.partition) == a.from ||
+        !cluster_.can_accept(a.to, a.partition)) {
+      ++report.dropped_actions;
+      continue;
+    }
+    const ServerSpec& spec = world_.topology.server(a.from).spec;
+    if (migration_bytes_[a.from.value()] + config_.partition_size >
+        spec.migration_bandwidth) {
+      ++report.dropped_actions;
+      continue;
+    }
+    migration_bytes_[a.from.value()] += config_.partition_size;
+    cluster_.remove_replica(a.partition, a.from);
+    cluster_.add_replica(a.partition, a.to);
+    const double cost = transfer_cost(
+        world_.topology.server(a.from).datacenter,
+        world_.topology.server(a.to).datacenter, config_.partition_size,
+        spec.migration_bandwidth);
+    report.migrations += 1;
+    report.migration_cost += cost;
+  }
+
+  for (const SuicideAction& a : actions.suicides) {
+    if (!a.server.valid() || !cluster_.has_replica(a.partition, a.server) ||
+        cluster_.primary_of(a.partition) == a.server) {
+      ++report.dropped_actions;
+      continue;
+    }
+    cluster_.remove_replica(a.partition, a.server);
+    report.suicides += 1;
+  }
+}
+
+EpochReport Simulation::step() {
+  EpochReport report;
+  report.epoch = epoch_;
+
+  const QueryBatch batch = workload_->generate(epoch_, rng_workload_);
+  propagate(batch);
+  stats_.update(traffic_);
+
+  PolicyContext ctx{world_.topology, paths_,  cluster_, stats_,
+                    traffic_,        config_, epoch_,   rng_policy_};
+  const Actions actions = policy_->decide(ctx);
+  apply_actions(actions, report);
+
+  report.total_queries = traffic_.total_queries();
+  double unserved = 0.0;
+  for (std::uint32_t p = 0; p < config_.partitions; ++p) {
+    unserved += traffic_.unserved(PartitionId{p});
+  }
+  report.unserved_queries = unserved;
+  report.mean_path_length = traffic_.mean_path_length();
+  report.total_replicas = cluster_.total_replicas();
+
+  cum_replication_cost_ += report.replication_cost;
+  cum_migration_cost_ += report.migration_cost;
+  cum_migrations_ += report.migrations;
+  cum_replications_ += report.replications;
+
+  ++epoch_;
+  return report;
+}
+
+void Simulation::run(Epoch epochs) {
+  for (Epoch e = 0; e < epochs; ++e) step();
+}
+
+void Simulation::handle_lost_copies(
+    std::span<const ClusterState::LostCopy> lost) {
+  for (const ClusterState::LostCopy& copy : lost) {
+    if (!copy.was_primary) continue;
+    // Promote the surviving replica with the highest smoothed traffic.
+    ServerId best;
+    double best_traffic = -1.0;
+    for (const Replica& r : cluster_.replicas_of(copy.partition)) {
+      const double tr = stats_.node_traffic(copy.partition, r.server);
+      if (!best.valid() || tr > best_traffic ||
+          (tr == best_traffic && r.server < best)) {
+        best = r.server;
+        best_traffic = tr;
+      }
+    }
+    if (best.valid()) {
+      cluster_.set_primary(copy.partition, best);
+      last_promotions_.push_back(Promotion{copy.partition, best, false});
+      continue;
+    }
+    // No surviving copy: the data is lost. Re-seed an empty primary at the
+    // ring successor so the keyspace stays owned.
+    ++data_losses_;
+    log(LogLevel::kWarn, "partition %u lost all copies; reseeding",
+        copy.partition.value());
+    const auto preference = cluster_.ring().preference_list(
+        HashRing::partition_key(copy.partition),
+        cluster_.live_server_count());
+    ServerId home;
+    for (const ServerId candidate : preference) {
+      if (cluster_.can_accept(candidate, copy.partition)) {
+        home = candidate;
+        break;
+      }
+    }
+    if (!home.valid() && !preference.empty()) home = preference.front();
+    if (home.valid()) {
+      cluster_.add_replica(copy.partition, home, /*primary=*/true);
+      last_promotions_.push_back(Promotion{copy.partition, home, true});
+    }
+  }
+}
+
+void Simulation::fail_servers(std::span<const ServerId> servers) {
+  last_promotions_.clear();
+  std::vector<ClusterState::LostCopy> all_lost;
+  for (const ServerId s : servers) {
+    if (!cluster_.alive(s)) continue;
+    RFH_ASSERT_MSG(cluster_.live_server_count() > 1,
+                   "refusing to kill the last live server");
+    auto lost = cluster_.kill_server(s);
+    all_lost.insert(all_lost.end(), lost.begin(), lost.end());
+  }
+  handle_lost_copies(all_lost);
+}
+
+std::vector<ServerId> Simulation::fail_random_servers(std::uint32_t n) {
+  std::vector<ServerId> live;
+  for (const Server& s : world_.topology.servers()) {
+    if (cluster_.alive(s.id)) live.push_back(s.id);
+  }
+  RFH_ASSERT(n < live.size());
+  const auto picks = rng_failures_.sample_without_replacement(live.size(), n);
+  std::vector<ServerId> victims;
+  victims.reserve(n);
+  for (const std::size_t i : picks) victims.push_back(live[i]);
+  fail_servers(victims);
+  return victims;
+}
+
+std::vector<ServerId> Simulation::fail_datacenter(DatacenterId dc) {
+  std::vector<ServerId> victims;
+  for (const ServerId s : world_.topology.servers_in(dc)) {
+    if (cluster_.alive(s)) victims.push_back(s);
+  }
+  fail_servers(victims);
+  return victims;
+}
+
+void Simulation::recover_servers(std::span<const ServerId> servers) {
+  for (const ServerId s : servers) {
+    if (!cluster_.alive(s)) cluster_.revive_server(s);
+  }
+}
+
+namespace {
+// Normalized (low id, high id) key for an undirected link. Note:
+// std::minmax over rvalues would return dangling references.
+std::pair<std::uint32_t, std::uint32_t> link_key(DatacenterId a,
+                                                 DatacenterId b) {
+  return {std::min(a.value(), b.value()), std::max(a.value(), b.value())};
+}
+}  // namespace
+
+std::vector<Link> Simulation::active_links() const {
+  std::vector<Link> links;
+  for (const Link& link : world_.links) {
+    const bool disabled =
+        std::find(disabled_links_.begin(), disabled_links_.end(),
+                  link_key(link.a, link.b)) != disabled_links_.end();
+    if (!disabled) links.push_back(link);
+  }
+  return links;
+}
+
+void Simulation::rebuild_network() {
+  graph_ = DcGraph(world_.topology.datacenter_count(), active_links());
+  RFH_ASSERT_MSG(graph_.connected(),
+                 "link failure would partition the network");
+  paths_ = ShortestPaths(graph_);
+  // router_ holds pointers to world_.topology and paths_, both of which
+  // keep their addresses across the reassignment above.
+}
+
+void Simulation::fail_link(DatacenterId a, DatacenterId b) {
+  RFH_ASSERT(a != b);
+  const auto entry = link_key(a, b);
+  if (std::find(disabled_links_.begin(), disabled_links_.end(), entry) !=
+      disabled_links_.end()) {
+    return;  // already down
+  }
+  disabled_links_.push_back(entry);
+  rebuild_network();
+}
+
+void Simulation::restore_link(DatacenterId a, DatacenterId b) {
+  const auto entry = link_key(a, b);
+  const auto it =
+      std::find(disabled_links_.begin(), disabled_links_.end(), entry);
+  if (it == disabled_links_.end()) return;
+  disabled_links_.erase(it);
+  rebuild_network();
+}
+
+}  // namespace rfh

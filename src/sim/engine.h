@@ -1,0 +1,183 @@
+// The epoch-driven simulation engine.
+//
+// One step() is one epoch (Table I: 10 seconds of wall time):
+//   1. the workload generator emits per-(partition, requester) demand;
+//   2. every flow is routed along its fixed datacenter path and absorbed
+//      by replicas along the way — the residual-traffic propagation of
+//      Eqs. 2-8 at server granularity;
+//   3. the smoothed statistics (Eqs. 9-11) are updated;
+//   4. the installed replication policy decides actions;
+//   5. the engine validates and applies the actions under liveness,
+//      storage-limit (Eq. 19), virtual-node-cap and per-server
+//      replication/migration bandwidth constraints, accounting each
+//      transfer's cost per Eq. 1:  c = d * f * s / b.
+//
+// Failure injection (fail_servers / fail_random_servers / recover_servers)
+// may be called between steps; lost primaries are promoted from surviving
+// copies (highest smoothed traffic first), or re-seeded at the ring
+// successor when no copy survives (counted as a data loss).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/graph.h"
+#include "net/shortest_paths.h"
+#include "routing/router.h"
+#include "sim/cluster.h"
+#include "sim/config.h"
+#include "sim/policy.h"
+#include "sim/stats.h"
+#include "sim/traffic.h"
+#include "topology/world.h"
+#include "workload/generator.h"
+
+namespace rfh {
+
+/// Everything observable about one epoch, for metrics collection.
+struct EpochReport {
+  Epoch epoch = 0;
+  double total_queries = 0.0;
+  double unserved_queries = 0.0;
+  double mean_path_length = 0.0;
+  std::uint32_t replications = 0;
+  std::uint32_t migrations = 0;
+  std::uint32_t suicides = 0;
+  std::uint32_t dropped_actions = 0;
+  double replication_cost = 0.0;
+  double migration_cost = 0.0;
+  std::uint32_t total_replicas = 0;  // copies across partitions, primaries included
+};
+
+class Simulation {
+ public:
+  Simulation(World world, const SimConfig& config,
+             std::unique_ptr<WorkloadGenerator> workload,
+             std::unique_ptr<ReplicationPolicy> policy);
+
+  /// Run one epoch; returns its report.
+  EpochReport step();
+
+  /// Run `epochs` steps, discarding intermediate reports.
+  void run(Epoch epochs);
+
+  // --- failure injection -------------------------------------------------
+  void fail_servers(std::span<const ServerId> servers);
+  /// Kill `n` uniformly-random live servers; returns which.
+  std::vector<ServerId> fail_random_servers(std::uint32_t n);
+  /// Kill every live server in a datacenter at once (the paper's
+  /// "natural disasters, such as earthquake or tornado, which may destroy
+  /// a whole datacenter"). Returns the victims. Partitions whose copies
+  /// all lived there (availability level < 5) lose data; geographically
+  /// diverse placements survive via promotion.
+  std::vector<ServerId> fail_datacenter(DatacenterId dc);
+  void recover_servers(std::span<const ServerId> servers);
+
+  /// A primary handover performed by the most recent fail_servers call.
+  struct Promotion {
+    PartitionId partition;
+    ServerId new_primary;
+    /// True when no copy survived and the partition was reseeded empty.
+    bool reseeded = false;
+  };
+  /// Promotions from the most recent fail_servers / fail_random_servers
+  /// call (cleared on the next one). Consumers such as the consistency
+  /// tracker use this to account for writes lost in a failover.
+  [[nodiscard]] std::span<const Promotion> last_promotions() const noexcept {
+    return last_promotions_;
+  }
+
+  // --- network failure injection ---------------------------------------
+  /// Take an inter-datacenter link down; routes are recomputed, so the
+  /// traffic-hub structure can shift (the paper's "network failure"
+  /// class). Refuses to disconnect the graph. Idempotent.
+  void fail_link(DatacenterId a, DatacenterId b);
+  /// Bring a previously failed link back. Idempotent.
+  void restore_link(DatacenterId a, DatacenterId b);
+  [[nodiscard]] std::size_t failed_link_count() const noexcept {
+    return disabled_links_.size();
+  }
+
+  // --- observers -------------------------------------------------------
+  [[nodiscard]] const Topology& topology() const noexcept {
+    return world_.topology;
+  }
+  [[nodiscard]] const World& world() const noexcept { return world_; }
+  [[nodiscard]] const ShortestPaths& paths() const noexcept { return paths_; }
+  [[nodiscard]] const ClusterState& cluster() const noexcept {
+    return cluster_;
+  }
+  [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const EpochTraffic& traffic() const noexcept {
+    return traffic_;
+  }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+  [[nodiscard]] Epoch epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::string_view policy_name() const {
+    return policy_->name();
+  }
+
+  /// Copies lost with no surviving replica since construction.
+  [[nodiscard]] std::uint32_t data_losses() const noexcept {
+    return data_losses_;
+  }
+  /// Cumulative cost accumulators (paper Figs. 5 and 7 plot cumulative
+  /// totals).
+  [[nodiscard]] double cumulative_replication_cost() const noexcept {
+    return cum_replication_cost_;
+  }
+  [[nodiscard]] double cumulative_migration_cost() const noexcept {
+    return cum_migration_cost_;
+  }
+  [[nodiscard]] std::uint32_t cumulative_migrations() const noexcept {
+    return cum_migrations_;
+  }
+  [[nodiscard]] std::uint32_t cumulative_replications() const noexcept {
+    return cum_replications_;
+  }
+
+  /// Eq. 1 transfer cost between two datacenters.
+  [[nodiscard]] double transfer_cost(DatacenterId from, DatacenterId to,
+                                     Bytes bytes,
+                                     BytesPerEpoch bandwidth) const;
+
+ private:
+  void seed_primaries();
+  void propagate(const QueryBatch& batch);
+  void apply_actions(const Actions& actions, EpochReport& report);
+  void handle_lost_copies(std::span<const ClusterState::LostCopy> lost);
+  /// Rebuild graph / shortest paths / router from the live link set.
+  void rebuild_network();
+  [[nodiscard]] std::vector<Link> active_links() const;
+
+  World world_;
+  SimConfig config_;
+  DcGraph graph_;
+  ShortestPaths paths_;
+  Router router_;
+  ClusterState cluster_;
+  TrafficStats stats_;
+  EpochTraffic traffic_;
+  std::unique_ptr<WorkloadGenerator> workload_;
+  std::unique_ptr<ReplicationPolicy> policy_;
+  Rng rng_workload_;
+  Rng rng_policy_;
+  Rng rng_failures_;
+  Epoch epoch_ = 0;
+  std::uint32_t data_losses_ = 0;
+  std::vector<Promotion> last_promotions_;
+  /// Disabled links as normalized (min id, max id) datacenter pairs.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> disabled_links_;
+  double cum_replication_cost_ = 0.0;
+  double cum_migration_cost_ = 0.0;
+  std::uint32_t cum_migrations_ = 0;
+  std::uint32_t cum_replications_ = 0;
+  // Per-epoch outbound bandwidth budgets (reset each step).
+  std::vector<Bytes> replication_bytes_;
+  std::vector<Bytes> migration_bytes_;
+};
+
+}  // namespace rfh

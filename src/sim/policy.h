@@ -1,0 +1,69 @@
+// The replication-policy interface all four algorithms implement.
+//
+// A policy is a pure decision function: each epoch it reads the smoothed
+// statistics and cluster state and returns the replicate / migrate /
+// suicide actions it wants. The engine owns all mutation. This mirrors
+// the paper's "decision agent" formulation — every virtual node decides
+// for itself; the PolicyContext is exactly the information a decentralized
+// agent could gather (its own traffic, the piggybacked replication
+// requests, the blocking probabilities carried in those requests).
+#pragma once
+
+#include <algorithm>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/shortest_paths.h"
+#include "sim/actions.h"
+#include "sim/cluster.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+#include "sim/traffic.h"
+#include "topology/topology.h"
+
+namespace rfh {
+
+struct PolicyContext {
+  const Topology& topology;
+  const ShortestPaths& paths;
+  const ClusterState& cluster;
+  const TrafficStats& stats;
+  const EpochTraffic& traffic;
+  const SimConfig& config;
+  Epoch epoch = 0;
+  Rng& rng;
+};
+
+class ReplicationPolicy {
+ public:
+  virtual ~ReplicationPolicy() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual Actions decide(const PolicyContext& ctx) = 0;
+};
+
+/// Eq. 12 with two practical adjustments:
+///  * a physical floor — the holder must also exceed what its copy can
+///    actually serve per epoch, so cold partitions (whose relative
+///    threshold beta*q_bar is tiny) do not replicate forever on sampling
+///    noise;
+///  * a demand clamp — Eq. 12 presumes enough requesters that
+///    beta*q_bar = beta*total/N stays below the total demand; with few
+///    requester datacenters (N <= beta) the printed threshold would be
+///    unreachable by construction, so it is capped at 90% of the
+///    partition's demand.
+/// All four policies share this trigger so they face identical pressure.
+inline bool holder_overloaded(const PolicyContext& ctx, PartitionId p,
+                              ServerId primary) {
+  const double q_bar = ctx.stats.avg_query(p);
+  if (q_bar <= 0.0) return false;
+  const double total =
+      q_bar * static_cast<double>(ctx.topology.datacenter_count());
+  const double threshold = std::min(ctx.config.beta * q_bar, 0.9 * total);
+  const double tr = ctx.stats.node_traffic(p, primary);
+  const double capacity =
+      ctx.topology.server(primary).spec.per_replica_capacity;
+  return tr >= threshold && tr > capacity;
+}
+
+}  // namespace rfh

@@ -1,0 +1,85 @@
+#include "sim/stats.h"
+
+#include "common/assert.h"
+
+namespace rfh {
+
+TrafficStats::TrafficStats(std::size_t partitions, std::size_t servers,
+                           std::size_t datacenters, double alpha,
+                           bool alpha_weights_history)
+    : partitions_(partitions),
+      servers_(servers),
+      datacenters_(datacenters),
+      alpha_(alpha_weights_history ? alpha : 1.0 - alpha),
+      avg_query_(partitions, 0.0),
+      node_traffic_(partitions * servers, 0.0),
+      node_traffic_sum_(partitions, 0.0),
+      requester_queries_(partitions * datacenters, 0.0),
+      server_arrival_(servers, 0.0) {
+  RFH_ASSERT(alpha > 0.0 && alpha < 1.0);
+}
+
+void TrafficStats::update(const EpochTraffic& traffic) {
+  RFH_ASSERT(traffic.partitions() == partitions_);
+  RFH_ASSERT(traffic.servers() == servers_);
+  RFH_ASSERT(traffic.datacenters() == datacenters_);
+
+  // The first epoch initializes the averages directly (no zero bias),
+  // matching Ewma semantics.
+  const double a = initialized_ ? alpha_ : 0.0;
+  const double b = 1.0 - a;
+  initialized_ = true;
+
+  for (std::uint32_t p = 0; p < partitions_; ++p) {
+    const PartitionId pid{p};
+    const double q_avg =
+        traffic.partition_queries(pid) / static_cast<double>(datacenters_);
+    avg_query_[p] = a * avg_query_[p] + b * q_avg;
+
+    double sum = 0.0;
+    for (std::uint32_t s = 0; s < servers_; ++s) {
+      double& v = node_traffic_[p * servers_ + s];
+      v = a * v + b * traffic.node_traffic(pid, ServerId{s});
+      sum += v;
+    }
+    node_traffic_sum_[p] = sum;
+
+    for (std::uint32_t j = 0; j < datacenters_; ++j) {
+      double& v = requester_queries_[p * datacenters_ + j];
+      v = a * v + b * traffic.requester_queries(pid, DatacenterId{j});
+    }
+  }
+  for (std::uint32_t s = 0; s < servers_; ++s) {
+    server_arrival_[s] =
+        a * server_arrival_[s] + b * traffic.server_work(ServerId{s});
+  }
+}
+
+double TrafficStats::avg_query(PartitionId p) const {
+  RFH_ASSERT(p.value() < partitions_);
+  return avg_query_[p.value()];
+}
+
+double TrafficStats::node_traffic(PartitionId p, ServerId s) const {
+  RFH_ASSERT(p.value() < partitions_ && s.value() < servers_);
+  return node_traffic_[p.value() * servers_ + s.value()];
+}
+
+double TrafficStats::requester_queries(PartitionId p, DatacenterId j) const {
+  RFH_ASSERT(p.value() < partitions_ && j.value() < datacenters_);
+  return requester_queries_[p.value() * datacenters_ + j.value()];
+}
+
+double TrafficStats::server_arrival(ServerId s) const {
+  RFH_ASSERT(s.value() < servers_);
+  return server_arrival_[s.value()];
+}
+
+double TrafficStats::mean_node_traffic(PartitionId p,
+                                       std::size_t live_servers) const {
+  RFH_ASSERT(p.value() < partitions_);
+  if (live_servers == 0) return 0.0;
+  return node_traffic_sum_[p.value()] / static_cast<double>(live_servers);
+}
+
+}  // namespace rfh

@@ -1,0 +1,65 @@
+// Exponentially smoothed traffic statistics (paper Eqs. 9-11).
+//
+// All policies observe the cluster through these smoothed series:
+//   q_bar_i   — per-partition system average query (Eq. 9 averaged over
+//               requesters, smoothed by Eq. 10);
+//   tr_bar_ik — per-(partition, server) traffic load (Eq. 11);
+//   per-(partition, requester) query volume (used by the
+//               request-oriented comparator);
+//   per-server arrival rate (Erlang-B's lambda, Eq. 18).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/traffic.h"
+#include "workload/generator.h"
+
+namespace rfh {
+
+class TrafficStats {
+ public:
+  /// `alpha_weights_history`: Eq. 10's printed orientation (see
+  /// SimConfig::alpha_weights_history).
+  TrafficStats(std::size_t partitions, std::size_t servers,
+               std::size_t datacenters, double alpha,
+               bool alpha_weights_history = true);
+
+  /// Fold in one epoch of raw observations.
+  void update(const EpochTraffic& traffic);
+
+  /// q_bar_i: smoothed system average query for partition p — the paper
+  /// divides the partition's total demand by the number of requesters N.
+  [[nodiscard]] double avg_query(PartitionId p) const;
+
+  /// tr_bar_ik: smoothed traffic load of server s for partition p.
+  [[nodiscard]] double node_traffic(PartitionId p, ServerId s) const;
+
+  /// Smoothed queries for p issued near datacenter j.
+  [[nodiscard]] double requester_queries(PartitionId p, DatacenterId j) const;
+
+  /// Smoothed per-server arrival rate (queries touched per epoch).
+  [[nodiscard]] double server_arrival(ServerId s) const;
+
+  /// Eq. 17: mean smoothed traffic for p over the N live servers.
+  [[nodiscard]] double mean_node_traffic(PartitionId p,
+                                         std::size_t live_servers) const;
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+
+ private:
+  std::size_t partitions_;
+  std::size_t servers_;
+  std::size_t datacenters_;
+  double alpha_;  // effective history weight
+  bool initialized_ = false;
+  std::vector<double> avg_query_;          // [p]
+  std::vector<double> node_traffic_;       // [p][s]
+  std::vector<double> node_traffic_sum_;   // [p] (for Eq. 17)
+  std::vector<double> requester_queries_;  // [p][dc]
+  std::vector<double> server_arrival_;     // [s]
+};
+
+}  // namespace rfh

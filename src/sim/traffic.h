@@ -1,0 +1,138 @@
+// Per-epoch traffic observation matrices (the raw inputs to Eqs. 2-8,
+// 20-26).
+//
+// Everything is dense [partition x server]: with the Table I scale
+// (64 x 100) that is a few hundred kilobytes, reused across epochs.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/histogram.h"
+#include "common/ids.h"
+
+namespace rfh {
+
+class EpochTraffic {
+ public:
+  EpochTraffic(std::size_t partitions, std::size_t servers,
+               std::size_t datacenters)
+      : partitions_(partitions),
+        servers_(servers),
+        datacenters_(datacenters),
+        node_traffic_(partitions * servers, 0.0),
+        served_(partitions * servers, 0.0),
+        requester_queries_(partitions * datacenters, 0.0),
+        partition_queries_(partitions, 0.0),
+        unserved_(partitions, 0.0),
+        server_work_(servers, 0.0) {}
+
+  void reset() {
+    std::fill(node_traffic_.begin(), node_traffic_.end(), 0.0);
+    std::fill(served_.begin(), served_.end(), 0.0);
+    std::fill(requester_queries_.begin(), requester_queries_.end(), 0.0);
+    std::fill(partition_queries_.begin(), partition_queries_.end(), 0.0);
+    std::fill(unserved_.begin(), unserved_.end(), 0.0);
+    std::fill(server_work_.begin(), server_work_.end(), 0.0);
+    total_queries_ = 0.0;
+    routed_queries_ = 0.0;
+    path_hops_weighted_ = 0.0;
+    latency_.reset();
+  }
+
+  /// Residual traffic that arrived at server s for partition p — the
+  /// paper's tr_ikt: what the node sees after upstream replicas absorbed
+  /// their capacity (Eqs. 2-8). Attributed to the relay server of each
+  /// transit datacenter, plus to non-relay servers for what they absorb.
+  [[nodiscard]] double node_traffic(PartitionId p, ServerId s) const {
+    return node_traffic_[index(p, s)];
+  }
+  double& node_traffic_mut(PartitionId p, ServerId s) {
+    return node_traffic_[index(p, s)];
+  }
+
+  /// Queries actually absorbed by the replica of p on s this epoch
+  /// (bounded by the server's per-replica capacity).
+  [[nodiscard]] double served(PartitionId p, ServerId s) const {
+    return served_[index(p, s)];
+  }
+  double& served_mut(PartitionId p, ServerId s) { return served_[index(p, s)]; }
+
+  /// q_ijt: queries for p issued near datacenter j this epoch.
+  [[nodiscard]] double requester_queries(PartitionId p, DatacenterId j) const {
+    return requester_queries_[p.value() * datacenters_ + j.value()];
+  }
+  double& requester_queries_mut(PartitionId p, DatacenterId j) {
+    return requester_queries_[p.value() * datacenters_ + j.value()];
+  }
+
+  /// Total queries for p this epoch (sum over requesters).
+  [[nodiscard]] double partition_queries(PartitionId p) const {
+    return partition_queries_[p.value()];
+  }
+  double& partition_queries_mut(PartitionId p) {
+    return partition_queries_[p.value()];
+  }
+
+  /// Demand for p that exceeded even the primary's capacity (blocked).
+  [[nodiscard]] double unserved(PartitionId p) const {
+    return unserved_[p.value()];
+  }
+  double& unserved_mut(PartitionId p) { return unserved_[p.value()]; }
+
+  /// Queries a server touched this epoch (forwarding + absorption) —
+  /// the per-node workload l_i of Eqs. 24-26 and the Erlang-B arrival
+  /// rate input.
+  [[nodiscard]] double server_work(ServerId s) const {
+    return server_work_[s.value()];
+  }
+  double& server_work_mut(ServerId s) { return server_work_[s.value()]; }
+
+  [[nodiscard]] double total_queries() const noexcept { return total_queries_; }
+  void add_total_queries(double q) noexcept { total_queries_ += q; }
+
+  /// Mean lookup path length (hops), query-weighted.
+  [[nodiscard]] double mean_path_length() const noexcept {
+    return routed_queries_ > 0.0 ? path_hops_weighted_ / routed_queries_ : 0.0;
+  }
+  void add_path_sample(double queries, double hops) noexcept {
+    routed_queries_ += queries;
+    path_hops_weighted_ += queries * hops;
+  }
+
+  /// Per-query response-latency distribution for this epoch (ms).
+  [[nodiscard]] const Histogram& latency() const noexcept { return latency_; }
+  void add_latency(double queries, double ms) noexcept {
+    latency_.add(queries, ms);
+  }
+
+  [[nodiscard]] std::size_t partitions() const noexcept { return partitions_; }
+  [[nodiscard]] std::size_t servers() const noexcept { return servers_; }
+  [[nodiscard]] std::size_t datacenters() const noexcept {
+    return datacenters_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(PartitionId p, ServerId s) const {
+    RFH_ASSERT(p.value() < partitions_ && s.value() < servers_);
+    return p.value() * servers_ + s.value();
+  }
+
+  std::size_t partitions_;
+  std::size_t servers_;
+  std::size_t datacenters_;
+  std::vector<double> node_traffic_;
+  std::vector<double> served_;
+  std::vector<double> requester_queries_;
+  std::vector<double> partition_queries_;
+  std::vector<double> unserved_;
+  std::vector<double> server_work_;
+  double total_queries_ = 0.0;
+  double routed_queries_ = 0.0;
+  double path_hops_weighted_ = 0.0;
+  Histogram latency_;
+};
+
+}  // namespace rfh

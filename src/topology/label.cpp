@@ -1,0 +1,59 @@
+#include "topology/label.h"
+
+#include <array>
+
+#include "common/assert.h"
+
+namespace rfh {
+
+std::string NodeLabel::to_string() const {
+  std::string out;
+  out.reserve(continent.size() + country.size() + datacenter.size() +
+              room.size() + rack.size() + server.size() + 5);
+  out += continent;
+  out += '-';
+  out += country;
+  out += '-';
+  out += datacenter;
+  out += '-';
+  out += room;
+  out += '-';
+  out += rack;
+  out += '-';
+  out += server;
+  return out;
+}
+
+NodeLabel parse_label(std::string_view text) {
+  std::array<std::string, 6> parts;
+  std::size_t part = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '-') {
+      RFH_ASSERT_MSG(part < parts.size(), "label has too many components");
+      parts[part++] = std::string(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  RFH_ASSERT_MSG(part == parts.size(), "label has too few components");
+  for (const auto& p : parts) {
+    RFH_ASSERT_MSG(!p.empty(), "label component is empty");
+  }
+  return NodeLabel{parts[0], parts[1], parts[2], parts[3], parts[4], parts[5]};
+}
+
+std::uint32_t availability_level(const NodeLabel& a, const NodeLabel& b) noexcept {
+  // Different datacenter (or anything coarser) is the highest level: the
+  // continent/country components only refine *where* the datacenters are,
+  // not the failure domain.
+  if (a.continent != b.continent || a.country != b.country ||
+      a.datacenter != b.datacenter) {
+    return 5;
+  }
+  if (a.room != b.room) return 4;
+  if (a.rack != b.rack) return 3;
+  if (a.server != b.server) return 2;
+  return 1;
+}
+
+}  // namespace rfh

@@ -1,0 +1,42 @@
+// Geographic node labels and availability levels (paper Section II-A).
+//
+// Every physical server carries a label of the form
+//   continent-country-datacenter-room-rack-server
+// e.g. "NA-USA-GA1-C01-R02-S5". Availability level between two servers is
+// determined by the most specific label component they share:
+//
+//   Level 5  different datacenters           (highest diversity)
+//   Level 4  same datacenter, different rooms
+//   Level 3  same room, different racks
+//   Level 2  same rack, different servers
+//   Level 1  same server                     (no diversity)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rfh {
+
+struct NodeLabel {
+  std::string continent;   // "NA"
+  std::string country;     // "USA"
+  std::string datacenter;  // "GA1"
+  std::string room;        // "C01"
+  std::string rack;        // "R02"
+  std::string server;      // "S5"
+
+  /// "NA-USA-GA1-C01-R02-S5"
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const NodeLabel&, const NodeLabel&) = default;
+};
+
+/// Parse "NA-USA-GA1-C01-R02-S5"; aborts on malformed input (labels are
+/// generated internally; a malformed one is a programming error).
+NodeLabel parse_label(std::string_view text);
+
+/// Availability level (1..5) between two servers per the table above.
+std::uint32_t availability_level(const NodeLabel& a, const NodeLabel& b) noexcept;
+
+}  // namespace rfh

@@ -1,0 +1,110 @@
+#include "topology/topology.h"
+
+#include "common/assert.h"
+
+namespace rfh {
+
+namespace {
+
+std::string indexed(const char prefix, std::size_t index) {
+  std::string out(1, prefix);
+  if (index + 1 < 10) out += '0';
+  out += std::to_string(index + 1);
+  return out;
+}
+
+}  // namespace
+
+DatacenterId Topology::add_datacenter(std::string name,
+                                      std::string country_code,
+                                      Continent continent, GeoPoint location) {
+  const DatacenterId id{static_cast<std::uint32_t>(datacenters_.size())};
+  datacenters_.push_back(Datacenter{id, std::move(name),
+                                    std::move(country_code), continent,
+                                    location, {}, {}});
+  return id;
+}
+
+RoomId Topology::add_room(DatacenterId dc) {
+  RFH_ASSERT(dc.value() < datacenters_.size());
+  const RoomId id{static_cast<std::uint32_t>(rooms_.size())};
+  rooms_.push_back(Room{id, dc, {}});
+  datacenters_[dc.value()].rooms.push_back(id);
+  return id;
+}
+
+RackId Topology::add_rack(RoomId room) {
+  RFH_ASSERT(room.value() < rooms_.size());
+  const RackId id{static_cast<std::uint32_t>(racks_.size())};
+  racks_.push_back(Rack{id, room, rooms_[room.value()].datacenter, {}});
+  rooms_[room.value()].racks.push_back(id);
+  return id;
+}
+
+ServerId Topology::add_server(RackId rack, const ServerSpec& spec) {
+  RFH_ASSERT(rack.value() < racks_.size());
+  Rack& r = racks_[rack.value()];
+  const Room& rm = rooms_[r.room.value()];
+  Datacenter& dc = datacenters_[r.datacenter.value()];
+
+  const ServerId id{static_cast<std::uint32_t>(servers_.size())};
+
+  // Label components reflect position within the hierarchy: room index
+  // within the datacenter, rack index within the room, server index within
+  // the rack.
+  std::size_t room_index = 0;
+  for (std::size_t i = 0; i < dc.rooms.size(); ++i) {
+    if (dc.rooms[i] == rm.id) room_index = i;
+  }
+  std::size_t rack_index = 0;
+  for (std::size_t i = 0; i < rm.racks.size(); ++i) {
+    if (rm.racks[i] == r.id) rack_index = i;
+  }
+  NodeLabel label{
+      std::string(continent_code(dc.continent)),
+      dc.country_code,
+      dc.name,
+      indexed('C', room_index),
+      indexed('R', rack_index),
+      std::string("S") + std::to_string(r.servers.size() + 1),
+  };
+
+  servers_.push_back(Server{id, r.id, rm.id, dc.id, std::move(label), spec});
+  r.servers.push_back(id);
+  dc.servers.push_back(id);
+  return id;
+}
+
+const Datacenter& Topology::datacenter(DatacenterId id) const {
+  RFH_ASSERT(id.value() < datacenters_.size());
+  return datacenters_[id.value()];
+}
+
+const Room& Topology::room(RoomId id) const {
+  RFH_ASSERT(id.value() < rooms_.size());
+  return rooms_[id.value()];
+}
+
+const Rack& Topology::rack(RackId id) const {
+  RFH_ASSERT(id.value() < racks_.size());
+  return racks_[id.value()];
+}
+
+const Server& Topology::server(ServerId id) const {
+  RFH_ASSERT(id.value() < servers_.size());
+  return servers_[id.value()];
+}
+
+const std::vector<ServerId>& Topology::servers_in(DatacenterId dc) const {
+  return datacenter(dc).servers;
+}
+
+double Topology::distance_km(DatacenterId a, DatacenterId b) const {
+  return great_circle_km(datacenter(a).location, datacenter(b).location);
+}
+
+std::uint32_t Topology::availability_level(ServerId a, ServerId b) const {
+  return rfh::availability_level(server(a).label, server(b).label);
+}
+
+}  // namespace rfh

@@ -1,0 +1,64 @@
+// Trace capture and replay.
+//
+// Every workload generator can be wrapped in a RecordingWorkload to
+// capture the exact demand stream of a run; the capture serializes to a
+// simple CSV (epoch,partition,requester,queries) and replays through
+// TraceWorkload. This is how experiments move between machines (and how
+// a production query log would be fed to the simulator: convert to the
+// same CSV).
+#pragma once
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace rfh {
+
+/// Replays a recorded per-epoch demand schedule; epochs beyond the end of
+/// the trace produce no demand.
+class TraceWorkload final : public WorkloadGenerator {
+ public:
+  explicit TraceWorkload(std::vector<QueryBatch> epochs)
+      : epochs_(std::move(epochs)) {}
+
+  /// Parse "epoch,partition,requester,queries" CSV (header optional,
+  /// blank lines and '#' comments ignored). Epoch numbers may be sparse;
+  /// missing epochs replay as empty. Aborts on malformed rows.
+  static TraceWorkload from_csv(std::istream& in);
+
+  [[nodiscard]] QueryBatch generate(Epoch epoch, Rng& rng) override;
+
+  [[nodiscard]] std::size_t epoch_count() const noexcept {
+    return epochs_.size();
+  }
+
+ private:
+  std::vector<QueryBatch> epochs_;
+};
+
+/// Serialize a demand schedule as trace CSV (with header).
+void write_trace_csv(std::ostream& out,
+                     std::span<const QueryBatch> epochs);
+
+/// Wraps another generator and records everything it emits.
+class RecordingWorkload final : public WorkloadGenerator {
+ public:
+  explicit RecordingWorkload(std::unique_ptr<WorkloadGenerator> inner)
+      : inner_(std::move(inner)) {}
+
+  [[nodiscard]] QueryBatch generate(Epoch epoch, Rng& rng) override;
+
+  [[nodiscard]] std::span<const QueryBatch> recorded() const noexcept {
+    return recorded_;
+  }
+
+ private:
+  std::unique_ptr<WorkloadGenerator> inner_;
+  std::vector<QueryBatch> recorded_;
+};
+
+}  // namespace rfh

@@ -1,0 +1,106 @@
+#include "common/availability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rfh {
+namespace {
+
+TEST(Availability, ZeroReplicasIsUnavailable) {
+  EXPECT_DOUBLE_EQ(availability(0, 0.1), 0.0);
+}
+
+TEST(Availability, SingleCopySurvivalProbability) {
+  EXPECT_NEAR(availability(1, 0.1), 0.9, 1e-12);
+  EXPECT_NEAR(availability(1, 0.3), 0.7, 1e-12);
+}
+
+TEST(Availability, AtLeastOneOfR) {
+  EXPECT_NEAR(availability(2, 0.1), 0.99, 1e-12);
+  EXPECT_NEAR(availability(3, 0.1), 0.999, 1e-12);
+  EXPECT_NEAR(availability(2, 0.5), 0.75, 1e-12);
+}
+
+TEST(Availability, PerfectlyReliableCopies) {
+  EXPECT_DOUBLE_EQ(availability(1, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(availability(5, 0.0), 1.0);
+}
+
+TEST(Availability, AlwaysFailingCopies) {
+  EXPECT_DOUBLE_EQ(availability(5, 1.0), 0.0);
+}
+
+TEST(AvailabilityEq14Literal, CollapsesToAllSurvive) {
+  // The printed inclusion-exclusion telescopes to (1-f)^r.
+  for (std::uint32_t r = 0; r <= 6; ++r) {
+    for (const double f : {0.0, 0.1, 0.3, 0.9}) {
+      EXPECT_NEAR(availability_eq14_literal(r, f),
+                  std::pow(1.0 - f, static_cast<double>(r)), 1e-12)
+          << "r=" << r << " f=" << f;
+    }
+  }
+}
+
+TEST(MinReplicas, PaperWorkedExample) {
+  // "if the system requires a minimum availability of 0.8 and the failure
+  // probability is 0.1, then the minimum replica number is 2".
+  EXPECT_EQ(min_replicas(0.8, 0.1), 2u);
+}
+
+TEST(MinReplicas, FloorApplies) {
+  // Even a trivially satisfied target keeps at least the floor.
+  EXPECT_EQ(min_replicas(0.5, 0.01), 2u);
+  EXPECT_EQ(min_replicas(0.5, 0.01, 3), 3u);
+  EXPECT_EQ(min_replicas(0.5, 0.01, 0), 1u);
+}
+
+TEST(MinReplicas, HighTargetsNeedMoreCopies) {
+  EXPECT_EQ(min_replicas(0.999, 0.1), 3u);
+  EXPECT_EQ(min_replicas(0.9999, 0.1), 4u);
+  EXPECT_EQ(min_replicas(0.99, 0.5), 7u);
+}
+
+TEST(MinReplicas, ResultSatisfiesTarget) {
+  for (const double target : {0.8, 0.9, 0.99, 0.99999}) {
+    for (const double f : {0.05, 0.1, 0.3, 0.6}) {
+      const std::uint32_t r = min_replicas(target, f);
+      EXPECT_GE(availability(r, f), target);
+      if (r > 2) {
+        EXPECT_LT(availability(r - 1, f), target)
+            << "not minimal for target=" << target << " f=" << f;
+      }
+    }
+  }
+}
+
+class AvailabilityMonotonicityTest
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(AvailabilityMonotonicityTest, IncreasingInReplicaCount) {
+  const double f = GetParam();
+  for (std::uint32_t r = 0; r < 10; ++r) {
+    EXPECT_LE(availability(r, f), availability(r + 1, f) + 1e-15);
+  }
+}
+
+TEST_P(AvailabilityMonotonicityTest, DecreasingInFailureProbability) {
+  const double f = GetParam();
+  if (f >= 0.95) return;
+  for (std::uint32_t r = 1; r < 6; ++r) {
+    EXPECT_GE(availability(r, f), availability(r, f + 0.05) - 1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FailureProbabilities, AvailabilityMonotonicityTest,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.3, 0.5, 0.9));
+
+TEST(AvailabilityDeath, RejectsOutOfRangeInputs) {
+  EXPECT_DEATH(availability(1, -0.1), "");
+  EXPECT_DEATH(availability(1, 1.1), "");
+  EXPECT_DEATH(min_replicas(1.0, 0.1), "");  // target must be < 1
+  EXPECT_DEATH(min_replicas(0.8, 1.0), "");  // f must be < 1
+}
+
+}  // namespace
+}  // namespace rfh

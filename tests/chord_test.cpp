@@ -1,0 +1,127 @@
+#include "ring/chord.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rfh {
+namespace {
+
+std::vector<ServerId> members(std::uint32_t n) {
+  std::vector<ServerId> out;
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(ServerId{i});
+  return out;
+}
+
+TEST(Chord, SuccessorMatchesBruteForce) {
+  const auto nodes = members(50);
+  const ChordOverlay overlay(nodes);
+  Rng rng(41);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = rng.next();
+    // Brute force: member with the smallest clockwise distance from key.
+    ServerId best;
+    std::uint64_t best_distance = 0;
+    bool first = true;
+    for (const ServerId m : nodes) {
+      const std::uint64_t distance = ChordOverlay::position_of(m) - key;
+      if (first || distance < best_distance) {
+        best = m;
+        best_distance = distance;
+        first = false;
+      }
+    }
+    EXPECT_EQ(overlay.successor(key), best);
+  }
+}
+
+TEST(Chord, LookupFindsTheOwnerFromEveryOrigin) {
+  const auto nodes = members(30);
+  const ChordOverlay overlay(nodes);
+  Rng rng(42);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t key = rng.next();
+    const ServerId owner = overlay.successor(key);
+    for (const ServerId origin : nodes) {
+      const auto result = overlay.lookup(origin, key);
+      ASSERT_EQ(result.owner, owner);
+      EXPECT_EQ(result.path.front(), origin);
+      EXPECT_EQ(result.path.back(), owner);
+      EXPECT_EQ(result.path.size(), result.hops + 1);
+    }
+  }
+}
+
+TEST(Chord, SelfLookupIsZeroHops) {
+  const auto nodes = members(20);
+  const ChordOverlay overlay(nodes);
+  for (const ServerId m : nodes) {
+    const auto result = overlay.lookup(m, ChordOverlay::position_of(m));
+    EXPECT_EQ(result.owner, m);
+    EXPECT_EQ(result.hops, 0u);
+  }
+}
+
+TEST(Chord, SingleNodeOwnsEverything) {
+  const std::vector<ServerId> one{ServerId{7}};
+  const ChordOverlay overlay(one);
+  Rng rng(43);
+  for (int i = 0; i < 50; ++i) {
+    const auto result = overlay.lookup(ServerId{7}, rng.next());
+    EXPECT_EQ(result.owner, ServerId{7});
+    EXPECT_EQ(result.hops, 0u);
+  }
+}
+
+class ChordHopBoundTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ChordHopBoundTest, HopsAreLogarithmic) {
+  // "The cost of routing is O(log n)". Classic Chord bound: lookups take
+  // O(log n) hops w.h.p.; we assert max <= 2*log2(n) + 4 and mean <=
+  // log2(n) over a random key/origin sample.
+  const std::uint32_t n = GetParam();
+  const auto nodes = members(n);
+  const ChordOverlay overlay(nodes);
+  Rng rng(44);
+  const double log2n = std::log2(static_cast<double>(n));
+  double total_hops = 0.0;
+  std::uint32_t max_hops = 0;
+  const int samples = 2000;
+  for (int i = 0; i < samples; ++i) {
+    const ServerId origin{static_cast<std::uint32_t>(rng.uniform(n))};
+    const auto result = overlay.lookup(origin, rng.next());
+    total_hops += result.hops;
+    max_hops = std::max(max_hops, result.hops);
+  }
+  EXPECT_LE(max_hops, static_cast<std::uint32_t>(2.0 * log2n + 4.0));
+  EXPECT_LE(total_hops / samples, log2n);
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, ChordHopBoundTest,
+                         ::testing::Values<std::uint32_t>(2, 8, 32, 100, 512,
+                                                          2048));
+
+TEST(Chord, KeysSpreadAcrossMembers) {
+  const auto nodes = members(20);
+  const ChordOverlay overlay(nodes);
+  std::set<ServerId> owners;
+  Rng rng(45);
+  for (int i = 0; i < 5000; ++i) {
+    owners.insert(overlay.successor(rng.next()));
+  }
+  EXPECT_EQ(owners.size(), 20u);
+}
+
+TEST(ChordDeath, Misuse) {
+  EXPECT_DEATH(ChordOverlay(std::vector<ServerId>{}), "");
+  const auto nodes = members(5);
+  const ChordOverlay overlay(nodes);
+  EXPECT_DEATH((void)overlay.lookup(ServerId{99}, 1), "");  // non-member
+}
+
+}  // namespace
+}  // namespace rfh

@@ -1,0 +1,137 @@
+#include "harness/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rfh {
+namespace {
+
+CliParseResult parse(std::vector<const char*> args) {
+  return parse_cli(std::span<const char* const>(args.data(), args.size()));
+}
+
+TEST(Cli, DefaultsMatchPaperRandomQuery) {
+  const CliParseResult r = parse({});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.policy, PolicyKind::kRfh);
+  EXPECT_FALSE(r.options.compare);
+  EXPECT_FALSE(r.options.quiet);
+  EXPECT_EQ(r.options.metric, "utilization");
+  EXPECT_EQ(r.options.scenario.epochs, 250u);
+  EXPECT_TRUE(r.options.failures.empty());
+}
+
+TEST(Cli, ParsesEveryPolicy) {
+  EXPECT_EQ(parse({"--policy=rfh"}).options.policy, PolicyKind::kRfh);
+  EXPECT_EQ(parse({"--policy=random"}).options.policy, PolicyKind::kRandom);
+  EXPECT_EQ(parse({"--policy=owner"}).options.policy, PolicyKind::kOwner);
+  EXPECT_EQ(parse({"--policy=request"}).options.policy, PolicyKind::kRequest);
+  EXPECT_FALSE(parse({"--policy=magic"}).ok);
+}
+
+TEST(Cli, WorkloadFlashSwitchesHorizon) {
+  const CliParseResult r = parse({"--workload=flash"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.options.scenario.workload, WorkloadKind::kFlashCrowd);
+  EXPECT_EQ(r.options.scenario.epochs, 400u);
+}
+
+TEST(Cli, ExplicitEpochsOverrideTheFlashDefault) {
+  const CliParseResult r = parse({"--epochs=77", "--workload=flash"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.options.scenario.epochs, 77u);
+}
+
+TEST(Cli, NumericFlags) {
+  const CliParseResult r =
+      parse({"--epochs=123", "--seed=9", "--partitions=32",
+             "--write-fraction=0.25"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.scenario.epochs, 123u);
+  EXPECT_EQ(r.options.scenario.sim.seed, 9u);
+  EXPECT_EQ(r.options.scenario.world.seed, 9u);
+  EXPECT_EQ(r.options.scenario.sim.partitions, 32u);
+  EXPECT_DOUBLE_EQ(r.options.scenario.write_fraction, 0.25);
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  EXPECT_FALSE(parse({"--epochs=0"}).ok);
+  EXPECT_FALSE(parse({"--epochs=ten"}).ok);
+  EXPECT_FALSE(parse({"--partitions=0"}).ok);
+  EXPECT_FALSE(parse({"--seed=abc"}).ok);
+  EXPECT_FALSE(parse({"--write-fraction=1.5"}).ok);
+  EXPECT_FALSE(parse({"--write-fraction=-0.1"}).ok);
+}
+
+TEST(Cli, KillEventsAreRepeatable) {
+  const CliParseResult r = parse({"--kill=30@290", "--kill=5@10"});
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.options.failures.size(), 2u);
+  EXPECT_EQ(r.options.failures[0].kill_random, 30u);
+  EXPECT_EQ(r.options.failures[0].epoch, 290u);
+  EXPECT_EQ(r.options.failures[1].kill_random, 5u);
+  EXPECT_EQ(r.options.failures[1].epoch, 10u);
+}
+
+TEST(Cli, RejectsMalformedKill) {
+  EXPECT_FALSE(parse({"--kill=30"}).ok);
+  EXPECT_FALSE(parse({"--kill=@5"}).ok);
+  EXPECT_FALSE(parse({"--kill=0@5"}).ok);
+  EXPECT_FALSE(parse({"--kill=a@b"}).ok);
+}
+
+TEST(Cli, MetricsAreValidated) {
+  for (const std::string& name : metric_names()) {
+    const CliParseResult r = parse({("--metric=" + name).c_str()});
+    EXPECT_TRUE(r.ok) << name;
+    EXPECT_EQ(r.options.metric, name);
+  }
+  EXPECT_FALSE(parse({"--metric=nonsense"}).ok);
+}
+
+TEST(Cli, BooleanFlags) {
+  const CliParseResult r = parse({"--compare", "--quiet"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.options.compare);
+  EXPECT_TRUE(r.options.quiet);
+}
+
+TEST(Cli, UnknownArgumentIsAnError) {
+  const CliParseResult r = parse({"--frobnicate"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("frobnicate"), std::string::npos);
+}
+
+TEST(Cli, MetricValueExtractsEveryKnownName) {
+  EpochMetrics m;
+  m.utilization = 0.5;
+  m.total_replicas = 7;
+  m.path_length = 2.5;
+  m.load_imbalance = 1.1;
+  m.latency_mean_ms = 42.0;
+  m.sla_attainment = 0.99;
+  m.replication_cost_total = 100.0;
+  m.migrations_total = 3;
+  m.mean_replica_lag = 1.5;
+  m.stale_read_fraction = 0.2;
+  m.diversity_level = 4.5;
+  bool ok = false;
+  EXPECT_DOUBLE_EQ(metric_value(m, "utilization", &ok), 0.5);
+  EXPECT_DOUBLE_EQ(metric_value(m, "replicas", &ok), 7.0);
+  EXPECT_DOUBLE_EQ(metric_value(m, "path", &ok), 2.5);
+  EXPECT_DOUBLE_EQ(metric_value(m, "imbalance", &ok), 1.1);
+  EXPECT_DOUBLE_EQ(metric_value(m, "latency", &ok), 42.0);
+  EXPECT_DOUBLE_EQ(metric_value(m, "sla", &ok), 0.99);
+  EXPECT_DOUBLE_EQ(metric_value(m, "cost", &ok), 100.0);
+  EXPECT_DOUBLE_EQ(metric_value(m, "migrations", &ok), 3.0);
+  EXPECT_DOUBLE_EQ(metric_value(m, "lag", &ok), 1.5);
+  EXPECT_DOUBLE_EQ(metric_value(m, "stale", &ok), 0.2);
+  EXPECT_DOUBLE_EQ(metric_value(m, "diversity", &ok), 4.5);
+  EXPECT_TRUE(ok);
+  (void)metric_value(m, "bogus", &ok);
+  EXPECT_FALSE(ok);
+}
+
+}  // namespace
+}  // namespace rfh

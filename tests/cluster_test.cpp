@@ -1,0 +1,177 @@
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/world.h"
+
+namespace rfh {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest() : world_(build_paper_world()) {
+    config_.partitions = 8;
+    config_.partition_size = kib(512);
+    cluster_ = std::make_unique<ClusterState>(world_.topology, config_);
+  }
+
+  World world_;
+  SimConfig config_;
+  std::unique_ptr<ClusterState> cluster_;
+};
+
+TEST_F(ClusterTest, StartsEmptyAndFullyAlive) {
+  EXPECT_EQ(cluster_->total_replicas(), 0u);
+  EXPECT_EQ(cluster_->live_server_count(), 100u);
+  for (const Server& s : world_.topology.servers()) {
+    EXPECT_TRUE(cluster_->alive(s.id));
+    EXPECT_EQ(cluster_->storage_used(s.id), 0u);
+    EXPECT_EQ(cluster_->copies_on(s.id), 0u);
+  }
+  cluster_->check_invariants();
+}
+
+TEST_F(ClusterTest, AddRemoveReplicaBalancesAccounting) {
+  const PartitionId p{0};
+  cluster_->add_replica(p, ServerId{5}, /*primary=*/true);
+  cluster_->add_replica(p, ServerId{17});
+  EXPECT_EQ(cluster_->replica_count(p), 2u);
+  EXPECT_EQ(cluster_->total_replicas(), 2u);
+  EXPECT_EQ(cluster_->storage_used(ServerId{5}), config_.partition_size);
+  EXPECT_EQ(cluster_->copies_on(ServerId{17}), 1u);
+  EXPECT_TRUE(cluster_->has_replica(p, ServerId{17}));
+  cluster_->check_invariants();
+
+  cluster_->remove_replica(p, ServerId{17});
+  EXPECT_EQ(cluster_->replica_count(p), 1u);
+  EXPECT_EQ(cluster_->storage_used(ServerId{17}), 0u);
+  EXPECT_FALSE(cluster_->has_replica(p, ServerId{17}));
+  cluster_->check_invariants();
+}
+
+TEST_F(ClusterTest, PrimaryTracking) {
+  const PartitionId p{1};
+  EXPECT_FALSE(cluster_->primary_of(p).valid());
+  cluster_->add_replica(p, ServerId{3}, /*primary=*/true);
+  cluster_->add_replica(p, ServerId{4});
+  EXPECT_EQ(cluster_->primary_of(p), ServerId{3});
+  cluster_->set_primary(p, ServerId{4});
+  EXPECT_EQ(cluster_->primary_of(p), ServerId{4});
+  cluster_->check_invariants();
+}
+
+TEST_F(ClusterTest, CanAcceptRejectsDuplicatesAndDead) {
+  const PartitionId p{0};
+  cluster_->add_replica(p, ServerId{5}, true);
+  EXPECT_FALSE(cluster_->can_accept(ServerId{5}, p));  // already hosting
+  EXPECT_TRUE(cluster_->can_accept(ServerId{6}, p));
+  cluster_->kill_server(ServerId{6});
+  EXPECT_FALSE(cluster_->can_accept(ServerId{6}, p));  // dead
+}
+
+TEST_F(ClusterTest, CanAcceptEnforcesStorageLimit) {
+  // Tiny disks: capacity for exactly 2 copies under the 70% limit.
+  WorldOptions options =
+      WorldOptions{};
+  options.storage_capacity_lo = 3 * config_.partition_size;
+  options.storage_capacity_hi = 3 * config_.partition_size;
+  const World tiny = build_paper_world(options);
+  ClusterState cluster(tiny.topology, config_);
+  // 70% of 3 * 512K = 1.05M; one copy (512K) fits, two (1024K) fit,
+  // three (1536K) exceed it.
+  cluster.add_replica(PartitionId{0}, ServerId{0}, true);
+  EXPECT_TRUE(cluster.can_accept(ServerId{0}, PartitionId{1}));
+  cluster.add_replica(PartitionId{1}, ServerId{0}, true);
+  EXPECT_FALSE(cluster.can_accept(ServerId{0}, PartitionId{2}));
+}
+
+TEST_F(ClusterTest, CanAcceptEnforcesVnodeCap) {
+  WorldOptions options;
+  options.max_vnodes = 2;
+  const World tiny = build_paper_world(options);
+  ClusterState cluster(tiny.topology, config_);
+  cluster.add_replica(PartitionId{0}, ServerId{0}, true);
+  cluster.add_replica(PartitionId{1}, ServerId{0}, true);
+  EXPECT_FALSE(cluster.can_accept(ServerId{0}, PartitionId{2}));
+}
+
+TEST_F(ClusterTest, HostsInDcOrdersPrimaryLast) {
+  const PartitionId p{0};
+  const DatacenterId dc = world_.dc[0];
+  const auto& servers = world_.topology.servers_in(dc);
+  cluster_->add_replica(p, servers[3], /*primary=*/true);
+  cluster_->add_replica(p, servers[1]);
+  cluster_->add_replica(p, servers[2]);
+  const auto hosts = cluster_->hosts_in_dc(p, dc);
+  ASSERT_EQ(hosts.size(), 3u);
+  EXPECT_EQ(hosts[0], servers[1]);  // non-primaries ascending
+  EXPECT_EQ(hosts[1], servers[2]);
+  EXPECT_EQ(hosts[2], servers[3]);  // primary last
+}
+
+TEST_F(ClusterTest, KillServerDropsCopiesAndReportsThem) {
+  const PartitionId p0{0};
+  const PartitionId p1{1};
+  cluster_->add_replica(p0, ServerId{10}, true);
+  cluster_->add_replica(p1, ServerId{10});
+  cluster_->add_replica(p1, ServerId{11}, true);
+
+  const auto lost = cluster_->kill_server(ServerId{10});
+  ASSERT_EQ(lost.size(), 2u);
+  EXPECT_EQ(lost[0].partition, p0);
+  EXPECT_TRUE(lost[0].was_primary);
+  EXPECT_EQ(lost[1].partition, p1);
+  EXPECT_FALSE(lost[1].was_primary);
+
+  EXPECT_FALSE(cluster_->alive(ServerId{10}));
+  EXPECT_EQ(cluster_->live_server_count(), 99u);
+  EXPECT_EQ(cluster_->replica_count(p0), 0u);
+  EXPECT_EQ(cluster_->storage_used(ServerId{10}), 0u);
+  EXPECT_FALSE(cluster_->ring().contains(ServerId{10}));
+  cluster_->check_invariants();
+}
+
+TEST_F(ClusterTest, LiveByDcExcludesDeadServers) {
+  const DatacenterId dc = world_.topology.server(ServerId{10}).datacenter;
+  const std::size_t before = cluster_->live_by_dc()[dc.value()].size();
+  cluster_->kill_server(ServerId{10});
+  EXPECT_EQ(cluster_->live_by_dc()[dc.value()].size(), before - 1);
+}
+
+TEST_F(ClusterTest, ReviveRestoresMembership) {
+  cluster_->kill_server(ServerId{10});
+  cluster_->revive_server(ServerId{10});
+  EXPECT_TRUE(cluster_->alive(ServerId{10}));
+  EXPECT_EQ(cluster_->live_server_count(), 100u);
+  EXPECT_TRUE(cluster_->ring().contains(ServerId{10}));
+  EXPECT_TRUE(cluster_->can_accept(ServerId{10}, PartitionId{0}));
+  cluster_->check_invariants();
+}
+
+TEST_F(ClusterTest, StorageFraction) {
+  WorldOptions options;
+  options.storage_capacity_lo = 10 * config_.partition_size;
+  options.storage_capacity_hi = 10 * config_.partition_size;
+  const World tiny = build_paper_world(options);
+  ClusterState cluster(tiny.topology, config_);
+  EXPECT_DOUBLE_EQ(cluster.storage_fraction(ServerId{0}), 0.0);
+  cluster.add_replica(PartitionId{0}, ServerId{0}, true);
+  EXPECT_NEAR(cluster.storage_fraction(ServerId{0}), 0.1, 1e-12);
+}
+
+TEST_F(ClusterTest, DeathOnMisuse) {
+  const PartitionId p{0};
+  cluster_->add_replica(p, ServerId{5}, true);
+  EXPECT_DEATH(cluster_->add_replica(p, ServerId{5}), "");  // duplicate
+  EXPECT_DEATH(cluster_->add_replica(p, ServerId{6}, true),
+               "");  // second primary
+  EXPECT_DEATH(cluster_->remove_replica(p, ServerId{7}), "");  // absent
+  EXPECT_DEATH(cluster_->set_primary(p, ServerId{7}), "");
+  cluster_->kill_server(ServerId{9});
+  EXPECT_DEATH(cluster_->add_replica(p, ServerId{9}), "");  // dead target
+  EXPECT_DEATH(cluster_->kill_server(ServerId{9}), "");     // already dead
+  EXPECT_DEATH(cluster_->revive_server(ServerId{5}), "");   // already alive
+}
+
+}  // namespace
+}  // namespace rfh

@@ -1,0 +1,138 @@
+#include "common/erlang.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rfh {
+namespace {
+
+// Direct evaluation of Eq. 18 for small channel counts (factorial form),
+// used as an oracle against the recursion.
+double erlang_b_direct(double a, std::uint32_t c) {
+  double numerator = 1.0;
+  double denominator = 1.0;  // k = 0 term
+  double term = 1.0;
+  for (std::uint32_t k = 1; k <= c; ++k) {
+    term *= a / static_cast<double>(k);
+    denominator += term;
+  }
+  numerator = term;
+  return numerator / denominator;
+}
+
+TEST(ErlangB, ZeroOfferedLoadNeverBlocks) {
+  EXPECT_DOUBLE_EQ(erlang_b(0.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(erlang_b(0.0, 5), 0.0);
+}
+
+TEST(ErlangB, ZeroChannelsAlwaysBlocks) {
+  EXPECT_DOUBLE_EQ(erlang_b(1.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(erlang_b(100.0, 0), 1.0);
+}
+
+TEST(ErlangB, TextbookValues) {
+  // B(a=1, c=1) = 1/(1+1) = 0.5
+  EXPECT_NEAR(erlang_b(1.0, 1), 0.5, 1e-12);
+  // B(a=2, c=2) = (2^2/2!)/(1 + 2 + 2) = 2/5 = 0.4
+  EXPECT_NEAR(erlang_b(2.0, 2), 0.4, 1e-12);
+  // B(a=3, c=3) = (27/6)/(1+3+4.5+4.5) = 4.5/13 ~= 0.34615
+  EXPECT_NEAR(erlang_b(3.0, 3), 4.5 / 13.0, 1e-12);
+}
+
+class ErlangGridTest
+    : public ::testing::TestWithParam<std::tuple<double, std::uint32_t>> {};
+
+TEST_P(ErlangGridTest, RecursionMatchesDirectFormula) {
+  const auto [a, c] = GetParam();
+  EXPECT_NEAR(erlang_b(a, c), erlang_b_direct(a, c), 1e-10);
+}
+
+TEST_P(ErlangGridTest, ResultIsAProbability) {
+  const auto [a, c] = GetParam();
+  const double b = erlang_b(a, c);
+  EXPECT_GE(b, 0.0);
+  EXPECT_LE(b, 1.0);
+}
+
+TEST_P(ErlangGridTest, MonotoneDecreasingInChannels) {
+  const auto [a, c] = GetParam();
+  EXPECT_LE(erlang_b(a, c + 1), erlang_b(a, c) + 1e-15);
+}
+
+TEST_P(ErlangGridTest, MonotoneIncreasingInLoad) {
+  const auto [a, c] = GetParam();
+  EXPECT_GE(erlang_b(a + 0.5, c), erlang_b(a, c) - 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LoadChannelGrid, ErlangGridTest,
+    ::testing::Combine(::testing::Values(0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 25.0),
+                       ::testing::Values<std::uint32_t>(1, 2, 4, 8, 16, 32)));
+
+TEST(ErlangB, StableForHugeInputs) {
+  // The naive factorial form overflows near c ~ 170; the recursion must
+  // not.
+  const double b = erlang_b(900.0, 1000);
+  EXPECT_GE(b, 0.0);
+  EXPECT_LE(b, 1.0);
+  EXPECT_LT(b, 0.05);  // heavily over-provisioned -> tiny blocking
+}
+
+TEST(ErlangBChannelsFor, InverseOfBlocking) {
+  for (const double offered : {0.5, 2.0, 10.0}) {
+    for (const double target : {0.1, 0.01, 0.001}) {
+      const std::uint32_t c = erlang_b_channels_for(offered, target);
+      EXPECT_LE(erlang_b(offered, c), target);
+      if (c > 0) {
+        EXPECT_GT(erlang_b(offered, c - 1), target);
+      }
+    }
+  }
+}
+
+TEST(ErlangBChannelsFor, ZeroLoadNeedsNoChannels) {
+  EXPECT_EQ(erlang_b_channels_for(0.0, 0.01), 0u);
+}
+
+TEST(ErlangC, KnownValues) {
+  // M/M/2 with a = 1 Erlang: B = 0.2, rho = 0.5,
+  // C = 0.2 / (1 - 0.5*0.8) = 1/3.
+  EXPECT_NEAR(erlang_c(1.0, 2), 1.0 / 3.0, 1e-12);
+  // Single server: C = rho (classic M/M/1 waiting probability).
+  EXPECT_NEAR(erlang_c(0.4, 1), 0.4, 1e-12);
+}
+
+TEST(ErlangC, BoundariesAndInstability) {
+  EXPECT_DOUBLE_EQ(erlang_c(0.0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(erlang_c(4.0, 4), 1.0);   // rho = 1: saturated
+  EXPECT_DOUBLE_EQ(erlang_c(10.0, 4), 1.0);  // overloaded
+  EXPECT_DOUBLE_EQ(erlang_c(1.0, 0), 1.0);
+}
+
+TEST(ErlangC, AlwaysAtLeastErlangB) {
+  // Waiting probability dominates loss probability at equal load.
+  for (const double a : {0.5, 1.0, 3.0}) {
+    for (const std::uint32_t c : {2u, 4u, 8u}) {
+      if (a >= static_cast<double>(c)) continue;
+      EXPECT_GE(erlang_c(a, c), erlang_b(a, c) - 1e-12);
+    }
+  }
+}
+
+TEST(ErlangCMeanWait, MatchesMm1AndDiverges) {
+  // M/M/1: W = rho / (1 - rho) service times.
+  EXPECT_NEAR(erlang_c_mean_wait(0.5, 1), 1.0, 1e-12);
+  EXPECT_TRUE(std::isinf(erlang_c_mean_wait(2.0, 2)));
+  // More servers at equal load wait less.
+  EXPECT_LT(erlang_c_mean_wait(1.8, 4), erlang_c_mean_wait(1.8, 2));
+}
+
+TEST(ErlangBDeath, RejectsNegativeLoadAndBadTarget) {
+  EXPECT_DEATH(erlang_b(-1.0, 3), "");
+  EXPECT_DEATH(erlang_b_channels_for(1.0, 0.0), "");
+  EXPECT_DEATH(erlang_b_channels_for(1.0, 1.5), "");
+}
+
+}  // namespace
+}  // namespace rfh

@@ -1,0 +1,76 @@
+#include "net/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace rfh {
+namespace {
+
+std::vector<Link> line_links(std::uint32_t n) {
+  std::vector<Link> links;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    links.push_back(Link{DatacenterId{i}, DatacenterId{i + 1}, 1.0});
+  }
+  return links;
+}
+
+TEST(DcGraph, EmptyGraphIsConnected) {
+  const DcGraph graph(0, {});
+  EXPECT_TRUE(graph.connected());
+}
+
+TEST(DcGraph, SingleNodeIsConnected) {
+  const DcGraph graph(1, {});
+  EXPECT_TRUE(graph.connected());
+}
+
+TEST(DcGraph, LineIsConnected) {
+  const auto links = line_links(5);
+  const DcGraph graph(5, links);
+  EXPECT_TRUE(graph.connected());
+}
+
+TEST(DcGraph, DisconnectedComponentDetected) {
+  // 0-1 connected, 2 isolated.
+  const std::vector<Link> links{Link{DatacenterId{0}, DatacenterId{1}, 1.0}};
+  const DcGraph graph(3, links);
+  EXPECT_FALSE(graph.connected());
+}
+
+TEST(DcGraph, EdgesAreUndirected) {
+  const std::vector<Link> links{Link{DatacenterId{0}, DatacenterId{1}, 2.5}};
+  const DcGraph graph(2, links);
+  ASSERT_EQ(graph.neighbors(DatacenterId{0}).size(), 1u);
+  ASSERT_EQ(graph.neighbors(DatacenterId{1}).size(), 1u);
+  EXPECT_EQ(graph.neighbors(DatacenterId{0})[0].to, DatacenterId{1});
+  EXPECT_EQ(graph.neighbors(DatacenterId{1})[0].to, DatacenterId{0});
+  EXPECT_DOUBLE_EQ(graph.neighbors(DatacenterId{0})[0].km, 2.5);
+}
+
+TEST(DcGraph, NeighborsSortedById) {
+  const std::vector<Link> links{
+      Link{DatacenterId{0}, DatacenterId{3}, 1.0},
+      Link{DatacenterId{0}, DatacenterId{1}, 1.0},
+      Link{DatacenterId{0}, DatacenterId{2}, 1.0},
+  };
+  const DcGraph graph(4, links);
+  const auto neighbors = graph.neighbors(DatacenterId{0});
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_EQ(neighbors[0].to, DatacenterId{1});
+  EXPECT_EQ(neighbors[1].to, DatacenterId{2});
+  EXPECT_EQ(neighbors[2].to, DatacenterId{3});
+}
+
+TEST(DcGraphDeath, RejectsBadLinks) {
+  EXPECT_DEATH(DcGraph(2, std::vector<Link>{
+                              Link{DatacenterId{0}, DatacenterId{0}, 1.0}}),
+               "");  // self loop
+  EXPECT_DEATH(DcGraph(2, std::vector<Link>{
+                              Link{DatacenterId{0}, DatacenterId{1}, 0.0}}),
+               "");  // zero weight
+  EXPECT_DEATH(DcGraph(2, std::vector<Link>{
+                              Link{DatacenterId{0}, DatacenterId{5}, 1.0}}),
+               "");  // out of range
+}
+
+}  // namespace
+}  // namespace rfh

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "harness/scenario.h"
+
+namespace rfh {
+namespace {
+
+TEST(Scenario, PaperFactoriesMatchTableOne) {
+  const Scenario random_query = Scenario::paper_random_query();
+  EXPECT_EQ(random_query.epochs, 250u);
+  EXPECT_EQ(random_query.sim.partitions, 64u);
+  EXPECT_EQ(random_query.sim.partition_size, kib(512));
+  EXPECT_DOUBLE_EQ(random_query.sim.failure_rate, 0.1);
+  EXPECT_DOUBLE_EQ(random_query.sim.min_availability, 0.8);
+  EXPECT_DOUBLE_EQ(random_query.sim.alpha, 0.2);
+  EXPECT_DOUBLE_EQ(random_query.sim.beta, 2.0);
+  EXPECT_DOUBLE_EQ(random_query.sim.gamma, 1.5);
+  EXPECT_DOUBLE_EQ(random_query.sim.delta, 0.2);
+  EXPECT_DOUBLE_EQ(random_query.sim.mu, 1.0);
+  EXPECT_DOUBLE_EQ(random_query.sim.storage_limit, 0.7);
+
+  EXPECT_EQ(Scenario::paper_flash_crowd().epochs, 400u);
+  EXPECT_EQ(Scenario::paper_flash_crowd().workload,
+            WorkloadKind::kFlashCrowd);
+  EXPECT_EQ(Scenario::paper_failure_recovery().epochs, 500u);
+}
+
+TEST(Scenario, MakePolicyProducesCorrectKinds) {
+  EXPECT_EQ(make_policy(PolicyKind::kRequest)->name(), "Request");
+  EXPECT_EQ(make_policy(PolicyKind::kOwner)->name(), "Owner");
+  EXPECT_EQ(make_policy(PolicyKind::kRandom)->name(), "Random");
+  EXPECT_EQ(make_policy(PolicyKind::kRfh)->name(), "RFH");
+  EXPECT_EQ(policy_name(PolicyKind::kRfh), "RFH");
+}
+
+TEST(Scenario, MakeSimulationIsReadyToStep) {
+  Scenario scenario = Scenario::paper_random_query();
+  scenario.epochs = 3;
+  auto sim = make_simulation(scenario, PolicyKind::kRfh);
+  const EpochReport report = sim->step();
+  EXPECT_GT(report.total_queries, 0.0);
+  EXPECT_EQ(sim->policy_name(), "RFH");
+}
+
+TEST(Runner, SeriesHasOneEntryPerEpoch) {
+  Scenario scenario = Scenario::paper_random_query();
+  scenario.epochs = 20;
+  const PolicyRun run = run_policy(scenario, PolicyKind::kRandom);
+  EXPECT_EQ(run.kind, PolicyKind::kRandom);
+  EXPECT_EQ(run.series.size(), 20u);
+}
+
+TEST(Runner, ReproducibleAcrossInvocations) {
+  Scenario scenario = Scenario::paper_random_query();
+  scenario.epochs = 25;
+  const PolicyRun a = run_policy(scenario, PolicyKind::kRfh);
+  const PolicyRun b = run_policy(scenario, PolicyKind::kRfh);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].total_replicas, b.series[i].total_replicas);
+    EXPECT_DOUBLE_EQ(a.series[i].utilization, b.series[i].utilization);
+    EXPECT_DOUBLE_EQ(a.series[i].path_length, b.series[i].path_length);
+  }
+}
+
+TEST(Runner, ComparisonCoversAllFourPolicies) {
+  Scenario scenario = Scenario::paper_random_query();
+  scenario.epochs = 10;
+  const ComparativeResult result = run_comparison(scenario);
+  ASSERT_EQ(result.runs.size(), 4u);
+  EXPECT_EQ(result.run(PolicyKind::kRequest).kind, PolicyKind::kRequest);
+  EXPECT_EQ(result.run(PolicyKind::kRfh).kind, PolicyKind::kRfh);
+  for (const PolicyRun& run : result.runs) {
+    EXPECT_EQ(run.series.size(), 10u);
+  }
+}
+
+TEST(Runner, FailureEventsFireAtTheRequestedEpoch) {
+  Scenario scenario = Scenario::paper_random_query();
+  scenario.epochs = 30;
+  FailureEvent event;
+  event.epoch = 10;
+  event.kill_random = 20;
+  const PolicyRun run = run_policy(scenario, PolicyKind::kRfh, {event});
+  EXPECT_EQ(run.killed.size(), 20u);
+  // The copy census visibly drops at the failure epoch.
+  EXPECT_LT(run.series[10].total_replicas, run.series[9].total_replicas);
+}
+
+TEST(Runner, RecoverEventRestoresServers) {
+  Scenario scenario = Scenario::paper_random_query();
+  scenario.epochs = 12;
+  FailureEvent kill;
+  kill.epoch = 2;
+  kill.kill.push_back(ServerId{0});
+  kill.kill.push_back(ServerId{1});
+  FailureEvent recover;
+  recover.epoch = 6;
+  recover.recover.push_back(ServerId{0});
+  recover.recover.push_back(ServerId{1});
+  const PolicyRun run =
+      run_policy(scenario, PolicyKind::kRfh, {kill, recover});
+  EXPECT_EQ(run.series.size(), 12u);
+}
+
+TEST(Report, PrintFigureEmitsCsvAndSummary) {
+  Scenario scenario = Scenario::paper_random_query();
+  scenario.epochs = 8;
+  const ComparativeResult result = run_comparison(scenario);
+  std::ostringstream out;
+  print_figure(out, "test figure", result, &EpochMetrics::utilization, 4);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# test figure"), std::string::npos);
+  EXPECT_NE(text.find("epoch,Request,Owner,Random,RFH"), std::string::npos);
+  EXPECT_NE(text.find("# tail-mean(last 4 epochs):"), std::string::npos);
+
+  std::ostringstream out2;
+  print_figure_u32(out2, "counter figure", result,
+                   &EpochMetrics::total_replicas, 4);
+  EXPECT_NE(out2.str().find("counter figure"), std::string::npos);
+}
+
+TEST(Runner, ParallelComparisonMatchesSequentialBitForBit) {
+  Scenario scenario = Scenario::paper_random_query();
+  scenario.epochs = 30;
+  const ComparativeResult parallel = run_comparison(scenario);
+  const ComparativeResult sequential = run_comparison_sequential(scenario);
+  ASSERT_EQ(parallel.runs.size(), sequential.runs.size());
+  for (std::size_t r = 0; r < parallel.runs.size(); ++r) {
+    const PolicyRun& a = parallel.runs[r];
+    const PolicyRun& b = sequential.runs[r];
+    ASSERT_EQ(a.kind, b.kind);
+    ASSERT_EQ(a.series.size(), b.series.size());
+    for (std::size_t e = 0; e < a.series.size(); ++e) {
+      EXPECT_EQ(a.series[e].total_replicas, b.series[e].total_replicas);
+      EXPECT_DOUBLE_EQ(a.series[e].utilization, b.series[e].utilization);
+      EXPECT_DOUBLE_EQ(a.series[e].replication_cost_total,
+                       b.series[e].replication_cost_total);
+      EXPECT_DOUBLE_EQ(a.series[e].path_length, b.series[e].path_length);
+    }
+  }
+}
+
+TEST(Report, TailMeanAveragesTheTail) {
+  PolicyRun run;
+  run.series.resize(4);
+  run.series[0].path_length = 100.0;
+  run.series[1].path_length = 1.0;
+  run.series[2].path_length = 2.0;
+  run.series[3].path_length = 3.0;
+  EXPECT_DOUBLE_EQ(tail_mean(run, &EpochMetrics::path_length, 3), 2.0);
+  EXPECT_DOUBLE_EQ(tail_mean(run, &EpochMetrics::path_length, 100), 26.5);
+}
+
+}  // namespace
+}  // namespace rfh

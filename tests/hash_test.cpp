@@ -1,0 +1,60 @@
+#include "ring/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace rfh {
+namespace {
+
+TEST(Hash64, Deterministic) {
+  EXPECT_EQ(hash64("hello"), hash64("hello"));
+  EXPECT_EQ(hash64(std::uint64_t{42}), hash64(std::uint64_t{42}));
+}
+
+TEST(Hash64, DifferentInputsDiffer) {
+  EXPECT_NE(hash64("hello"), hash64("hellp"));
+  EXPECT_NE(hash64("hello"), hash64("hell"));
+  EXPECT_NE(hash64(std::uint64_t{1}), hash64(std::uint64_t{2}));
+  EXPECT_NE(hash64(""), hash64("a"));
+}
+
+TEST(Hash64, IntegerAndStringDomainsAreIndependent) {
+  // No accidental equality between hash64(uint) and hash64(decimal text).
+  EXPECT_NE(hash64(std::uint64_t{123}), hash64("123"));
+}
+
+TEST(Hash64, SequentialIntegersSpreadAcrossRange) {
+  // Consistent-hashing positions come from sequential ids; they must not
+  // cluster. Check that the top byte takes many distinct values.
+  std::set<std::uint8_t> top_bytes;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    top_bytes.insert(static_cast<std::uint8_t>(hash64(i) >> 56));
+  }
+  EXPECT_GT(top_bytes.size(), 150u);
+}
+
+TEST(Hash64, NoCollisionsOnSmallDomain) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    seen.insert(hash64(i));
+  }
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(HashCombine, OrderDependent) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashCombine, Deterministic) {
+  EXPECT_EQ(hash_combine(17, 99), hash_combine(17, 99));
+}
+
+TEST(HashCombine, SensitiveToBothInputs) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(1, 3));
+  EXPECT_NE(hash_combine(1, 2), hash_combine(4, 2));
+}
+
+}  // namespace
+}  // namespace rfh

@@ -1,0 +1,111 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rfh {
+namespace {
+
+TEST(Histogram, EmptyDefaults) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction_at_or_below(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  h.add(1.0, 10.0);
+  h.add(3.0, 20.0);
+  EXPECT_DOUBLE_EQ(h.mean(), (10.0 + 60.0) / 4.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(h.max_value(), 20.0);
+}
+
+TEST(Histogram, ZeroWeightIsIgnored) {
+  Histogram h;
+  h.add(0.0, 50.0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(Histogram, PercentileBracketsTheValue) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(1.0, 10.0);
+  // All mass at one value: every percentile lands in its bucket
+  // (geometric buckets: ~3.3% wide at this range).
+  EXPECT_NEAR(h.percentile(0.5), 10.0, 0.5);
+  EXPECT_NEAR(h.percentile(0.999), 10.0, 0.5);
+}
+
+TEST(Histogram, PercentilesAreMonotone) {
+  Histogram h;
+  Rng rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    h.add(1.0, rng.uniform_real_range(1.0, 1000.0));
+  }
+  double prev = 0.0;
+  for (const double q : {0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double v = h.percentile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Histogram, PercentileOfUniformDistribution) {
+  Histogram h;
+  Rng rng(32);
+  for (int i = 0; i < 50000; ++i) {
+    h.add(1.0, rng.uniform_real_range(0.0, 100.0));
+  }
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 4.0);
+  EXPECT_NEAR(h.percentile(0.9), 90.0, 5.0);
+}
+
+TEST(Histogram, FractionAtOrBelow) {
+  Histogram h;
+  h.add(9.0, 10.0);
+  h.add(1.0, 5000.0);
+  EXPECT_NEAR(h.fraction_at_or_below(300.0), 0.9, 1e-9);
+  EXPECT_NEAR(h.fraction_at_or_below(10000.0), 1.0, 1e-9);
+  EXPECT_NEAR(h.fraction_at_or_below(0.1), 0.0, 1e-9);
+}
+
+TEST(Histogram, ValuesAreClampedNotDropped) {
+  Histogram h;
+  h.add(1.0, 1e9);    // beyond kMaxValue
+  h.add(1.0, 1e-9);   // below kMinValue
+  EXPECT_DOUBLE_EQ(h.total_weight(), 2.0);
+  EXPECT_NEAR(h.fraction_at_or_below(Histogram::kMaxValue), 1.0, 1e-12);
+}
+
+TEST(Histogram, MergeCombinesMass) {
+  Histogram a;
+  Histogram b;
+  a.add(2.0, 10.0);
+  b.add(2.0, 1000.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 4.0);
+  EXPECT_NEAR(a.fraction_at_or_below(100.0), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(a.mean(), (20.0 + 2000.0) / 4.0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.add(5.0, 42.0);
+  h.reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.percentile(0.9), 0.0);
+}
+
+TEST(HistogramDeath, NegativeWeight) {
+  Histogram h;
+  EXPECT_DEATH(h.add(-1.0, 10.0), "");
+  EXPECT_DEATH((void)h.percentile(0.0), "");
+  EXPECT_DEATH((void)h.percentile(1.5), "");
+}
+
+}  // namespace
+}  // namespace rfh

@@ -1,0 +1,87 @@
+#include "topology/label.h"
+
+#include <gtest/gtest.h>
+
+namespace rfh {
+namespace {
+
+NodeLabel make(const char* dc, const char* room, const char* rack,
+               const char* server) {
+  return NodeLabel{"NA", "USA", dc, room, rack, server};
+}
+
+TEST(NodeLabel, ToStringMatchesPaperFormat) {
+  const NodeLabel l{"NA", "USA", "GA1", "C01", "R02", "S5"};
+  EXPECT_EQ(l.to_string(), "NA-USA-GA1-C01-R02-S5");
+}
+
+TEST(NodeLabel, ParseRoundTrip) {
+  const char* text = "AS-JPN-TY1-C01-R02-S3";
+  const NodeLabel l = parse_label(text);
+  EXPECT_EQ(l.continent, "AS");
+  EXPECT_EQ(l.country, "JPN");
+  EXPECT_EQ(l.datacenter, "TY1");
+  EXPECT_EQ(l.room, "C01");
+  EXPECT_EQ(l.rack, "R02");
+  EXPECT_EQ(l.server, "S3");
+  EXPECT_EQ(l.to_string(), text);
+}
+
+TEST(NodeLabelDeath, MalformedInputs) {
+  EXPECT_DEATH(parse_label("NA-USA-GA1-C01-R02"), "");       // too few
+  EXPECT_DEATH(parse_label("NA-USA-GA1-C01-R02-S5-X"), "");  // too many
+  EXPECT_DEATH(parse_label("NA--GA1-C01-R02-S5"), "");       // empty part
+  EXPECT_DEATH(parse_label(""), "");
+}
+
+TEST(AvailabilityLevel, SameServerIsLevelOne) {
+  const NodeLabel a = make("GA1", "C01", "R01", "S1");
+  EXPECT_EQ(availability_level(a, a), 1u);
+}
+
+TEST(AvailabilityLevel, SameRackDifferentServer) {
+  EXPECT_EQ(availability_level(make("GA1", "C01", "R01", "S1"),
+                               make("GA1", "C01", "R01", "S2")),
+            2u);
+}
+
+TEST(AvailabilityLevel, SameRoomDifferentRack) {
+  EXPECT_EQ(availability_level(make("GA1", "C01", "R01", "S1"),
+                               make("GA1", "C01", "R02", "S1")),
+            3u);
+}
+
+TEST(AvailabilityLevel, SameDatacenterDifferentRoom) {
+  EXPECT_EQ(availability_level(make("GA1", "C01", "R01", "S1"),
+                               make("GA1", "C02", "R01", "S1")),
+            4u);
+}
+
+TEST(AvailabilityLevel, DifferentDatacenter) {
+  EXPECT_EQ(availability_level(make("GA1", "C01", "R01", "S1"),
+                               make("NY1", "C01", "R01", "S1")),
+            5u);
+}
+
+TEST(AvailabilityLevel, DifferentCountryOrContinentIsStillLevelFive) {
+  const NodeLabel a{"NA", "USA", "GA1", "C01", "R01", "S1"};
+  const NodeLabel b{"AS", "JPN", "TY1", "C01", "R01", "S1"};
+  EXPECT_EQ(availability_level(a, b), 5u);
+}
+
+TEST(AvailabilityLevel, IsSymmetric) {
+  const NodeLabel a = make("GA1", "C01", "R01", "S1");
+  const NodeLabel b = make("GA1", "C02", "R03", "S4");
+  EXPECT_EQ(availability_level(a, b), availability_level(b, a));
+}
+
+TEST(AvailabilityLevel, SameDatacenterNameDifferentCountryIsLevelFive) {
+  // Two datacenters that happen to share a short name in different
+  // countries are distinct failure domains.
+  const NodeLabel a{"NA", "USA", "DC1", "C01", "R01", "S1"};
+  const NodeLabel b{"NA", "CAN", "DC1", "C01", "R01", "S1"};
+  EXPECT_EQ(availability_level(a, b), 5u);
+}
+
+}  // namespace
+}  // namespace rfh

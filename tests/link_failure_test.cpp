@@ -1,0 +1,119 @@
+// Network-failure injection: links go down, routes shift, hubs move, and
+// RFH follows the traffic.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/rfh_policy.h"
+#include "test_util.h"
+
+namespace rfh {
+namespace {
+
+TEST(LinkFailure, ReroutesAroundTheFailedLink) {
+  SimConfig config;
+  config.partitions = 1;
+  auto sim = test::make_fixed_sim({}, std::make_unique<test::NullPolicy>(),
+                                  config);
+  const DatacenterId j = sim->world().by_letter('J');
+  const DatacenterId i = sim->world().by_letter('I');
+  const DatacenterId d = sim->world().by_letter('D');
+  const DatacenterId a = sim->world().by_letter('A');
+
+  // J -> A initially transits I then D.
+  const auto before = sim->paths().path(j, a);
+  ASSERT_GE(before.size(), 3u);
+  EXPECT_EQ(before[1], i);
+
+  // Cut the trans-Pacific link I-D: Osaka's traffic must re-route via
+  // Beijing and Zurich.
+  sim->fail_link(i, d);
+  EXPECT_EQ(sim->failed_link_count(), 1u);
+  const auto after = sim->paths().path(j, a);
+  for (std::size_t k = 0; k + 1 < after.size(); ++k) {
+    EXPECT_FALSE((after[k] == i && after[k + 1] == d) ||
+                 (after[k] == d && after[k + 1] == i));
+  }
+  EXPECT_GT(sim->paths().distance_km(j, a), 0.0);
+
+  // Restoration brings the original route back.
+  sim->restore_link(i, d);
+  EXPECT_EQ(sim->failed_link_count(), 0u);
+  EXPECT_EQ(sim->paths().path(j, a), before);
+}
+
+TEST(LinkFailure, IsIdempotent) {
+  auto sim = test::make_fixed_sim({}, std::make_unique<test::NullPolicy>());
+  const DatacenterId i = sim->world().by_letter('I');
+  const DatacenterId d = sim->world().by_letter('D');
+  sim->fail_link(i, d);
+  sim->fail_link(i, d);
+  sim->fail_link(d, i);  // either orientation
+  EXPECT_EQ(sim->failed_link_count(), 1u);
+  sim->restore_link(d, i);
+  sim->restore_link(i, d);
+  EXPECT_EQ(sim->failed_link_count(), 0u);
+}
+
+TEST(LinkFailure, RefusesToPartitionTheNetwork) {
+  auto sim = test::make_fixed_sim({}, std::make_unique<test::NullPolicy>());
+  // J's only link is J-I: cutting it would isolate Osaka.
+  EXPECT_DEATH(sim->fail_link(sim->world().by_letter('J'),
+                              sim->world().by_letter('I')),
+               "");
+}
+
+TEST(LinkFailure, SimulationKeepsServingAcrossTheFailure) {
+  SimConfig config;
+  config.partitions = 4;
+  QueryBatch demand;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    demand.push_back(QueryFlow{PartitionId{p}, DatacenterId{9}, 4.0});
+  }
+  auto sim = test::make_fixed_sim(demand, std::make_unique<RfhPolicy>(),
+                                  config);
+  sim->run(20);
+  sim->fail_link(sim->world().by_letter('I'), sim->world().by_letter('D'));
+  for (int e = 0; e < 30; ++e) sim->step();
+  sim->cluster().check_invariants();
+  // Demand from Osaka is still served via the detour.
+  double unserved = 0.0;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    unserved += sim->traffic().unserved(PartitionId{p});
+  }
+  EXPECT_LT(unserved, 4.0);  // far below the 16 queries/epoch offered
+}
+
+TEST(LinkFailure, TrafficHubsShiftWithTheRoutes) {
+  // With the trans-Pacific link down, Osaka/Tokyo traffic flows through
+  // Beijing and Zurich; RFH's hub copies must follow.
+  SimConfig config;
+  config.partitions = 1;
+  const PartitionId p{0};
+  QueryBatch demand{QueryFlow{p, DatacenterId{9}, 20.0},
+                    QueryFlow{p, DatacenterId{8}, 10.0}};
+  auto sim = test::make_fixed_sim(demand, std::make_unique<RfhPolicy>(),
+                                  config);
+  sim->run(30);
+
+  sim->fail_link(sim->world().by_letter('I'), sim->world().by_letter('D'));
+  for (int e = 0; e < 60; ++e) sim->step();
+
+  // After re-adaptation some copy sits on the new route (H or F or C...).
+  const auto new_route = sim->paths().path(
+      DatacenterId{9},
+      sim->topology().server(sim->cluster().primary_of(p)).datacenter);
+  bool on_new_route = false;
+  for (const Replica& r : sim->cluster().replicas_of(p)) {
+    if (r.primary) continue;
+    const DatacenterId dc = sim->topology().server(r.server).datacenter;
+    for (const DatacenterId road : new_route) {
+      if (dc == road) on_new_route = true;
+    }
+  }
+  EXPECT_TRUE(on_new_route);
+  EXPECT_LT(sim->traffic().unserved(p), 10.0);
+}
+
+}  // namespace
+}  // namespace rfh

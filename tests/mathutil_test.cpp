@@ -1,0 +1,97 @@
+#include "common/mathutil.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rfh {
+namespace {
+
+TEST(Mean, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Mean, KnownValues) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(PopulationStddev, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(population_stddev({}), 0.0);
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(population_stddev(one), 0.0);
+}
+
+TEST(PopulationStddev, ConstantSeries) {
+  const std::vector<double> v{3.0, 3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(population_stddev(v), 0.0);
+}
+
+TEST(PopulationStddev, KnownValue) {
+  // {2, 4, 4, 4, 5, 5, 7, 9}: classic example with population stddev 2.
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(population_stddev(v), 2.0, 1e-12);
+}
+
+TEST(PopulationStddev, TranslationInvariant) {
+  const std::vector<double> v{1.0, 5.0, 9.0};
+  std::vector<double> shifted;
+  for (const double x : v) shifted.push_back(x + 100.0);
+  EXPECT_NEAR(population_stddev(v), population_stddev(shifted), 1e-9);
+}
+
+TEST(CoefficientOfVariation, ScaleInvariant) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  std::vector<double> scaled;
+  for (const double x : v) scaled.push_back(x * 7.0);
+  EXPECT_NEAR(coefficient_of_variation(v), coefficient_of_variation(scaled),
+              1e-12);
+}
+
+TEST(CoefficientOfVariation, ZeroMeanGuard) {
+  const std::vector<double> v{-1.0, 1.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(v), 0.0);
+}
+
+TEST(Binomial, BaseCases) {
+  EXPECT_DOUBLE_EQ(binomial(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 6), 0.0);
+}
+
+TEST(Binomial, KnownValues) {
+  EXPECT_DOUBLE_EQ(binomial(4, 2), 6.0);
+  EXPECT_DOUBLE_EQ(binomial(10, 3), 120.0);
+  EXPECT_DOUBLE_EQ(binomial(52, 5), 2598960.0);
+}
+
+class BinomialIdentityTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BinomialIdentityTest, Symmetry) {
+  const std::uint32_t n = GetParam();
+  for (std::uint32_t k = 0; k <= n; ++k) {
+    EXPECT_NEAR(binomial(n, k), binomial(n, n - k), 1e-6);
+  }
+}
+
+TEST_P(BinomialIdentityTest, PascalRule) {
+  const std::uint32_t n = GetParam();
+  for (std::uint32_t k = 1; k <= n; ++k) {
+    EXPECT_NEAR(binomial(n + 1, k), binomial(n, k) + binomial(n, k - 1), 1e-6);
+  }
+}
+
+TEST_P(BinomialIdentityTest, RowSumIsPowerOfTwo) {
+  const std::uint32_t n = GetParam();
+  double sum = 0.0;
+  for (std::uint32_t k = 0; k <= n; ++k) sum += binomial(n, k);
+  EXPECT_NEAR(sum, std::pow(2.0, static_cast<double>(n)), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, BinomialIdentityTest,
+                         ::testing::Values<std::uint32_t>(0, 1, 2, 5, 10, 20));
+
+}  // namespace
+}  // namespace rfh

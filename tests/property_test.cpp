@@ -1,0 +1,220 @@
+// Cross-module property sweeps (parameterized): invariants that must hold
+// for any seed, size, or threshold configuration.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/availability.h"
+#include "core/rfh_policy.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "net/graph.h"
+#include "ring/ring.h"
+#include "test_util.h"
+
+namespace rfh {
+namespace {
+
+// ---------------------------------------------------------------------
+// Ring balance across sizes and token counts.
+class RingBalanceTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(RingBalanceTest, TokenCountControlsSpread) {
+  const auto [servers, tokens] = GetParam();
+  HashRing ring(tokens);
+  for (std::uint32_t s = 0; s < servers; ++s) ring.add_server(ServerId{s});
+
+  std::vector<int> counts(servers, 0);
+  Rng rng(1234);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[ring.primary(rng.next()).value()];
+  }
+  // Every server owns keyspace, and nobody owns more than a small
+  // multiple of its fair share (looser for fewer tokens).
+  const double fair = static_cast<double>(n) / servers;
+  const double slack = tokens >= 16 ? 3.0 : 6.0;
+  for (std::uint32_t s = 0; s < servers; ++s) {
+    EXPECT_GT(counts[s], 0) << "server " << s << " owns nothing";
+    EXPECT_LT(counts[s], slack * fair) << "server " << s << " over-owns";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndTokens, RingBalanceTest,
+    ::testing::Combine(::testing::Values<std::uint32_t>(3, 10, 50),
+                       ::testing::Values<std::uint32_t>(4, 16, 64)));
+
+// ---------------------------------------------------------------------
+// Traffic propagation invariants under random demand and capacities.
+class PropagationInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PropagationInvariantTest, ConservationCapacityAndNonNegativity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 17);
+  SimConfig config;
+  config.partitions = 6;
+  WorldOptions options;
+  options.per_replica_capacity_lo = 0.5 + rng.uniform_real() * 2.0;
+  options.per_replica_capacity_hi =
+      options.per_replica_capacity_lo + rng.uniform_real() * 4.0;
+  options.seed = rng.next();
+
+  // Random fixed demand.
+  QueryBatch batch;
+  for (std::uint32_t p = 0; p < config.partitions; ++p) {
+    const auto requesters = 1 + rng.uniform(4);
+    for (std::uint64_t j = 0; j < requesters; ++j) {
+      batch.push_back(QueryFlow{
+          PartitionId{p},
+          DatacenterId{static_cast<std::uint32_t>(rng.uniform(10))},
+          1.0 + rng.uniform_real() * 20.0});
+    }
+  }
+  // Random policy so replica sets evolve while we check.
+  auto sim = test::make_fixed_sim(batch, std::make_unique<RfhPolicy>(),
+                                  config, options);
+  for (int e = 0; e < 20; ++e) {
+    sim->step();
+    const EpochTraffic& traffic = sim->traffic();
+    for (std::uint32_t pv = 0; pv < config.partitions; ++pv) {
+      const PartitionId p{pv};
+      double served = 0.0;
+      for (std::uint32_t sv = 0; sv < traffic.servers(); ++sv) {
+        const ServerId s{sv};
+        EXPECT_GE(traffic.served(p, s), 0.0);
+        EXPECT_GE(traffic.node_traffic(p, s), 0.0);
+        EXPECT_LE(traffic.served(p, s),
+                  sim->topology().server(s).spec.per_replica_capacity + 1e-9);
+        served += traffic.served(p, s);
+      }
+      EXPECT_NEAR(served + traffic.unserved(p), traffic.partition_queries(p),
+                  1e-6);
+    }
+    sim->cluster().check_invariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationInvariantTest,
+                         ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------
+// Threshold sweeps: the decision tree must stay sane for any reasonable
+// beta/gamma/delta/mu.
+struct ThresholdCase {
+  double beta;
+  double gamma;
+  double delta;
+  double mu;
+};
+
+class ThresholdSweepTest : public ::testing::TestWithParam<ThresholdCase> {};
+
+TEST_P(ThresholdSweepTest, RfhStaysWithinFloorAndCap) {
+  const ThresholdCase& c = GetParam();
+  Scenario scenario = Scenario::paper_random_query();
+  scenario.epochs = 60;
+  scenario.sim.beta = c.beta;
+  scenario.sim.gamma = c.gamma;
+  scenario.sim.delta = c.delta;
+  scenario.sim.mu = c.mu;
+  const PolicyRun run = run_policy(scenario, PolicyKind::kRfh);
+  const std::uint32_t floor =
+      min_replicas(scenario.sim.min_availability, scenario.sim.failure_rate);
+  // Tail census bounded by floor and cap.
+  const double avg_tail =
+      tail_mean(run, &EpochMetrics::avg_replicas_per_partition, 15);
+  EXPECT_GE(avg_tail, static_cast<double>(floor) - 0.1);
+  EXPECT_LE(avg_tail,
+            static_cast<double>(scenario.sim.max_replicas_per_partition));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ThresholdSweepTest,
+    ::testing::Values(ThresholdCase{1.2, 1.1, 0.1, 0.5},
+                      ThresholdCase{2.0, 1.5, 0.2, 1.0},
+                      ThresholdCase{3.0, 2.0, 0.4, 2.0},
+                      ThresholdCase{4.0, 3.0, 0.05, 4.0},
+                      ThresholdCase{1.5, 2.5, 0.6, 0.25}));
+
+// ---------------------------------------------------------------------
+// Availability floor inverse property over a grid.
+class FloorGridTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FloorGridTest, MinReplicasIsTheLeastSufficientCount) {
+  const auto [target, f] = GetParam();
+  const std::uint32_t r = min_replicas(target, f);
+  EXPECT_GE(availability(r, f), target);
+  if (r > 2) {
+    EXPECT_LT(availability(r - 1, f), target);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TargetsAndFailureRates, FloorGridTest,
+    ::testing::Combine(::testing::Values(0.8, 0.9, 0.99, 0.9999),
+                       ::testing::Values(0.01, 0.1, 0.25, 0.5, 0.75)));
+
+// ---------------------------------------------------------------------
+// Scenario determinism across every policy and workload kind.
+struct DeterminismCase {
+  PolicyKind policy;
+  WorkloadKind workload;
+};
+
+class DeterminismTest : public ::testing::TestWithParam<DeterminismCase> {};
+
+TEST_P(DeterminismTest, IdenticalRunsProduceIdenticalSeries) {
+  Scenario scenario = Scenario::paper_random_query();
+  scenario.workload = GetParam().workload;
+  scenario.epochs = 40;
+  const PolicyRun a = run_policy(scenario, GetParam().policy);
+  const PolicyRun b = run_policy(scenario, GetParam().policy);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].total_replicas, b.series[i].total_replicas);
+    EXPECT_EQ(a.series[i].migrations_total, b.series[i].migrations_total);
+    EXPECT_DOUBLE_EQ(a.series[i].utilization, b.series[i].utilization);
+    EXPECT_DOUBLE_EQ(a.series[i].replication_cost_total,
+                     b.series[i].replication_cost_total);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyWorkloadGrid, DeterminismTest,
+    ::testing::Values(
+        DeterminismCase{PolicyKind::kRequest, WorkloadKind::kUniform},
+        DeterminismCase{PolicyKind::kOwner, WorkloadKind::kFlashCrowd},
+        DeterminismCase{PolicyKind::kRandom, WorkloadKind::kHotspotShift},
+        DeterminismCase{PolicyKind::kRfh, WorkloadKind::kUniform},
+        DeterminismCase{PolicyKind::kRfh, WorkloadKind::kFlashCrowd}));
+
+// ---------------------------------------------------------------------
+// The simulation scales to bigger synthetic worlds without violating
+// invariants.
+class WorldScaleTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WorldScaleTest, BiggerWorldsRunCleanly) {
+  const std::uint32_t n_dcs = GetParam();
+  World world = build_synthetic_world(n_dcs);
+  SimConfig config;
+  config.partitions = 16;
+  WorkloadParams params;
+  params.partitions = 16;
+  params.datacenters = n_dcs;
+  params.mean_queries_per_epoch = 30.0 * n_dcs;
+  auto sim = std::make_unique<Simulation>(
+      std::move(world), config, std::make_unique<UniformWorkload>(params),
+      std::make_unique<RfhPolicy>());
+  for (int e = 0; e < 25; ++e) sim->step();
+  sim->cluster().check_invariants();
+  EXPECT_GT(sim->cluster().total_replicas(), 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WorldScaleTest,
+                         ::testing::Values<std::uint32_t>(2, 5, 10, 25));
+
+}  // namespace
+}  // namespace rfh

@@ -1,0 +1,85 @@
+#include "ring/rendezvous.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace rfh {
+namespace {
+
+std::vector<ServerId> servers(std::uint32_t n) {
+  std::vector<ServerId> out;
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(ServerId{i});
+  return out;
+}
+
+TEST(Rendezvous, Deterministic) {
+  const auto candidates = servers(10);
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(rendezvous_pick(key, candidates),
+              rendezvous_pick(key, candidates));
+  }
+}
+
+TEST(Rendezvous, ResultIsACandidate) {
+  const auto candidates = servers(7);
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    const ServerId pick = rendezvous_pick(key, candidates);
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), pick),
+              candidates.end());
+  }
+}
+
+TEST(Rendezvous, SingleCandidate) {
+  const std::vector<ServerId> one{ServerId{3}};
+  EXPECT_EQ(rendezvous_pick(42, one), ServerId{3});
+}
+
+TEST(Rendezvous, IndependentOfCandidateOrder) {
+  auto candidates = servers(8);
+  std::vector<ServerId> reversed(candidates.rbegin(), candidates.rend());
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    EXPECT_EQ(rendezvous_pick(key, candidates),
+              rendezvous_pick(key, reversed));
+  }
+}
+
+TEST(Rendezvous, StableWhenNonWinnerLeaves) {
+  // The HRW property: removing any candidate that did not win leaves the
+  // winner unchanged.
+  const auto candidates = servers(10);
+  for (std::uint64_t key = 0; key < 300; ++key) {
+    const ServerId winner = rendezvous_pick(key, candidates);
+    for (const ServerId leaver : candidates) {
+      if (leaver == winner) continue;
+      std::vector<ServerId> without;
+      for (const ServerId s : candidates) {
+        if (s != leaver) without.push_back(s);
+      }
+      EXPECT_EQ(rendezvous_pick(key, without), winner);
+    }
+  }
+}
+
+TEST(Rendezvous, SpreadsKeysRoughlyUniformly) {
+  const auto candidates = servers(5);
+  std::map<ServerId, int> counts;
+  const int n = 20000;
+  for (std::uint64_t key = 0; key < n; ++key) {
+    ++counts[rendezvous_pick(key, candidates)];
+  }
+  for (const auto& [server, count] : counts) {
+    EXPECT_GT(count, n / 10) << server.value();
+    EXPECT_LT(count, n / 2) << server.value();
+  }
+}
+
+TEST(RendezvousDeath, EmptyCandidates) {
+  const std::vector<ServerId> none;
+  EXPECT_DEATH(rendezvous_pick(1, none), "");
+}
+
+}  // namespace
+}  // namespace rfh

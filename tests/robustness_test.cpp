@@ -1,0 +1,173 @@
+// Robustness under combined and extreme regimes: simultaneous server,
+// datacenter and link failures; degenerate world shapes; storage and
+// vnode-cap pressure; long-run stability.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/log.h"
+#include "core/rfh_policy.h"
+#include "harness/runner.h"
+#include "test_util.h"
+
+namespace rfh {
+namespace {
+
+TEST(Robustness, CombinedServerLinkAndDatacenterFailures) {
+  SimConfig config;
+  config.partitions = 16;
+  WorkloadParams params;
+  params.partitions = 16;
+  params.datacenters = 10;
+  auto sim = std::make_unique<Simulation>(
+      build_paper_world(test::uniform_world_options()), config,
+      std::make_unique<UniformWorkload>(params),
+      std::make_unique<RfhPolicy>());
+  sim->run(40);
+
+  // Pile on: a link failure, a datacenter disaster, and random server
+  // deaths, interleaved with stepping.
+  sim->fail_link(sim->world().by_letter('I'), sim->world().by_letter('D'));
+  sim->run(10);
+  sim->fail_datacenter(sim->world().by_letter('C'));
+  sim->run(10);
+  sim->fail_random_servers(10);
+  sim->run(40);
+  sim->cluster().check_invariants();
+
+  // Then heal everything and confirm the system re-absorbs it.
+  std::vector<ServerId> dead;
+  for (const Server& s : sim->topology().servers()) {
+    if (!sim->cluster().alive(s.id)) dead.push_back(s.id);
+  }
+  sim->recover_servers(dead);
+  sim->restore_link(sim->world().by_letter('I'), sim->world().by_letter('D'));
+  sim->run(40);
+  sim->cluster().check_invariants();
+  EXPECT_EQ(sim->cluster().live_server_count(), 100u);
+  for (std::uint32_t p = 0; p < config.partitions; ++p) {
+    EXPECT_GE(sim->cluster().replica_count(PartitionId{p}), 2u);
+  }
+}
+
+TEST(Robustness, SingleDatacenterWorldStillWorks) {
+  // All routing degenerates to local stages; RFH must fall back to
+  // same-datacenter relief.
+  World world = build_synthetic_world(1, test::uniform_world_options());
+  SimConfig config;
+  config.partitions = 4;
+  WorkloadParams params;
+  params.partitions = 4;
+  params.datacenters = 1;
+  params.mean_queries_per_epoch = 40.0;
+  auto sim = std::make_unique<Simulation>(
+      std::move(world), config, std::make_unique<UniformWorkload>(params),
+      std::make_unique<RfhPolicy>());
+  for (int e = 0; e < 40; ++e) sim->step();
+  sim->cluster().check_invariants();
+  // Demand 40/epoch against 10 servers x capacity 2: the single
+  // datacenter saturates, but copies must have grown to absorb it.
+  EXPECT_GT(sim->cluster().total_replicas(), 8u);
+}
+
+TEST(Robustness, StoragePressureBindsAndIsRespected) {
+  // Disks sized for ~2 copies under the 70% rule: the cluster must stay
+  // within the limit everywhere and keep running (with dropped actions).
+  SimConfig config;
+  config.partitions = 32;
+  WorldOptions options = test::uniform_world_options(
+      /*capacity=*/2.0, /*channels=*/4,
+      /*storage=*/Bytes{3} * SimConfig{}.partition_size);
+  WorkloadParams params;
+  params.partitions = 32;
+  params.datacenters = 10;
+  auto sim = std::make_unique<Simulation>(
+      build_paper_world(options), config,
+      std::make_unique<UniformWorkload>(params),
+      std::make_unique<RfhPolicy>());
+  for (int e = 0; e < 60; ++e) sim->step();
+  for (const Server& s : sim->topology().servers()) {
+    EXPECT_LE(sim->cluster().copies_on(s.id), 2u) << "phi limit violated";
+  }
+  sim->cluster().check_invariants();
+}
+
+TEST(Robustness, VnodeCapBindsAndIsRespected) {
+  SimConfig config;
+  config.partitions = 64;
+  WorldOptions options = test::uniform_world_options();
+  options.max_vnodes = 1;  // one copy per server, cluster-wide cap 100
+  WorkloadParams params;
+  params.partitions = 64;
+  params.datacenters = 10;
+  auto sim = std::make_unique<Simulation>(
+      build_paper_world(options), config,
+      std::make_unique<UniformWorkload>(params),
+      std::make_unique<RfhPolicy>());
+  for (int e = 0; e < 60; ++e) sim->step();
+  EXPECT_LE(sim->cluster().total_replicas(), 100u);
+  for (const Server& s : sim->topology().servers()) {
+    EXPECT_LE(sim->cluster().copies_on(s.id), 1u);
+  }
+}
+
+TEST(Robustness, LongRunStaysBoundedAndInvariant) {
+  Scenario scenario = Scenario::paper_random_query();
+  scenario.epochs = 400;
+  const PolicyRun run = run_policy(scenario, PolicyKind::kRfh);
+  // Census bounded between floor and cap for the whole tail.
+  for (std::size_t e = 50; e < run.series.size(); ++e) {
+    EXPECT_GE(run.series[e].avg_replicas_per_partition, 1.9);
+    EXPECT_LE(run.series[e].avg_replicas_per_partition, 16.0);
+  }
+  // No runaway cumulative churn: the last 100 epochs replicate at a far
+  // lower rate than the first 100 (build-out vs steady state).
+  const double early = run.series[99].replication_cost_total;
+  const double late = run.series.back().replication_cost_total -
+                      run.series[run.series.size() - 100].replication_cost_total;
+  EXPECT_LT(late, early);
+}
+
+TEST(Robustness, ManyPartitionsFewServers) {
+  // 256 partitions on the 100-server world: several vnodes per server.
+  SimConfig config;
+  config.partitions = 256;
+  WorkloadParams params;
+  params.partitions = 256;
+  params.datacenters = 10;
+  auto sim = std::make_unique<Simulation>(
+      build_paper_world(test::uniform_world_options()), config,
+      std::make_unique<UniformWorkload>(params),
+      std::make_unique<RfhPolicy>());
+  for (int e = 0; e < 30; ++e) sim->step();
+  sim->cluster().check_invariants();
+  EXPECT_GE(sim->cluster().total_replicas(), 256u);
+}
+
+TEST(Robustness, ZeroDemandIsAValidSteadyState) {
+  // No queries at all: the floor is established and nothing else happens.
+  SimConfig config;
+  config.partitions = 8;
+  auto sim = test::make_fixed_sim({}, std::make_unique<RfhPolicy>(), config);
+  for (int e = 0; e < 30; ++e) sim->step();
+  const std::uint32_t after_floor = sim->cluster().total_replicas();
+  std::uint32_t actions = 0;
+  for (int e = 0; e < 30; ++e) {
+    const EpochReport r = sim->step();
+    actions += r.replications + r.migrations + r.suicides;
+  }
+  EXPECT_EQ(actions, 0u);
+  EXPECT_EQ(sim->cluster().total_replicas(), after_floor);
+}
+
+TEST(Logging, LevelFilterWorks) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  log(LogLevel::kDebug, "should be suppressed %d", 1);  // must not crash
+  log(LogLevel::kError, "visible %s", "message");
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace rfh

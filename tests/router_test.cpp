@@ -1,0 +1,145 @@
+#include "routing/router.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "net/graph.h"
+#include "topology/world.h"
+
+namespace rfh {
+namespace {
+
+class RouterTest : public ::testing::Test {
+ protected:
+  RouterTest()
+      : world_(build_paper_world()),
+        graph_(world_.topology.datacenter_count(), world_.links),
+        paths_(graph_),
+        router_(world_.topology, paths_) {
+    live_by_dc_.resize(world_.topology.datacenter_count());
+    for (const Server& s : world_.topology.servers()) {
+      live_by_dc_[s.datacenter.value()].push_back(s.id);
+    }
+  }
+
+  ServerId first_server_in(char letter) const {
+    return world_.topology.servers_in(world_.by_letter(letter)).front();
+  }
+
+  World world_;
+  DcGraph graph_;
+  ShortestPaths paths_;
+  Router router_;
+  std::vector<std::vector<ServerId>> live_by_dc_;
+};
+
+TEST_F(RouterTest, StagesFollowTheDatacenterPath) {
+  const ServerId holder = first_server_in('A');
+  const Route route = router_.route(PartitionId{0}, world_.by_letter('J'),
+                                    holder, live_by_dc_);
+  const auto dc_path =
+      paths_.path(world_.by_letter('J'), world_.by_letter('A'));
+  ASSERT_EQ(route.stages.size(), dc_path.size());
+  for (std::size_t i = 0; i < dc_path.size(); ++i) {
+    EXPECT_EQ(route.stages[i].dc, dc_path[i]);
+  }
+  EXPECT_EQ(route.holder, holder);
+}
+
+TEST_F(RouterTest, HopsAreMonotoneAndTotalIsOnePastLastStage) {
+  const ServerId holder = first_server_in('A');
+  const Route route = router_.route(PartitionId{3}, world_.by_letter('H'),
+                                    holder, live_by_dc_);
+  ASSERT_FALSE(route.stages.empty());
+  EXPECT_EQ(route.stages.front().hops_at_entry, 1u);
+  for (std::size_t i = 1; i < route.stages.size(); ++i) {
+    EXPECT_EQ(route.stages[i].hops_at_entry,
+              route.stages[i - 1].hops_at_entry + 1);
+  }
+  EXPECT_EQ(route.total_hops, route.stages.back().hops_at_entry + 1);
+}
+
+TEST_F(RouterTest, RelayIsALiveServerOfItsDatacenter) {
+  const ServerId holder = first_server_in('A');
+  for (const DatacenterId requester : world_.dc) {
+    const Route route =
+        router_.route(PartitionId{7}, requester, holder, live_by_dc_);
+    for (const RouteStage& stage : route.stages) {
+      const auto& live = live_by_dc_[stage.dc.value()];
+      EXPECT_NE(std::find(live.begin(), live.end(), stage.relay), live.end());
+      EXPECT_EQ(world_.topology.server(stage.relay).datacenter, stage.dc);
+    }
+  }
+}
+
+TEST_F(RouterTest, HolderDatacenterRelayIsTheHolderItself) {
+  const ServerId holder = first_server_in('A');
+  const Route route = router_.route(PartitionId{1}, world_.by_letter('C'),
+                                    holder, live_by_dc_);
+  EXPECT_EQ(route.stages.back().dc, world_.by_letter('A'));
+  EXPECT_EQ(route.stages.back().relay, holder);
+}
+
+TEST_F(RouterTest, LocalQueryHasSingleStage) {
+  const ServerId holder = first_server_in('A');
+  const Route route = router_.route(PartitionId{2}, world_.by_letter('A'),
+                                    holder, live_by_dc_);
+  ASSERT_EQ(route.stages.size(), 1u);
+  EXPECT_EQ(route.stages[0].relay, holder);
+  EXPECT_EQ(route.total_hops, 2u);  // entry + descent
+}
+
+TEST_F(RouterTest, DeadDatacenterIsSkippedButCostsAHop) {
+  const ServerId holder = first_server_in('A');
+  // J -> A transits I and D; empty out I.
+  const Route before = router_.route(PartitionId{0}, world_.by_letter('J'),
+                                     holder, live_by_dc_);
+  auto live = live_by_dc_;
+  live[world_.by_letter('I').value()].clear();
+  const Route after = router_.route(PartitionId{0}, world_.by_letter('J'),
+                                    holder, live);
+  EXPECT_EQ(after.stages.size(), before.stages.size() - 1);
+  EXPECT_EQ(after.total_hops, before.total_hops);  // hop still paid
+  for (const RouteStage& stage : after.stages) {
+    EXPECT_NE(stage.dc, world_.by_letter('I'));
+  }
+}
+
+TEST_F(RouterTest, RelayIsDeterministicPerPartition) {
+  const ServerId holder = first_server_in('A');
+  const Route r1 = router_.route(PartitionId{5}, world_.by_letter('J'),
+                                 holder, live_by_dc_);
+  const Route r2 = router_.route(PartitionId{5}, world_.by_letter('J'),
+                                 holder, live_by_dc_);
+  ASSERT_EQ(r1.stages.size(), r2.stages.size());
+  for (std::size_t i = 0; i < r1.stages.size(); ++i) {
+    EXPECT_EQ(r1.stages[i].relay, r2.stages[i].relay);
+  }
+}
+
+TEST_F(RouterTest, DifferentPartitionsUseDifferentRelays) {
+  // Rendezvous hashing spreads relay duty: across 64 partitions the
+  // transit datacenter D must not always pick the same server.
+  const ServerId holder = first_server_in('A');
+  std::set<ServerId> relays;
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    const Route route = router_.route(PartitionId{p}, world_.by_letter('J'),
+                                      holder, live_by_dc_);
+    for (const RouteStage& stage : route.stages) {
+      if (stage.dc == world_.by_letter('D')) relays.insert(stage.relay);
+    }
+  }
+  EXPECT_GT(relays.size(), 3u);
+}
+
+TEST_F(RouterTest, RelayForPicksAmongGivenServers) {
+  const std::vector<ServerId> live{ServerId{12}, ServerId{13}};
+  const ServerId relay =
+      Router::relay_for(PartitionId{0}, DatacenterId{1}, live);
+  EXPECT_TRUE(relay == ServerId{12} || relay == ServerId{13});
+}
+
+}  // namespace
+}  // namespace rfh

@@ -1,0 +1,146 @@
+#include "core/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/erlang.h"
+#include "test_util.h"
+
+namespace rfh {
+namespace {
+
+// Run one probing epoch and hand the PolicyContext to `fn`.
+template <typename Fn>
+void with_context(Fn fn, QueryBatch batch = {},
+                  WorldOptions options = test::uniform_world_options(),
+                  SimConfig config = {}) {
+  bool ran = false;
+  auto policy = test::make_lambda_policy([&](const PolicyContext& ctx) {
+    fn(ctx);
+    ran = true;
+    return Actions{};
+  });
+  auto sim = test::make_fixed_sim(std::move(batch), std::move(policy), config,
+                                  options);
+  sim->step();
+  ASSERT_TRUE(ran);
+}
+
+TEST(Selection, FirstFitPicksFirstFeasible) {
+  with_context([](const PolicyContext& ctx) {
+    const DatacenterId dc{0};
+    const PartitionId p{0};
+    const auto& live = ctx.cluster.live_by_dc()[dc.value()];
+    ServerId expected;
+    for (const ServerId s : live) {
+      if (ctx.cluster.can_accept(s, p)) {
+        expected = s;
+        break;
+      }
+    }
+    EXPECT_EQ(select_server_first_fit(ctx, dc, p), expected);
+  });
+}
+
+TEST(Selection, FirstFitSkipsTheHostingServer) {
+  with_context([](const PolicyContext& ctx) {
+    const PartitionId p{0};
+    const ServerId primary = ctx.cluster.primary_of(p);
+    const DatacenterId dc = ctx.topology.server(primary).datacenter;
+    const ServerId pick = select_server_first_fit(ctx, dc, p);
+    ASSERT_TRUE(pick.valid());
+    EXPECT_NE(pick, primary);
+  });
+}
+
+TEST(Selection, ErlangBPicksLowestBlockingProbability) {
+  // Under a uniform world with no traffic history, all blocking
+  // probabilities are 0 and the first feasible server wins; with traffic
+  // concentrated on one server, that server must NOT be chosen.
+  const PartitionId p{0};
+  QueryBatch heavy{QueryFlow{p, DatacenterId{0}, 50.0}};
+  int epoch = 0;
+  auto policy = test::make_lambda_policy([&](const PolicyContext& ctx) {
+    ++epoch;
+    if (epoch < 3) return Actions{};  // let arrival EWMAs build up
+    // The relay of DC 0 for partition 0 carries all the traffic.
+    const DatacenterId dc{0};
+    double max_arrival = -1.0;
+    ServerId busiest;
+    for (const ServerId s : ctx.cluster.live_by_dc()[dc.value()]) {
+      const double a = ctx.stats.server_arrival(s);
+      if (a > max_arrival) {
+        max_arrival = a;
+        busiest = s;
+      }
+    }
+    if (max_arrival <= 0.0) return Actions{};
+    const ServerId pick = select_server_erlang_b(ctx, dc, p);
+    EXPECT_TRUE(pick.valid());
+    if (!pick.valid()) return Actions{};
+    EXPECT_NE(pick, busiest);
+    EXPECT_LE(blocking_probability(ctx, pick),
+              blocking_probability(ctx, busiest));
+    return Actions{};
+  });
+  // Make sure the primary of partition 0 is not in DC 0 by probing:
+  auto sim = test::make_fixed_sim(heavy, std::move(policy));
+  for (int e = 0; e < 5; ++e) sim->step();
+}
+
+TEST(Selection, BlockingProbabilityUsesErlangB) {
+  with_context(
+      [](const PolicyContext& ctx) {
+        const ServerId s{0};
+        const ServerSpec& spec = ctx.topology.server(s).spec;
+        const double offered =
+            ctx.stats.server_arrival(s) / spec.per_replica_capacity;
+        EXPECT_NEAR(blocking_probability(ctx, s),
+                    erlang_b(offered, spec.service_channels), 1e-12);
+      },
+      {QueryFlow{PartitionId{0}, DatacenterId{0}, 10.0}});
+}
+
+TEST(Selection, RandomPickIsFeasibleMember) {
+  with_context([](const PolicyContext& ctx) {
+    const DatacenterId dc{3};
+    const PartitionId p{1};
+    for (int i = 0; i < 20; ++i) {
+      const ServerId pick = select_server_random(ctx, dc, p, ctx.rng);
+      ASSERT_TRUE(pick.valid());
+      EXPECT_EQ(ctx.topology.server(pick).datacenter, dc);
+      EXPECT_TRUE(ctx.cluster.can_accept(pick, p));
+    }
+  });
+}
+
+TEST(Selection, AllVariantsReturnInvalidWhenNothingFeasible) {
+  // Vnode cap of 1: after seeding one primary per server... simpler: use
+  // a config whose partition size exceeds the storage limit, so no server
+  // can accept anything.
+  SimConfig config;
+  config.partitions = 1;
+  WorldOptions options = test::uniform_world_options();
+  options.storage_capacity_lo = kib(512);  // 70% of 512K < one partition
+  options.storage_capacity_hi = kib(512);
+  bool ran = false;
+  auto policy = test::make_lambda_policy([&](const PolicyContext& ctx) {
+    const DatacenterId dc{1};
+    const PartitionId p{0};
+    EXPECT_FALSE(select_server_first_fit(ctx, dc, p).valid());
+    EXPECT_FALSE(select_server_erlang_b(ctx, dc, p).valid());
+    EXPECT_FALSE(select_server_random(ctx, dc, p, ctx.rng).valid());
+    ran = true;
+    return Actions{};
+  });
+  // Seeding the primary itself must still work (primaries bypass nothing,
+  // but the seed happens regardless of the 70% limit? No — it uses
+  // add_replica directly, which doesn't check can_accept).
+  auto sim = test::make_fixed_sim({}, std::move(policy), config, options);
+  sim->step();
+  ASSERT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace rfh

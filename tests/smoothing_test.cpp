@@ -1,0 +1,72 @@
+#include "common/smoothing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rfh {
+namespace {
+
+TEST(Ewma, FirstObservationInitializesDirectly) {
+  Ewma ewma(0.2);
+  EXPECT_FALSE(ewma.initialized());
+  EXPECT_DOUBLE_EQ(ewma.update(10.0), 10.0);
+  EXPECT_TRUE(ewma.initialized());
+}
+
+TEST(Ewma, PaperFormulaOrientation) {
+  // v_t = alpha * v_{t-1} + (1 - alpha) * x_t with alpha weighting history
+  // (Eqs. 10-11).
+  Ewma ewma(0.2);
+  ewma.update(10.0);
+  EXPECT_DOUBLE_EQ(ewma.update(0.0), 0.2 * 10.0);
+  EXPECT_DOUBLE_EQ(ewma.update(5.0), 0.2 * 2.0 + 0.8 * 5.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma ewma(0.7);
+  ewma.update(0.0);
+  for (int i = 0; i < 200; ++i) ewma.update(42.0);
+  EXPECT_NEAR(ewma.value(), 42.0, 1e-9);
+}
+
+TEST(Ewma, HighAlphaAdaptsSlowly) {
+  Ewma fast(0.1);  // history weight 0.1 -> adapts fast
+  Ewma slow(0.9);  // history weight 0.9 -> adapts slowly
+  fast.update(0.0);
+  slow.update(0.0);
+  fast.update(100.0);
+  slow.update(100.0);
+  EXPECT_GT(fast.value(), slow.value());
+}
+
+TEST(Ewma, ResetClearsState) {
+  Ewma ewma(0.5);
+  ewma.update(7.0);
+  ewma.reset();
+  EXPECT_FALSE(ewma.initialized());
+  EXPECT_DOUBLE_EQ(ewma.update(3.0), 3.0);
+}
+
+TEST(Ewma, StaysWithinObservedRange) {
+  Ewma ewma(0.3);
+  double lo = 1e18;
+  double hi = -1e18;
+  const double inputs[] = {3.0, 7.0, 1.0, 9.0, 4.0, 4.0, 2.0};
+  for (const double x : inputs) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    const double v = ewma.update(x);
+    EXPECT_GE(v, lo - 1e-12);
+    EXPECT_LE(v, hi + 1e-12);
+  }
+}
+
+TEST(EwmaDeath, RejectsDegenerateAlpha) {
+  EXPECT_DEATH(Ewma(0.0), "");
+  EXPECT_DEATH(Ewma(1.0), "");
+  EXPECT_DEATH(Ewma(-0.5), "");
+}
+
+}  // namespace
+}  // namespace rfh

@@ -1,0 +1,116 @@
+// Shared test helpers: controlled worlds (degenerate capacity ranges so
+// every server is identical), scripted workloads and policies, and small
+// scenario builders.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.h"
+#include "topology/world.h"
+#include "workload/generator.h"
+
+namespace rfh::test {
+
+/// World options with all heterogeneity collapsed: every server has
+/// exactly `capacity` per-replica capacity, `channels` service channels,
+/// and `storage` bytes of disk.
+inline WorldOptions uniform_world_options(double capacity = 2.0,
+                                          std::uint32_t channels = 4,
+                                          Bytes storage = gib(10)) {
+  WorldOptions o;
+  o.per_replica_capacity_lo = capacity;
+  o.per_replica_capacity_hi = capacity;
+  o.service_channels_lo = channels;
+  o.service_channels_hi = channels;
+  o.storage_capacity_lo = storage;
+  o.storage_capacity_hi = storage;
+  return o;
+}
+
+/// Emits the same fixed batch every epoch (deterministic by construction).
+class FixedWorkload final : public WorkloadGenerator {
+ public:
+  explicit FixedWorkload(QueryBatch batch) : batch_(std::move(batch)) {}
+  [[nodiscard]] QueryBatch generate(Epoch /*epoch*/, Rng& /*rng*/) override {
+    return batch_;
+  }
+
+ private:
+  QueryBatch batch_;
+};
+
+/// Emits batches from a per-epoch schedule; epochs beyond the schedule
+/// reuse the last entry (empty schedule -> empty batches).
+class ScheduledWorkload final : public WorkloadGenerator {
+ public:
+  explicit ScheduledWorkload(std::vector<QueryBatch> schedule)
+      : schedule_(std::move(schedule)) {}
+  [[nodiscard]] QueryBatch generate(Epoch epoch, Rng& /*rng*/) override {
+    if (schedule_.empty()) return {};
+    const std::size_t i =
+        std::min<std::size_t>(epoch, schedule_.size() - 1);
+    return schedule_[i];
+  }
+
+ private:
+  std::vector<QueryBatch> schedule_;
+};
+
+/// Never acts.
+class NullPolicy final : public ReplicationPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Null"; }
+  [[nodiscard]] Actions decide(const PolicyContext& /*ctx*/) override {
+    return {};
+  }
+};
+
+/// Replays a fixed queue of action sets, then does nothing.
+class ScriptedPolicy final : public ReplicationPolicy {
+ public:
+  explicit ScriptedPolicy(std::vector<Actions> script)
+      : script_(std::move(script)) {}
+  [[nodiscard]] std::string_view name() const override { return "Scripted"; }
+  [[nodiscard]] Actions decide(const PolicyContext& /*ctx*/) override {
+    if (next_ >= script_.size()) return {};
+    return script_[next_++];
+  }
+
+ private:
+  std::vector<Actions> script_;
+  std::size_t next_ = 0;
+};
+
+/// Adapts a callable into a policy — handy for probing the PolicyContext
+/// from inside a running simulation.
+template <typename Fn>
+class LambdaPolicy final : public ReplicationPolicy {
+ public:
+  explicit LambdaPolicy(Fn fn) : fn_(std::move(fn)) {}
+  [[nodiscard]] std::string_view name() const override { return "Lambda"; }
+  [[nodiscard]] Actions decide(const PolicyContext& ctx) override {
+    return fn_(ctx);
+  }
+
+ private:
+  Fn fn_;
+};
+
+template <typename Fn>
+std::unique_ptr<LambdaPolicy<Fn>> make_lambda_policy(Fn fn) {
+  return std::make_unique<LambdaPolicy<Fn>>(std::move(fn));
+}
+
+/// A paper-world simulation with a fixed workload and a given policy.
+inline std::unique_ptr<Simulation> make_fixed_sim(
+    QueryBatch batch, std::unique_ptr<ReplicationPolicy> policy,
+    SimConfig config = {}, WorldOptions world_options = uniform_world_options()) {
+  return std::make_unique<Simulation>(
+      build_paper_world(world_options), config,
+      std::make_unique<FixedWorkload>(std::move(batch)), std::move(policy));
+}
+
+}  // namespace rfh::test

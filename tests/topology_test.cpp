@@ -1,0 +1,116 @@
+#include "topology/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topology/geo.h"
+
+namespace rfh {
+namespace {
+
+Topology two_dc_topology() {
+  Topology topo;
+  const DatacenterId a = topo.add_datacenter("GA1", "USA",
+                                             Continent::kNorthAmerica,
+                                             GeoPoint{33.7, -84.4});
+  const DatacenterId b = topo.add_datacenter("TY1", "JPN", Continent::kAsia,
+                                             GeoPoint{35.7, 139.7});
+  for (const DatacenterId dc : {a, b}) {
+    const RoomId room = topo.add_room(dc);
+    for (int rack_i = 0; rack_i < 2; ++rack_i) {
+      const RackId rack = topo.add_rack(room);
+      for (int s = 0; s < 3; ++s) {
+        topo.add_server(rack, ServerSpec{});
+      }
+    }
+  }
+  return topo;
+}
+
+TEST(Topology, CountsAndHierarchy) {
+  const Topology topo = two_dc_topology();
+  EXPECT_EQ(topo.datacenter_count(), 2u);
+  EXPECT_EQ(topo.server_count(), 12u);
+  EXPECT_EQ(topo.servers_in(DatacenterId{0}).size(), 6u);
+  EXPECT_EQ(topo.servers_in(DatacenterId{1}).size(), 6u);
+}
+
+TEST(Topology, ServerBackPointersConsistent) {
+  const Topology topo = two_dc_topology();
+  for (const Server& s : topo.servers()) {
+    const Rack& rack = topo.rack(s.rack);
+    EXPECT_EQ(rack.datacenter, s.datacenter);
+    const Room& room = topo.room(s.room);
+    EXPECT_EQ(room.datacenter, s.datacenter);
+    // The server appears in its rack's and datacenter's lists.
+    EXPECT_NE(std::find(rack.servers.begin(), rack.servers.end(), s.id),
+              rack.servers.end());
+    const auto& dc_servers = topo.datacenter(s.datacenter).servers;
+    EXPECT_NE(std::find(dc_servers.begin(), dc_servers.end(), s.id),
+              dc_servers.end());
+  }
+}
+
+TEST(Topology, LabelsEncodePosition) {
+  const Topology topo = two_dc_topology();
+  // First server of DC 0: room 1, rack 1, server 1.
+  EXPECT_EQ(topo.server(ServerId{0}).label.to_string(),
+            "NA-USA-GA1-C01-R01-S1");
+  // Fourth server of DC 0 is the first in rack 2.
+  EXPECT_EQ(topo.server(ServerId{3}).label.to_string(),
+            "NA-USA-GA1-C01-R02-S1");
+  // First server of DC 1 (Tokyo).
+  EXPECT_EQ(topo.server(ServerId{6}).label.to_string(),
+            "AS-JPN-TY1-C01-R01-S1");
+}
+
+TEST(Topology, AvailabilityLevelsAcrossHierarchy) {
+  const Topology topo = two_dc_topology();
+  EXPECT_EQ(topo.availability_level(ServerId{0}, ServerId{0}), 1u);
+  EXPECT_EQ(topo.availability_level(ServerId{0}, ServerId{1}), 2u);  // rack
+  EXPECT_EQ(topo.availability_level(ServerId{0}, ServerId{3}), 3u);  // room
+  EXPECT_EQ(topo.availability_level(ServerId{0}, ServerId{6}), 5u);  // DC
+}
+
+TEST(Topology, DistanceSymmetricAndZeroToSelf) {
+  const Topology topo = two_dc_topology();
+  EXPECT_DOUBLE_EQ(topo.distance_km(DatacenterId{0}, DatacenterId{0}), 0.0);
+  EXPECT_DOUBLE_EQ(topo.distance_km(DatacenterId{0}, DatacenterId{1}),
+                   topo.distance_km(DatacenterId{1}, DatacenterId{0}));
+  // Atlanta-Tokyo is around 11,000 km.
+  EXPECT_NEAR(topo.distance_km(DatacenterId{0}, DatacenterId{1}), 11000.0,
+              500.0);
+}
+
+TEST(Geo, GreatCircleKnownDistances) {
+  const GeoPoint nyc{40.7, -74.0};
+  const GeoPoint london{51.5, -0.1};
+  EXPECT_NEAR(great_circle_km(nyc, london), 5570.0, 60.0);
+  EXPECT_DOUBLE_EQ(great_circle_km(nyc, nyc), 0.0);
+}
+
+TEST(Geo, ContinentCodesRoundTrip) {
+  for (const Continent c :
+       {Continent::kNorthAmerica, Continent::kSouthAmerica, Continent::kEurope,
+        Continent::kAsia, Continent::kAfrica, Continent::kOceania}) {
+    EXPECT_EQ(parse_continent(continent_code(c)), c);
+  }
+  EXPECT_DEATH(parse_continent("XX"), "");
+}
+
+TEST(Topology, SpecIsStoredPerServer) {
+  Topology topo;
+  const DatacenterId dc = topo.add_datacenter(
+      "GA1", "USA", Continent::kNorthAmerica, GeoPoint{});
+  const RackId rack = topo.add_rack(topo.add_room(dc));
+  ServerSpec spec;
+  spec.per_replica_capacity = 7.5;
+  spec.max_vnodes = 3;
+  const ServerId s = topo.add_server(rack, spec);
+  EXPECT_DOUBLE_EQ(topo.server(s).spec.per_replica_capacity, 7.5);
+  EXPECT_EQ(topo.server(s).spec.max_vnodes, 3u);
+}
+
+}  // namespace
+}  // namespace rfh

@@ -1,0 +1,134 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+namespace rfh {
+namespace {
+
+QueryBatch batch(std::initializer_list<QueryFlow> flows) { return flows; }
+
+TEST(TraceWorkload, ReplaysScheduleAndRunsDryAfterwards) {
+  std::vector<QueryBatch> epochs;
+  epochs.push_back(batch({QueryFlow{PartitionId{0}, DatacenterId{1}, 5.0}}));
+  epochs.push_back({});
+  epochs.push_back(batch({QueryFlow{PartitionId{2}, DatacenterId{3}, 7.5}}));
+  TraceWorkload trace(std::move(epochs));
+  Rng rng(1);
+
+  const QueryBatch e0 = trace.generate(0, rng);
+  ASSERT_EQ(e0.size(), 1u);
+  EXPECT_EQ(e0[0].partition, PartitionId{0});
+  EXPECT_TRUE(trace.generate(1, rng).empty());
+  EXPECT_DOUBLE_EQ(trace.generate(2, rng)[0].queries, 7.5);
+  EXPECT_TRUE(trace.generate(3, rng).empty());
+  EXPECT_TRUE(trace.generate(1000, rng).empty());
+}
+
+TEST(TraceWorkload, CsvRoundTrip) {
+  std::vector<QueryBatch> epochs(3);
+  epochs[0] = batch({QueryFlow{PartitionId{0}, DatacenterId{1}, 5.0},
+                     QueryFlow{PartitionId{1}, DatacenterId{2}, 0.25}});
+  epochs[2] = batch({QueryFlow{PartitionId{7}, DatacenterId{9}, 12.0}});
+
+  std::stringstream csv;
+  write_trace_csv(csv, epochs);
+  TraceWorkload replay = TraceWorkload::from_csv(csv);
+  Rng rng(1);
+
+  ASSERT_EQ(replay.epoch_count(), 3u);
+  for (Epoch e = 0; e < 3; ++e) {
+    const QueryBatch got = replay.generate(e, rng);
+    ASSERT_EQ(got.size(), epochs[e].size()) << "epoch " << e;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].partition, epochs[e][i].partition);
+      EXPECT_EQ(got[i].requester, epochs[e][i].requester);
+      EXPECT_DOUBLE_EQ(got[i].queries, epochs[e][i].queries);
+    }
+  }
+}
+
+TEST(TraceWorkload, ParserSkipsHeaderCommentsAndBlanks) {
+  std::stringstream csv(
+      "epoch,partition,requester,queries\n"
+      "# a comment\n"
+      "\n"
+      "0,1,2,3.5\n"
+      "  \n"
+      "4,0,0,1\n");
+  TraceWorkload trace = TraceWorkload::from_csv(csv);
+  Rng rng(1);
+  ASSERT_EQ(trace.epoch_count(), 5u);  // sparse epochs filled with empties
+  EXPECT_EQ(trace.generate(0, rng).size(), 1u);
+  EXPECT_TRUE(trace.generate(2, rng).empty());
+  EXPECT_DOUBLE_EQ(trace.generate(4, rng)[0].queries, 1.0);
+}
+
+TEST(TraceWorkloadDeath, MalformedRows) {
+  {
+    std::stringstream csv("0,1,2\n");
+    EXPECT_DEATH(TraceWorkload::from_csv(csv), "");
+  }
+  {
+    std::stringstream csv("0,1,2,3,4\n");
+    EXPECT_DEATH(TraceWorkload::from_csv(csv), "");
+  }
+  {
+    std::stringstream csv("zero,1,2,3\n");
+    EXPECT_DEATH(TraceWorkload::from_csv(csv), "");
+  }
+  {
+    std::stringstream csv("0,1,2,-5\n");
+    EXPECT_DEATH(TraceWorkload::from_csv(csv), "");
+  }
+}
+
+TEST(RecordingWorkload, CapturesExactlyWhatTheInnerEmits) {
+  WorkloadParams params;
+  params.partitions = 8;
+  params.datacenters = 10;
+  RecordingWorkload recording(std::make_unique<UniformWorkload>(params));
+  Rng rng(55);
+  std::vector<QueryBatch> emitted;
+  for (Epoch e = 0; e < 5; ++e) {
+    emitted.push_back(recording.generate(e, rng));
+  }
+  ASSERT_EQ(recording.recorded().size(), 5u);
+  for (Epoch e = 0; e < 5; ++e) {
+    ASSERT_EQ(recording.recorded()[e].size(), emitted[e].size());
+    for (std::size_t i = 0; i < emitted[e].size(); ++i) {
+      EXPECT_DOUBLE_EQ(recording.recorded()[e][i].queries,
+                       emitted[e][i].queries);
+    }
+  }
+}
+
+TEST(RecordingWorkload, RoundTripThroughCsvReproducesTheRun) {
+  // Record a stochastic run, serialize, replay: identical demand.
+  WorkloadParams params;
+  params.partitions = 4;
+  params.datacenters = 10;
+  RecordingWorkload recording(std::make_unique<UniformWorkload>(params));
+  Rng rng(56);
+  for (Epoch e = 0; e < 4; ++e) (void)recording.generate(e, rng);
+
+  std::stringstream csv;
+  write_trace_csv(csv, recording.recorded());
+  TraceWorkload replay = TraceWorkload::from_csv(csv);
+  Rng rng2(999);  // replay ignores the rng
+  for (Epoch e = 0; e < 4; ++e) {
+    const QueryBatch a = recording.recorded()[e];
+    const QueryBatch b = replay.generate(e, rng2);
+    ASSERT_EQ(a.size(), b.size());
+    double total_a = 0.0;
+    double total_b = 0.0;
+    for (const QueryFlow& f : a) total_a += f.queries;
+    for (const QueryFlow& f : b) total_b += f.queries;
+    EXPECT_DOUBLE_EQ(total_a, total_b);
+  }
+}
+
+}  // namespace
+}  // namespace rfh
