@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sla_latency.dir/bench_sla_latency.cpp.o"
+  "CMakeFiles/bench_sla_latency.dir/bench_sla_latency.cpp.o.d"
+  "bench_sla_latency"
+  "bench_sla_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sla_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

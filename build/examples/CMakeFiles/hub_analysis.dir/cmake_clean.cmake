@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hub_analysis.dir/hub_analysis.cpp.o"
+  "CMakeFiles/hub_analysis.dir/hub_analysis.cpp.o.d"
+  "hub_analysis"
+  "hub_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hub_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfh_cli.dir/rfh_cli.cpp.o"
+  "CMakeFiles/rfh_cli.dir/rfh_cli.cpp.o.d"
+  "rfh_cli"
+  "rfh_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfh_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("topology")
+subdirs("net")
+subdirs("ring")
+subdirs("routing")
+subdirs("workload")
+subdirs("sim")
+subdirs("consistency")
+subdirs("metrics")
+subdirs("core")
+subdirs("baselines")
+subdirs("harness")

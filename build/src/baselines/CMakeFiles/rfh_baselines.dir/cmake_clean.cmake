@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfh_baselines.dir/owner_policy.cpp.o"
+  "CMakeFiles/rfh_baselines.dir/owner_policy.cpp.o.d"
+  "CMakeFiles/rfh_baselines.dir/random_policy.cpp.o"
+  "CMakeFiles/rfh_baselines.dir/random_policy.cpp.o.d"
+  "CMakeFiles/rfh_baselines.dir/request_policy.cpp.o"
+  "CMakeFiles/rfh_baselines.dir/request_policy.cpp.o.d"
+  "librfh_baselines.a"
+  "librfh_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfh_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

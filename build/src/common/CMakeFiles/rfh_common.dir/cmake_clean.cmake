@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfh_common.dir/availability.cpp.o"
+  "CMakeFiles/rfh_common.dir/availability.cpp.o.d"
+  "CMakeFiles/rfh_common.dir/erlang.cpp.o"
+  "CMakeFiles/rfh_common.dir/erlang.cpp.o.d"
+  "CMakeFiles/rfh_common.dir/histogram.cpp.o"
+  "CMakeFiles/rfh_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/rfh_common.dir/log.cpp.o"
+  "CMakeFiles/rfh_common.dir/log.cpp.o.d"
+  "CMakeFiles/rfh_common.dir/mathutil.cpp.o"
+  "CMakeFiles/rfh_common.dir/mathutil.cpp.o.d"
+  "CMakeFiles/rfh_common.dir/rng.cpp.o"
+  "CMakeFiles/rfh_common.dir/rng.cpp.o.d"
+  "librfh_common.a"
+  "librfh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

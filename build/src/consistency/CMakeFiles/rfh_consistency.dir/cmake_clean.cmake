@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfh_consistency.dir/tracker.cpp.o"
+  "CMakeFiles/rfh_consistency.dir/tracker.cpp.o.d"
+  "librfh_consistency.a"
+  "librfh_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfh_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

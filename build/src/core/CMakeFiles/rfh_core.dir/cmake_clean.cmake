@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfh_core.dir/rfh_policy.cpp.o"
+  "CMakeFiles/rfh_core.dir/rfh_policy.cpp.o.d"
+  "CMakeFiles/rfh_core.dir/selection.cpp.o"
+  "CMakeFiles/rfh_core.dir/selection.cpp.o.d"
+  "librfh_core.a"
+  "librfh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

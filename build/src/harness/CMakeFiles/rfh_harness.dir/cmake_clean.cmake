@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfh_harness.dir/cli.cpp.o"
+  "CMakeFiles/rfh_harness.dir/cli.cpp.o.d"
+  "CMakeFiles/rfh_harness.dir/report.cpp.o"
+  "CMakeFiles/rfh_harness.dir/report.cpp.o.d"
+  "CMakeFiles/rfh_harness.dir/runner.cpp.o"
+  "CMakeFiles/rfh_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/rfh_harness.dir/scenario.cpp.o"
+  "CMakeFiles/rfh_harness.dir/scenario.cpp.o.d"
+  "librfh_harness.a"
+  "librfh_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfh_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/collector.cpp" "src/metrics/CMakeFiles/rfh_metrics.dir/collector.cpp.o" "gcc" "src/metrics/CMakeFiles/rfh_metrics.dir/collector.cpp.o.d"
+  "/root/repo/src/metrics/csv.cpp" "src/metrics/CMakeFiles/rfh_metrics.dir/csv.cpp.o" "gcc" "src/metrics/CMakeFiles/rfh_metrics.dir/csv.cpp.o.d"
+  "/root/repo/src/metrics/diversity.cpp" "src/metrics/CMakeFiles/rfh_metrics.dir/diversity.cpp.o" "gcc" "src/metrics/CMakeFiles/rfh_metrics.dir/diversity.cpp.o.d"
+  "/root/repo/src/metrics/imbalance.cpp" "src/metrics/CMakeFiles/rfh_metrics.dir/imbalance.cpp.o" "gcc" "src/metrics/CMakeFiles/rfh_metrics.dir/imbalance.cpp.o.d"
+  "/root/repo/src/metrics/utilization.cpp" "src/metrics/CMakeFiles/rfh_metrics.dir/utilization.cpp.o" "gcc" "src/metrics/CMakeFiles/rfh_metrics.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rfh_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rfh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/rfh_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rfh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/rfh_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rfh_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfh_metrics.dir/collector.cpp.o"
+  "CMakeFiles/rfh_metrics.dir/collector.cpp.o.d"
+  "CMakeFiles/rfh_metrics.dir/csv.cpp.o"
+  "CMakeFiles/rfh_metrics.dir/csv.cpp.o.d"
+  "CMakeFiles/rfh_metrics.dir/diversity.cpp.o"
+  "CMakeFiles/rfh_metrics.dir/diversity.cpp.o.d"
+  "CMakeFiles/rfh_metrics.dir/imbalance.cpp.o"
+  "CMakeFiles/rfh_metrics.dir/imbalance.cpp.o.d"
+  "CMakeFiles/rfh_metrics.dir/utilization.cpp.o"
+  "CMakeFiles/rfh_metrics.dir/utilization.cpp.o.d"
+  "librfh_metrics.a"
+  "librfh_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfh_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfh_net.dir/graph.cpp.o"
+  "CMakeFiles/rfh_net.dir/graph.cpp.o.d"
+  "CMakeFiles/rfh_net.dir/shortest_paths.cpp.o"
+  "CMakeFiles/rfh_net.dir/shortest_paths.cpp.o.d"
+  "librfh_net.a"
+  "librfh_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfh_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ring/chord.cpp" "src/ring/CMakeFiles/rfh_ring.dir/chord.cpp.o" "gcc" "src/ring/CMakeFiles/rfh_ring.dir/chord.cpp.o.d"
+  "/root/repo/src/ring/hash.cpp" "src/ring/CMakeFiles/rfh_ring.dir/hash.cpp.o" "gcc" "src/ring/CMakeFiles/rfh_ring.dir/hash.cpp.o.d"
+  "/root/repo/src/ring/rendezvous.cpp" "src/ring/CMakeFiles/rfh_ring.dir/rendezvous.cpp.o" "gcc" "src/ring/CMakeFiles/rfh_ring.dir/rendezvous.cpp.o.d"
+  "/root/repo/src/ring/ring.cpp" "src/ring/CMakeFiles/rfh_ring.dir/ring.cpp.o" "gcc" "src/ring/CMakeFiles/rfh_ring.dir/ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

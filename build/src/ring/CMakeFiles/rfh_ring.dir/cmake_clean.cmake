@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfh_ring.dir/chord.cpp.o"
+  "CMakeFiles/rfh_ring.dir/chord.cpp.o.d"
+  "CMakeFiles/rfh_ring.dir/hash.cpp.o"
+  "CMakeFiles/rfh_ring.dir/hash.cpp.o.d"
+  "CMakeFiles/rfh_ring.dir/rendezvous.cpp.o"
+  "CMakeFiles/rfh_ring.dir/rendezvous.cpp.o.d"
+  "CMakeFiles/rfh_ring.dir/ring.cpp.o"
+  "CMakeFiles/rfh_ring.dir/ring.cpp.o.d"
+  "librfh_ring.a"
+  "librfh_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfh_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfh_routing.dir/router.cpp.o"
+  "CMakeFiles/rfh_routing.dir/router.cpp.o.d"
+  "librfh_routing.a"
+  "librfh_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfh_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfh_sim.dir/cluster.cpp.o"
+  "CMakeFiles/rfh_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/rfh_sim.dir/engine.cpp.o"
+  "CMakeFiles/rfh_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/rfh_sim.dir/stats.cpp.o"
+  "CMakeFiles/rfh_sim.dir/stats.cpp.o.d"
+  "librfh_sim.a"
+  "librfh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

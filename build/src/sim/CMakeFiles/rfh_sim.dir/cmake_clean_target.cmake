@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librfh_sim.a"
+)

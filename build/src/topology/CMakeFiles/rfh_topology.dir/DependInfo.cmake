@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/geo.cpp" "src/topology/CMakeFiles/rfh_topology.dir/geo.cpp.o" "gcc" "src/topology/CMakeFiles/rfh_topology.dir/geo.cpp.o.d"
+  "/root/repo/src/topology/label.cpp" "src/topology/CMakeFiles/rfh_topology.dir/label.cpp.o" "gcc" "src/topology/CMakeFiles/rfh_topology.dir/label.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/topology/CMakeFiles/rfh_topology.dir/topology.cpp.o" "gcc" "src/topology/CMakeFiles/rfh_topology.dir/topology.cpp.o.d"
+  "/root/repo/src/topology/world.cpp" "src/topology/CMakeFiles/rfh_topology.dir/world.cpp.o" "gcc" "src/topology/CMakeFiles/rfh_topology.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfh_topology.dir/geo.cpp.o"
+  "CMakeFiles/rfh_topology.dir/geo.cpp.o.d"
+  "CMakeFiles/rfh_topology.dir/label.cpp.o"
+  "CMakeFiles/rfh_topology.dir/label.cpp.o.d"
+  "CMakeFiles/rfh_topology.dir/topology.cpp.o"
+  "CMakeFiles/rfh_topology.dir/topology.cpp.o.d"
+  "CMakeFiles/rfh_topology.dir/world.cpp.o"
+  "CMakeFiles/rfh_topology.dir/world.cpp.o.d"
+  "librfh_topology.a"
+  "librfh_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfh_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfh_workload.dir/generator.cpp.o"
+  "CMakeFiles/rfh_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/rfh_workload.dir/trace.cpp.o"
+  "CMakeFiles/rfh_workload.dir/trace.cpp.o.d"
+  "librfh_workload.a"
+  "librfh_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfh_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erlang_test.dir/erlang_test.cpp.o"
+  "CMakeFiles/erlang_test.dir/erlang_test.cpp.o.d"
+  "erlang_test"
+  "erlang_test.pdb"
+  "erlang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erlang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

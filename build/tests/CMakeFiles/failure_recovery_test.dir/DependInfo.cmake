@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/failure_recovery_test.cpp" "tests/CMakeFiles/failure_recovery_test.dir/failure_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/failure_recovery_test.dir/failure_recovery_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/rfh_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/rfh_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rfh_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rfh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rfh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rfh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/rfh_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rfh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rfh_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/rfh_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rfh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

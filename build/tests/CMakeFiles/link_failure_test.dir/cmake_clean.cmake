@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_failure_test.dir/link_failure_test.cpp.o"
+  "CMakeFiles/link_failure_test.dir/link_failure_test.cpp.o.d"
+  "link_failure_test"
+  "link_failure_test.pdb"
+  "link_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfh_policy_test.dir/rfh_policy_test.cpp.o"
+  "CMakeFiles/rfh_policy_test.dir/rfh_policy_test.cpp.o.d"
+  "rfh_policy_test"
+  "rfh_policy_test.pdb"
+  "rfh_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfh_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_propagation_test.dir/traffic_propagation_test.cpp.o"
+  "CMakeFiles/traffic_propagation_test.dir/traffic_propagation_test.cpp.o.d"
+  "traffic_propagation_test"
+  "traffic_propagation_test.pdb"
+  "traffic_propagation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
