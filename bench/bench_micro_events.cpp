@@ -1,0 +1,90 @@
+// Event-emission overhead (google-benchmark): guards the observability
+// subsystem's zero-cost-when-disabled claim.
+//
+//  * BM_SimStep/{off,counter,jsonl}: a full Simulation::step with no sink,
+//    an aggregating CounterSink, and a JSONL sink writing to a discarded
+//    stream. The "off" and "counter" variants must be within noise of each
+//    other; acceptance requires instrumentation overhead < 1% when no sink
+//    is installed.
+//  * BM_EmitDisabled / BM_EmitRingBuffer: the raw cost of one emit()
+//    through an empty vs. populated bus.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "harness/scenario.h"
+#include "obs/sinks.h"
+#include "sim/engine.h"
+
+namespace {
+
+enum class SinkMode { kOff, kCounter, kJsonl };
+
+void run_sim_steps(benchmark::State& state, SinkMode mode) {
+  rfh::Scenario scenario = rfh::Scenario::paper_random_query();
+  auto sim = rfh::make_simulation(scenario, rfh::PolicyKind::kRfh);
+
+  rfh::CounterSink counters;
+  std::ostringstream discard;
+  rfh::JsonlSink jsonl(discard);
+  if (mode == SinkMode::kCounter) sim->events().add_sink(&counters);
+  if (mode == SinkMode::kJsonl) sim->events().add_sink(&jsonl);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim->step());
+    if (discard.tellp() > (1 << 22)) {
+      discard.str({});  // keep the discard buffer from growing unboundedly
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_SimStep_TracingOff(benchmark::State& state) {
+  run_sim_steps(state, SinkMode::kOff);
+}
+BENCHMARK(BM_SimStep_TracingOff)->Unit(benchmark::kMicrosecond);
+
+void BM_SimStep_CounterSink(benchmark::State& state) {
+  run_sim_steps(state, SinkMode::kCounter);
+}
+BENCHMARK(BM_SimStep_CounterSink)->Unit(benchmark::kMicrosecond);
+
+void BM_SimStep_JsonlSink(benchmark::State& state) {
+  run_sim_steps(state, SinkMode::kJsonl);
+}
+BENCHMARK(BM_SimStep_JsonlSink)->Unit(benchmark::kMicrosecond);
+
+void BM_EmitDisabled(benchmark::State& state) {
+  rfh::EventBus bus;
+  std::uint32_t epoch = 0;
+  for (auto _ : state) {
+    bus.emit(rfh::ServerFailed{epoch++, rfh::ServerId{3}});
+    benchmark::DoNotOptimize(bus);
+  }
+}
+BENCHMARK(BM_EmitDisabled);
+
+void BM_EmitRingBuffer(benchmark::State& state) {
+  rfh::EventBus bus;
+  rfh::RingBufferSink ring(1024);
+  bus.add_sink(&ring);
+  std::uint32_t epoch = 0;
+  for (auto _ : state) {
+    bus.emit(rfh::ServerFailed{epoch++, rfh::ServerId{3}});
+    benchmark::DoNotOptimize(bus);
+  }
+}
+BENCHMARK(BM_EmitRingBuffer);
+
+void BM_EventToJson(benchmark::State& state) {
+  rfh::ReplicaAdded event{12, rfh::PartitionId{5}, rfh::ServerId{1},
+                          rfh::ServerId{9}, 3.25, {}};
+  event.why.rule = rfh::DecisionRule::kOverloadHub;
+  const rfh::Event variant(event);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rfh::event_to_json(variant));
+  }
+}
+BENCHMARK(BM_EventToJson);
+
+}  // namespace

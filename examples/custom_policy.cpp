@@ -31,7 +31,7 @@ class PinnedPolicy final : public rfh::ReplicationPolicy {
         if (!ctx.cluster.hosts_in_dc(p, dc).empty()) continue;
         const rfh::ServerId target = rfh::select_server_erlang_b(ctx, dc, p);
         if (target.valid()) {
-          actions.replications.push_back(rfh::ReplicateAction{p, target});
+          actions.replications.push_back(rfh::ReplicateAction{p, target, {}});
           break;  // one copy per epoch per partition
         }
       }

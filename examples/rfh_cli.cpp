@@ -4,11 +4,17 @@
 //   ./rfh_cli --workload=flash --metric=utilization --compare
 //   ./rfh_cli --policy=rfh --kill=30@290 --epochs=500 --metric=replicas
 //   ./rfh_cli --write-fraction=0.2 --metric=stale --compare --quiet
+//   ./rfh_cli --kill=30@100 --trace-out=run.jsonl --quiet
+//   ./rfh_cli --trace-out=run.json --trace-format=chrome
+//   ./rfh_cli --trace-out=r.jsonl --trace-filter=ReplicaAdded,ActionDropped
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "harness/cli.h"
 #include "harness/report.h"
+#include "obs/sinks.h"
 
 namespace {
 
@@ -57,13 +63,42 @@ int main(int argc, char** argv) {
   }
   const rfh::CliOptions& options = parsed.options;
 
+  // Optional structured trace (parse_cli guarantees single-policy mode).
+  std::ofstream trace_file;
+  std::unique_ptr<rfh::EventSink> trace_sink;
+  std::unique_ptr<rfh::FilterSink> filter;
+  rfh::EventSink* sink = nullptr;
+  if (!options.trace_out.empty()) {
+    trace_file.open(options.trace_out);
+    if (!trace_file) {
+      std::fprintf(stderr, "rfh_cli: cannot open '%s' for writing\n",
+                   options.trace_out.c_str());
+      return 2;
+    }
+    if (options.trace_format == rfh::TraceFormat::kChrome) {
+      trace_sink = std::make_unique<rfh::ChromeTraceSink>(trace_file);
+    } else {
+      trace_sink = std::make_unique<rfh::JsonlSink>(trace_file);
+    }
+    sink = trace_sink.get();
+    if (!options.trace_filter.empty()) {
+      filter = std::make_unique<rfh::FilterSink>(*trace_sink,
+                                                 options.trace_filter);
+      sink = filter.get();
+    }
+  }
+
   std::vector<rfh::PolicyRun> runs;
   if (options.compare) {
     runs = rfh::run_comparison(options.scenario, options.failures).runs;
   } else {
-    runs.push_back(
-        rfh::run_policy(options.scenario, options.policy, options.failures));
+    runs.push_back(rfh::run_policy(options.scenario, options.policy,
+                                   options.failures, rfh::RfhPolicy::Options{},
+                                   sink));
   }
   emit(options, runs);
+  if (sink != nullptr && !options.quiet) {
+    std::fprintf(stderr, "# trace written to %s\n", options.trace_out.c_str());
+  }
   return 0;
 }

@@ -88,7 +88,7 @@ Actions OwnerOrientedPolicy::decide(const PolicyContext& ctx) {
         (overloaded && r < ctx.config.max_replicas_per_partition)) {
       const ServerId target = best_target(ctx, p);
       if (target.valid()) {
-        actions.replications.push_back(ReplicateAction{p, target});
+        actions.replications.push_back(ReplicateAction{p, target, {}});
       }
       continue;
     }
@@ -110,7 +110,7 @@ Actions OwnerOrientedPolicy::decide(const PolicyContext& ctx) {
         const ServerId target = pick_in_dc(ctx, cand.id, p);
         if (target.valid()) {
           actions.migrations.push_back(
-              MigrateAction{p, replica.server, target});
+              MigrateAction{p, replica.server, target, {}});
           break;
         }
       }

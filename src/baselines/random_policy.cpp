@@ -30,7 +30,7 @@ Actions RandomPolicy::decide(const PolicyContext& ctx) {
         HashRing::partition_key(p), r + 4);
     for (const ServerId candidate : preference) {
       if (ctx.cluster.can_accept(candidate, p)) {
-        actions.replications.push_back(ReplicateAction{p, candidate});
+        actions.replications.push_back(ReplicateAction{p, candidate, {}});
         break;
       }
     }

@@ -110,13 +110,13 @@ Actions RequestOrientedPolicy::decide(const PolicyContext& ctx) {
               1.5 * stale_queries + 1.0;
       if (worth_moving &&
           actions.migrations.size() < max_migrations_per_epoch_) {
-        actions.migrations.push_back(MigrateAction{p, stale, target});
+        actions.migrations.push_back(MigrateAction{p, stale, target, {}});
       } else if (!stale.valid() &&
                  (r < rmin ||
                   (overloaded &&
                    r < ctx.config.max_replicas_per_partition))) {
         // Nothing to recycle: grow a fresh copy.
-        actions.replications.push_back(ReplicateAction{p, target});
+        actions.replications.push_back(ReplicateAction{p, target, {}});
       }
       break;
     }

@@ -7,6 +7,27 @@
 
 namespace rfh {
 
+namespace {
+
+/// Explanation skeleton shared by every rule: the smoothed demand and the
+/// Table I coefficients in force, plus the copy census. The caller fills
+/// rule/observed/threshold for the inequality that actually fired.
+DecisionExplanation base_explanation(const PolicyContext& ctx, double q_bar,
+                                     std::uint32_t replica_count,
+                                     std::uint32_t r_min) {
+  DecisionExplanation why;
+  why.q_bar = q_bar;
+  why.beta = ctx.config.beta;
+  why.gamma = ctx.config.gamma;
+  why.delta = ctx.config.delta;
+  why.mu = ctx.config.mu;
+  why.replica_count = replica_count;
+  why.r_min = r_min;
+  return why;
+}
+
+}  // namespace
+
 std::vector<RfhPolicy::HubCandidate> RfhPolicy::hub_candidates(
     const PolicyContext& ctx, PartitionId p, double gamma_threshold,
     bool require_gamma) const {
@@ -126,13 +147,18 @@ Actions RfhPolicy::decide(const PolicyContext& ctx) {
         target = RfhPolicy(near_owner).pick_target(ctx, p, hubs);
       }
       if (target.valid()) {
-        actions.replications.push_back(ReplicateAction{p, target});
+        DecisionExplanation why = base_explanation(ctx, q_bar, r, rmin);
+        why.rule = DecisionRule::kAvailabilityFloor;
+        why.observed = static_cast<double>(r);
+        why.threshold = static_cast<double>(rmin);
+        actions.replications.push_back(ReplicateAction{p, target, why});
       }
       continue;  // grow back to the floor before optimizing anything else
     }
 
     // --- 2. Overload relief (Eqs. 12-13, 16) ----------------------------
-    if (holder_overloaded(ctx, p, primary)) {
+    DecisionExplanation overload_why = base_explanation(ctx, q_bar, r, rmin);
+    if (holder_overloaded(ctx, p, primary, &overload_why)) {
       ++overload_streak_[pv];
     } else {
       overload_streak_[pv] = 0;
@@ -144,9 +170,11 @@ Actions RfhPolicy::decide(const PolicyContext& ctx) {
     if (overloaded && r < ctx.config.max_replicas_per_partition) {
       auto hubs = hub_candidates(ctx, p, ctx.config.gamma * q_bar,
                                  /*require_gamma=*/true);
+      bool forced = false;
       if (hubs.empty()) {
         // Forced relief: availability reached but still too much traffic.
         hubs = hub_candidates(ctx, p, 0.0, /*require_gamma=*/false);
+        forced = true;
       }
       if (hubs.empty()) {
         // No forwarding node anywhere carries this partition's traffic:
@@ -157,7 +185,9 @@ Actions RfhPolicy::decide(const PolicyContext& ctx) {
         const DatacenterId home = ctx.topology.server(primary).datacenter;
         const ServerId local = select_in_dc(ctx, home, p);
         if (local.valid()) {
-          actions.replications.push_back(ReplicateAction{p, local});
+          DecisionExplanation why = overload_why;
+          why.rule = DecisionRule::kOverloadLocal;
+          actions.replications.push_back(ReplicateAction{p, local, why});
           replicated_this_epoch = true;
         }
       }
@@ -202,9 +232,17 @@ Actions RfhPolicy::decide(const PolicyContext& ctx) {
           if (victim.valid() &&
               hubs.front().traffic - victim_traffic >=
                   ctx.config.mu * mean_tr) {
-            actions.migrations.push_back(MigrateAction{p, victim, target});
+            DecisionExplanation why = overload_why;
+            why.rule = DecisionRule::kMigrationBenefit;
+            why.observed = hubs.front().traffic - victim_traffic;
+            why.threshold = ctx.config.mu * mean_tr;
+            actions.migrations.push_back(
+                MigrateAction{p, victim, target, why});
           } else {
-            actions.replications.push_back(ReplicateAction{p, target});
+            DecisionExplanation why = overload_why;
+            why.rule = forced ? DecisionRule::kOverloadForced
+                              : DecisionRule::kOverloadHub;
+            actions.replications.push_back(ReplicateAction{p, target, why});
           }
           replicated_this_epoch = true;
         }
@@ -228,7 +266,11 @@ Actions RfhPolicy::decide(const PolicyContext& ctx) {
             remaining <= rmin || streak < options_.cold_streak_epochs) {
           continue;  // cold, but not removable (yet)
         }
-        actions.suicides.push_back(SuicideAction{p, replica.server});
+        DecisionExplanation why = base_explanation(ctx, q_bar, r, rmin);
+        why.rule = DecisionRule::kSuicideCold;
+        why.observed = tr;
+        why.threshold = ctx.config.delta * q_bar;
+        actions.suicides.push_back(SuicideAction{p, replica.server, why});
         cold_streak_.erase(key);
         --remaining;
         ++done;

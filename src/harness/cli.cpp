@@ -31,7 +31,7 @@ bool parse_double(const std::string& text, double& out) {
 std::vector<std::string> metric_names() {
   return {"utilization", "replicas", "path",   "imbalance", "latency",
           "sla",         "cost",     "migrations", "lag",   "stale",
-          "diversity"};
+          "diversity",   "dropped"};
 }
 
 double metric_value(const EpochMetrics& m, const std::string& metric,
@@ -48,6 +48,7 @@ double metric_value(const EpochMetrics& m, const std::string& metric,
   if (metric == "lag") return m.mean_replica_lag;
   if (metric == "stale") return m.stale_read_fraction;
   if (metric == "diversity") return m.diversity_level;
+  if (metric == "dropped") return m.dropped_this_epoch;
   *ok = false;
   return 0.0;
 }
@@ -127,6 +128,15 @@ CliParseResult parse_cli(std::span<const char* const> args) {
       (void)metric_value(EpochMetrics{}, value, &known);
       if (!known) return fail("unknown metric '" + value + "'");
       options.metric = value;
+    } else if (consume(arg, "--trace-out=", value)) {
+      if (value.empty()) return fail("--trace-out expects a file path");
+      options.trace_out = value;
+    } else if (consume(arg, "--trace-format=", value)) {
+      if (value == "jsonl") options.trace_format = TraceFormat::kJsonl;
+      else if (value == "chrome") options.trace_format = TraceFormat::kChrome;
+      else return fail("--trace-format expects jsonl or chrome");
+    } else if (consume(arg, "--trace-filter=", value)) {
+      options.trace_filter = value;
     } else if (std::strcmp(arg, "--compare") == 0) {
       options.compare = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -134,6 +144,9 @@ CliParseResult parse_cli(std::span<const char* const> args) {
     } else {
       return fail(std::string("unknown argument '") + arg + "'");
     }
+  }
+  if (!options.trace_out.empty() && options.compare) {
+    return fail("--trace-out traces a single policy run; drop --compare");
   }
   result.ok = true;
   return result;

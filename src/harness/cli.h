@@ -12,6 +12,11 @@
 //   --metric=<name>               (see metric_names())
 //   --compare                     (all four policies)
 //   --quiet                       (summary line only)
+//   --trace-out=FILE              (write a structured event trace; single
+//                                  policy runs only)
+//   --trace-format=jsonl|chrome   (default jsonl; chrome loads in Perfetto)
+//   --trace-filter=A,B,...        (event type names to keep, e.g.
+//                                  ReplicaAdded,ActionDropped; default all)
 #pragma once
 
 #include <span>
@@ -22,6 +27,8 @@
 
 namespace rfh {
 
+enum class TraceFormat { kJsonl, kChrome };
+
 struct CliOptions {
   PolicyKind policy = PolicyKind::kRfh;
   bool compare = false;
@@ -29,6 +36,11 @@ struct CliOptions {
   std::string metric = "utilization";
   Scenario scenario = Scenario::paper_random_query();
   std::vector<FailureEvent> failures;
+  /// Trace destination; empty disables tracing.
+  std::string trace_out;
+  TraceFormat trace_format = TraceFormat::kJsonl;
+  /// Comma-separated event type allow-list (empty keeps everything).
+  std::string trace_filter;
 };
 
 struct CliParseResult {

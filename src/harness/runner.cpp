@@ -18,10 +18,11 @@ const PolicyRun& ComparativeResult::run(PolicyKind kind) const {
 
 PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
                      const std::vector<FailureEvent>& failures,
-                     const RfhPolicy::Options& rfh) {
+                     const RfhPolicy::Options& rfh, EventSink* trace_sink) {
   PolicyRun run;
   run.kind = kind;
   auto sim = make_simulation(scenario, kind, rfh);
+  if (trace_sink != nullptr) sim->events().add_sink(trace_sink);
   MetricsCollector collector;
 
   std::optional<ConsistencyTracker> tracker;
@@ -72,6 +73,8 @@ PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
     }
     run.series.push_back(metrics);
   }
+  // Finalize the trace while the caller's sink is guaranteed alive.
+  sim->events().close();
   return run;
 }
 

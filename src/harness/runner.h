@@ -35,9 +35,14 @@ struct ComparativeResult {
 };
 
 /// Run one policy through the scenario with the failure schedule.
+///
+/// `trace_sink`, when non-null, is attached to the simulation's EventBus
+/// before the first epoch and flushed after the last, so the whole run —
+/// failure injection included — lands in the trace.
 PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
                      const std::vector<FailureEvent>& failures = {},
-                     const RfhPolicy::Options& rfh = {});
+                     const RfhPolicy::Options& rfh = {},
+                     EventSink* trace_sink = nullptr);
 
 /// The paper's standard comparison: Request, Owner, Random, RFH. The four
 /// runs are fully independent (each has its own world, generators and

@@ -64,6 +64,16 @@ EpochMetrics MetricsCollector::collect(const Simulation& sim,
   m.migrations_this_epoch = report.migrations;
   m.suicides_this_epoch = report.suicides;
 
+  m.dropped_this_epoch = report.dropped_actions;
+  const auto reason = [&report](DropReason r) {
+    return report.dropped_by_reason[static_cast<std::size_t>(r)];
+  };
+  m.dropped_bandwidth = reason(DropReason::kBandwidth);
+  m.dropped_storage_cap = reason(DropReason::kStorageCap);
+  m.dropped_node_cap = reason(DropReason::kNodeCap);
+  m.dropped_dead_target = reason(DropReason::kDeadTarget);
+  m.dropped_invalid = reason(DropReason::kInvalid);
+
   series_.push_back(m);
   return m;
 }

@@ -56,6 +56,15 @@ struct EpochMetrics {
   std::uint32_t replications_this_epoch = 0;
   std::uint32_t migrations_this_epoch = 0;
   std::uint32_t suicides_this_epoch = 0;
+
+  // Engine validation pressure: how many policy actions were refused this
+  // epoch, broken down by the binding constraint (obs::DropReason order).
+  std::uint32_t dropped_this_epoch = 0;
+  std::uint32_t dropped_bandwidth = 0;
+  std::uint32_t dropped_storage_cap = 0;
+  std::uint32_t dropped_node_cap = 0;
+  std::uint32_t dropped_dead_target = 0;
+  std::uint32_t dropped_invalid = 0;
 };
 
 class MetricsCollector {

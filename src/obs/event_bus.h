@@ -1,0 +1,90 @@
+// A minimal publish/subscribe bus for simulator events.
+//
+// Zero-cost when disabled: with no sinks installed, emit() compiles to a
+// vector-emptiness check and returns before the Event variant is even
+// constructed (the arguments are built lazily by the caller through the
+// RFH_OBS_EMIT macro or a guarded `if (bus.enabled())`). With sinks
+// installed, every event is dispatched synchronously, in installation
+// order — the bus itself never buffers, so a sink sees events exactly
+// when they happen and a crashing run still has its trace up to the
+// crash point.
+//
+// Threading: a bus belongs to one Simulation, which is single-threaded;
+// the comparative runner gives each policy its own Simulation (and bus),
+// so no locking is needed anywhere.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "obs/events.h"
+
+namespace rfh {
+
+/// Interface every trace consumer implements.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const Event& event) = 0;
+  /// Called when the producer is done (end of run / bus teardown). Sinks
+  /// writing framed formats (e.g. the Chrome JSON array) finalize here;
+  /// flush() must be idempotent.
+  virtual void flush() {}
+};
+
+class EventBus {
+ public:
+  EventBus() = default;
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+  EventBus(EventBus&&) = default;
+  EventBus& operator=(EventBus&&) = default;
+  ~EventBus() {
+    for (const std::unique_ptr<EventSink>& sink : owned_) sink->flush();
+  }
+
+  /// Install a non-owning sink (caller keeps it alive past the last emit).
+  void add_sink(EventSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  /// Install an owning sink (destroyed with the bus, after a final flush).
+  void add_sink(std::unique_ptr<EventSink> sink) {
+    if (sink == nullptr) return;
+    sinks_.push_back(sink.get());
+    owned_.push_back(std::move(sink));
+  }
+
+  /// True when at least one sink is installed. Instrumentation sites with
+  /// non-trivial event construction should guard on this.
+  [[nodiscard]] bool enabled() const noexcept { return !sinks_.empty(); }
+
+  [[nodiscard]] std::size_t sink_count() const noexcept {
+    return sinks_.size();
+  }
+
+  /// Publish one event to every sink. Accepts any Event alternative by
+  /// value; the variant is only materialized when a sink is listening.
+  template <typename E>
+  void emit(E&& event) {
+    if (sinks_.empty()) return;
+    dispatch(Event(std::forward<E>(event)));
+  }
+
+  /// Flush every sink (idempotent). Call before tearing down non-owning
+  /// sinks; the destructor only flushes sinks the bus owns, because a
+  /// non-owning sink declared after the bus is already gone by then.
+  void close() {
+    for (EventSink* sink : sinks_) sink->flush();
+  }
+
+ private:
+  void dispatch(const Event& event) {
+    for (EventSink* sink : sinks_) sink->on_event(event);
+  }
+
+  std::vector<EventSink*> sinks_;
+  std::vector<std::unique_ptr<EventSink>> owned_;
+};
+
+}  // namespace rfh

@@ -1,0 +1,93 @@
+#include "obs/events.h"
+
+namespace rfh {
+
+const char* rule_name(DecisionRule rule) noexcept {
+  switch (rule) {
+    case DecisionRule::kNone: return "none";
+    case DecisionRule::kAvailabilityFloor: return "availability_floor";
+    case DecisionRule::kOverloadHub: return "overload_hub";
+    case DecisionRule::kOverloadForced: return "overload_forced";
+    case DecisionRule::kOverloadLocal: return "overload_local";
+    case DecisionRule::kMigrationBenefit: return "migration_benefit";
+    case DecisionRule::kSuicideCold: return "suicide_cold";
+  }
+  return "?";
+}
+
+const char* rule_inequality(DecisionRule rule) noexcept {
+  switch (rule) {
+    case DecisionRule::kNone: return "";
+    case DecisionRule::kAvailabilityFloor: return "r < r_min (Eq. 14)";
+    case DecisionRule::kOverloadHub: return "tr >= beta*q_bar (Eq. 12)";
+    case DecisionRule::kOverloadForced:
+      return "tr >= beta*q_bar, no hub >= gamma*q_bar (Eq. 12, forced)";
+    case DecisionRule::kOverloadLocal:
+      return "tr >= beta*q_bar, demand local (Eq. 12, local)";
+    case DecisionRule::kMigrationBenefit:
+      return "tr_hub - tr_cold >= mu*tr_mean (Eq. 16)";
+    case DecisionRule::kSuicideCold: return "tr <= delta*q_bar (Eq. 15)";
+  }
+  return "";
+}
+
+const char* drop_reason_name(DropReason reason) noexcept {
+  switch (reason) {
+    case DropReason::kBandwidth: return "bandwidth";
+    case DropReason::kStorageCap: return "storage_cap";
+    case DropReason::kNodeCap: return "node_cap";
+    case DropReason::kDeadTarget: return "dead_target";
+    case DropReason::kInvalid: return "invalid";
+  }
+  return "?";
+}
+
+const char* action_kind_name(ActionKind kind) noexcept {
+  switch (kind) {
+    case ActionKind::kReplicate: return "replicate";
+    case ActionKind::kMigrate: return "migrate";
+    case ActionKind::kSuicide: return "suicide";
+  }
+  return "?";
+}
+
+namespace {
+
+struct NameVisitor {
+  const char* operator()(const QueryRoutedSummary&) const {
+    return "QueryRoutedSummary";
+  }
+  const char* operator()(const ReplicaAdded&) const { return "ReplicaAdded"; }
+  const char* operator()(const MigrationExecuted&) const {
+    return "MigrationExecuted";
+  }
+  const char* operator()(const Suicide&) const { return "Suicide"; }
+  const char* operator()(const ActionDropped&) const {
+    return "ActionDropped";
+  }
+  const char* operator()(const ServerFailed&) const { return "ServerFailed"; }
+  const char* operator()(const ServerRecovered&) const {
+    return "ServerRecovered";
+  }
+  const char* operator()(const PrimaryPromoted&) const {
+    return "PrimaryPromoted";
+  }
+  const char* operator()(const Reseeded&) const { return "Reseeded"; }
+  const char* operator()(const LinkFailed&) const { return "LinkFailed"; }
+  const char* operator()(const LinkRestored&) const { return "LinkRestored"; }
+  const char* operator()(const EpochCompleted&) const {
+    return "EpochCompleted";
+  }
+};
+
+}  // namespace
+
+const char* event_name(const Event& event) noexcept {
+  return std::visit(NameVisitor{}, event);
+}
+
+Epoch event_epoch(const Event& event) noexcept {
+  return std::visit([](const auto& e) { return e.epoch; }, event);
+}
+
+}  // namespace rfh

@@ -1,0 +1,219 @@
+// The structured event taxonomy of the observability subsystem.
+//
+// Everything the simulator *does* — and, crucially, *why* — is describable
+// as one of the typed events below. The engine and policies emit them
+// through an EventBus (see event_bus.h); sinks serialize or aggregate
+// them (see sinks.h). Events are plain aggregates over strong IDs and
+// doubles, cheap to copy and trivially serializable, so a trace can be
+// replayed, diffed, or loaded into Perfetto without the simulator.
+//
+// Design rule: this header depends only on common/ — the sim layer
+// depends on obs, never the reverse.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace rfh {
+
+// ---------------------------------------------------------------------------
+// Decision explanations
+// ---------------------------------------------------------------------------
+
+/// Which branch of the RFH decision tree (paper Fig. 2, Eqs. 12-17)
+/// produced an action. Baseline policies leave kNone.
+enum class DecisionRule : std::uint8_t {
+  kNone = 0,
+  /// Eq. 14: copy count below the availability floor r_min.
+  kAvailabilityFloor,
+  /// Eqs. 12-13: holder overloaded, replica grown at a gamma-qualified hub.
+  kOverloadHub,
+  /// Eq. 12 fired but no forwarder crossed gamma: relief forced onto the
+  /// top forwarders anyway (the decision tree's "force" branch).
+  kOverloadForced,
+  /// Eq. 12 fired but no forwarder carries the traffic at all: the demand
+  /// is local, so a copy is grown in the holder's own datacenter.
+  kOverloadLocal,
+  /// Eq. 16: relocating a cold replica to the hub clears the benefit bar.
+  kMigrationBenefit,
+  /// Eq. 15: replica cold below delta * q_bar for the streak window.
+  kSuicideCold,
+};
+
+[[nodiscard]] const char* rule_name(DecisionRule rule) noexcept;
+/// The inequality that fired, in the paper's notation (empty for kNone).
+[[nodiscard]] const char* rule_inequality(DecisionRule rule) noexcept;
+
+/// Attached by the policy to every action it emits: the observed values
+/// and thresholds that made the chosen inequality fire. `observed` and
+/// `threshold` are the two sides of rule_inequality(rule); q_bar and the
+/// Table I coefficients give the reader enough to recompute it.
+struct DecisionExplanation {
+  DecisionRule rule = DecisionRule::kNone;
+  /// Left-hand side of the fired inequality (e.g. the holder's smoothed
+  /// traffic tr, or the copy count r for the availability floor).
+  double observed = 0.0;
+  /// Right-hand side (e.g. beta * q_bar, or r_min).
+  double threshold = 0.0;
+  /// The partition's smoothed per-requester demand q_bar (Eq. 9-11).
+  double q_bar = 0.0;
+  // Threshold coefficients in force when the decision was taken.
+  double beta = 0.0;
+  double gamma = 0.0;
+  double delta = 0.0;
+  double mu = 0.0;
+  /// Copy count at decision time and the Eq. 14 floor.
+  std::uint32_t replica_count = 0;
+  std::uint32_t r_min = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Drop reasons
+// ---------------------------------------------------------------------------
+
+/// Why the engine refused an action during validation (engine.cpp's
+/// apply_actions). Ordered so the values double as counter indices.
+enum class DropReason : std::uint8_t {
+  /// Source out of per-epoch replication/migration bandwidth budget.
+  kBandwidth = 0,
+  /// Target over the phi storage-occupancy limit (Eq. 19).
+  kStorageCap,
+  /// Target at its virtual-node cap, or the partition at its copy cap.
+  kNodeCap,
+  /// Target (or migration source copy) dead or nonexistent.
+  kDeadTarget,
+  /// Duplicate copy, missing source replica, or primary-protection rules.
+  kInvalid,
+};
+inline constexpr std::size_t kDropReasonCount = 5;
+
+[[nodiscard]] const char* drop_reason_name(DropReason reason) noexcept;
+
+/// Which action family a dropped action belonged to.
+enum class ActionKind : std::uint8_t { kReplicate = 0, kMigrate, kSuicide };
+
+[[nodiscard]] const char* action_kind_name(ActionKind kind) noexcept;
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// Per-epoch routing summary (one per step, after traffic propagation):
+/// the endpoint numbers of Eqs. 2-8 without the per-flow firehose.
+struct QueryRoutedSummary {
+  Epoch epoch = 0;
+  double total_queries = 0.0;
+  double unserved_queries = 0.0;
+  double mean_path_length = 0.0;
+};
+
+/// A copy was created (replication applied and accounted per Eq. 1).
+struct ReplicaAdded {
+  Epoch epoch = 0;
+  PartitionId partition;
+  ServerId source;  // the primary that sourced the transfer
+  ServerId target;
+  double cost = 0.0;  // Eq. 1 transfer cost
+  DecisionExplanation why;
+};
+
+/// A copy was relocated (Eq. 16 benefit bar cleared).
+struct MigrationExecuted {
+  Epoch epoch = 0;
+  PartitionId partition;
+  ServerId from;
+  ServerId to;
+  double cost = 0.0;
+  DecisionExplanation why;
+};
+
+/// A cold replica removed itself (Eq. 15).
+struct Suicide {
+  Epoch epoch = 0;
+  PartitionId partition;
+  ServerId server;
+  DecisionExplanation why;
+};
+
+/// The engine refused a policy action during validation.
+struct ActionDropped {
+  Epoch epoch = 0;
+  PartitionId partition;
+  ActionKind kind = ActionKind::kReplicate;
+  DropReason reason = DropReason::kInvalid;
+  /// The server the action targeted (replication/migration target, or the
+  /// suiciding copy's host); invalid when the action itself was malformed.
+  ServerId target;
+};
+
+/// Failure injection: a live server was killed.
+struct ServerFailed {
+  Epoch epoch = 0;
+  ServerId server;
+};
+
+/// Failure injection: a dead server came back online.
+struct ServerRecovered {
+  Epoch epoch = 0;
+  ServerId server;
+};
+
+/// A surviving copy was promoted to primary after its holder died.
+struct PrimaryPromoted {
+  Epoch epoch = 0;
+  PartitionId partition;
+  ServerId new_primary;
+};
+
+/// No copy survived: the partition was reseeded empty at the ring
+/// successor (counted as a data loss).
+struct Reseeded {
+  Epoch epoch = 0;
+  PartitionId partition;
+  ServerId new_home;
+};
+
+/// An inter-datacenter link went down; routes were recomputed.
+struct LinkFailed {
+  Epoch epoch = 0;
+  DatacenterId a;
+  DatacenterId b;
+};
+
+/// A previously failed link came back.
+struct LinkRestored {
+  Epoch epoch = 0;
+  DatacenterId a;
+  DatacenterId b;
+};
+
+/// End-of-step summary mirroring EpochReport.
+struct EpochCompleted {
+  Epoch epoch = 0;
+  double total_queries = 0.0;
+  double unserved_queries = 0.0;
+  std::uint32_t replications = 0;
+  std::uint32_t migrations = 0;
+  std::uint32_t suicides = 0;
+  std::uint32_t dropped_actions = 0;
+  std::uint32_t total_replicas = 0;
+  double replication_cost = 0.0;
+  double migration_cost = 0.0;
+};
+
+using Event =
+    std::variant<QueryRoutedSummary, ReplicaAdded, MigrationExecuted, Suicide,
+                 ActionDropped, ServerFailed, ServerRecovered, PrimaryPromoted,
+                 Reseeded, LinkFailed, LinkRestored, EpochCompleted>;
+
+/// Stable PascalCase type name ("ReplicaAdded", ...), used by sinks and
+/// the CLI's --trace-filter grammar.
+[[nodiscard]] const char* event_name(const Event& event) noexcept;
+
+/// The epoch stamped on the event (every alternative carries one).
+[[nodiscard]] Epoch event_epoch(const Event& event) noexcept;
+
+}  // namespace rfh

@@ -1,0 +1,138 @@
+// Pluggable trace consumers for the EventBus.
+//
+//  * RingBufferSink — last-N events in memory; tests and post-mortem
+//    "story" extraction (examples/trace_explain.cpp).
+//  * CounterSink    — per-type and per-drop-reason totals; cheap always-on
+//    aggregation.
+//  * JsonlSink      — one self-describing JSON object per line; the
+//    machine-readable archive format (jq / pandas friendly).
+//  * ChromeTraceSink— Chrome trace_event JSON array loadable in Perfetto /
+//    about://tracing; epochs become duration slices, point events become
+//    instants, and the replica census becomes a counter track.
+//  * FilterSink     — decorator passing only a named subset of event
+//    types through to an inner sink (the CLI's --trace-filter).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/event_bus.h"
+
+namespace rfh {
+
+/// Keeps the most recent `capacity` events, in arrival order.
+class RingBufferSink final : public EventSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 4096);
+
+  void on_event(const Event& event) override;
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+  /// Total events observed (including ones already evicted).
+  [[nodiscard]] std::uint64_t total_events() const noexcept { return total_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // index of the oldest event once full
+  std::uint64_t total_ = 0;
+  std::vector<Event> buffer_;
+};
+
+/// Aggregates counts per event type and per ActionDropped reason.
+class CounterSink final : public EventSink {
+ public:
+  void on_event(const Event& event) override;
+
+  /// Count of events of the given variant alternative.
+  template <typename E>
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    constexpr std::size_t index = Event(E{}).index();
+    return by_type_[index];
+  }
+  /// Count by stable type name ("ReplicaAdded", ...); 0 for unknown names.
+  [[nodiscard]] std::uint64_t count(std::string_view name) const noexcept;
+  [[nodiscard]] std::uint64_t dropped(DropReason reason) const noexcept {
+    return by_drop_reason_[static_cast<std::size_t>(reason)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// "name=count" pairs for every nonzero type, in taxonomy order.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::array<std::uint64_t, std::variant_size_v<Event>> by_type_{};
+  std::array<std::uint64_t, kDropReasonCount> by_drop_reason_{};
+  std::uint64_t total_ = 0;
+};
+
+/// One JSON object per line: {"type":...,"epoch":...,<event fields>}.
+class JsonlSink final : public EventSink {
+ public:
+  /// The stream must outlive the sink; the sink never closes it.
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+
+  void on_event(const Event& event) override;
+  void flush() override { out_->flush(); }
+
+ private:
+  std::ostream* out_;
+  std::string scratch_;  // reused per event to avoid reallocating
+};
+
+/// Chrome trace_event "JSON array format". Each epoch is a complete ("X")
+/// slice on the epochs track, point events are instants ("i") on a track
+/// per category, and EpochCompleted additionally feeds counter ("C")
+/// tracks for replicas and dropped actions. Load the file directly in
+/// https://ui.perfetto.dev or about://tracing.
+class ChromeTraceSink final : public EventSink {
+ public:
+  /// `epoch_duration_us` maps one simulated epoch onto the trace
+  /// timeline; Table I's 10-second epoch is the default.
+  explicit ChromeTraceSink(std::ostream& out,
+                           std::uint64_t epoch_duration_us = 10'000'000);
+
+  void on_event(const Event& event) override;
+  /// Emits the closing bracket (idempotent).
+  void flush() override;
+  ~ChromeTraceSink() override { flush(); }
+
+ private:
+  void write_record(const std::string& json);
+
+  std::ostream* out_;
+  std::uint64_t epoch_us_;
+  bool first_record_ = true;
+  bool closed_ = false;
+  std::string scratch_;
+};
+
+/// Forwards only events whose type name is in the allow-list.
+class FilterSink final : public EventSink {
+ public:
+  /// `spec` is a comma-separated list of event type names (exact match,
+  /// e.g. "ReplicaAdded,ActionDropped"). Unknown names are kept verbatim
+  /// and simply never match. An empty spec passes everything through.
+  FilterSink(EventSink& inner, std::string_view spec);
+
+  void on_event(const Event& event) override;
+  void flush() override { inner_->flush(); }
+
+  [[nodiscard]] bool passes(std::string_view name) const noexcept;
+
+ private:
+  EventSink* inner_;
+  std::vector<std::string> allowed_;  // empty => pass-through
+};
+
+/// Serialize one event as a single-line JSON object (the JsonlSink row
+/// format); exposed for tests and ad-hoc tooling.
+[[nodiscard]] std::string event_to_json(const Event& event);
+
+}  // namespace rfh

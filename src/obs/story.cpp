@@ -1,0 +1,129 @@
+#include "obs/story.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace rfh {
+
+namespace {
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[256];
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+std::string explain_suffix(const DecisionExplanation& why) {
+  if (why.rule == DecisionRule::kNone) return "";
+  return format(" because %s: %.3g vs %.3g [q_bar=%.3g, r=%u/r_min=%u]",
+                rule_inequality(why.rule), why.observed, why.threshold,
+                why.q_bar, why.replica_count, why.r_min);
+}
+
+struct DescribeVisitor {
+  std::string operator()(const QueryRoutedSummary& e) const {
+    return format("routed %.0f queries (%.0f unserved, mean path %.2f)",
+                  e.total_queries, e.unserved_queries, e.mean_path_length);
+  }
+  std::string operator()(const ReplicaAdded& e) const {
+    return format("partition %u replicated: server %u -> server %u "
+                  "(cost %.3g)",
+                  e.partition.value(), e.source.value(), e.target.value(),
+                  e.cost) +
+           explain_suffix(e.why);
+  }
+  std::string operator()(const MigrationExecuted& e) const {
+    return format("partition %u migrated: server %u -> server %u "
+                  "(cost %.3g)",
+                  e.partition.value(), e.from.value(), e.to.value(), e.cost) +
+           explain_suffix(e.why);
+  }
+  std::string operator()(const Suicide& e) const {
+    return format("partition %u copy on server %u suicided",
+                  e.partition.value(), e.server.value()) +
+           explain_suffix(e.why);
+  }
+  std::string operator()(const ActionDropped& e) const {
+    const std::string target =
+        e.target.valid() ? std::to_string(e.target.value()) : "-";
+    return format("partition %u %s dropped (%s, target server %s)",
+                  e.partition.value(), action_kind_name(e.kind),
+                  drop_reason_name(e.reason), target.c_str());
+  }
+  std::string operator()(const ServerFailed& e) const {
+    return format("server %u failed", e.server.value());
+  }
+  std::string operator()(const ServerRecovered& e) const {
+    return format("server %u recovered", e.server.value());
+  }
+  std::string operator()(const PrimaryPromoted& e) const {
+    return format("partition %u promoted server %u to primary",
+                  e.partition.value(), e.new_primary.value());
+  }
+  std::string operator()(const Reseeded& e) const {
+    return format("partition %u lost all copies; reseeded empty at "
+                  "server %u (data loss)",
+                  e.partition.value(), e.new_home.value());
+  }
+  std::string operator()(const LinkFailed& e) const {
+    return format("link between datacenters %u and %u failed", e.a.value(),
+                  e.b.value());
+  }
+  std::string operator()(const LinkRestored& e) const {
+    return format("link between datacenters %u and %u restored", e.a.value(),
+                  e.b.value());
+  }
+  std::string operator()(const EpochCompleted& e) const {
+    return format("epoch done: %u replicas, +%u/-%u copies, %u migrations, "
+                  "%u dropped",
+                  e.total_replicas, e.replications, e.suicides, e.migrations,
+                  e.dropped_actions);
+  }
+};
+
+}  // namespace
+
+std::string describe_event(const Event& event) {
+  return format("epoch %4u  %-18s ", event_epoch(event), event_name(event)) +
+         std::visit(DescribeVisitor{}, event);
+}
+
+namespace {
+
+struct ConcernsVisitor {
+  PartitionId p;
+  bool operator()(const ReplicaAdded& e) const { return e.partition == p; }
+  bool operator()(const MigrationExecuted& e) const {
+    return e.partition == p;
+  }
+  bool operator()(const Suicide& e) const { return e.partition == p; }
+  bool operator()(const ActionDropped& e) const { return e.partition == p; }
+  bool operator()(const PrimaryPromoted& e) const { return e.partition == p; }
+  bool operator()(const Reseeded& e) const { return e.partition == p; }
+  template <typename Other>
+  bool operator()(const Other&) const {
+    return false;
+  }
+};
+
+}  // namespace
+
+bool event_concerns(const Event& event, PartitionId partition) {
+  return std::visit(ConcernsVisitor{partition}, event);
+}
+
+std::vector<std::string> partition_story(std::span<const Event> events,
+                                         PartitionId partition) {
+  std::vector<std::string> lines;
+  for (const Event& event : events) {
+    if (event_concerns(event, partition)) {
+      lines.push_back(describe_event(event));
+    }
+  }
+  return lines;
+}
+
+}  // namespace rfh

@@ -1,0 +1,30 @@
+// Human-readable rendering of trace events — the "story" a trace tells.
+//
+// describe_event() turns one event into a one-line sentence including the
+// decision explanation when present; partition_story() filters a captured
+// event stream down to one partition's lifecycle. Used by
+// examples/trace_explain.cpp and handy from a debugger.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/events.h"
+
+namespace rfh {
+
+/// One-line human-readable sentence, e.g.
+///   "epoch  12 ReplicaAdded      partition 5 -> server 17 (cost 3.2) because
+///    tr >= beta*q_bar (Eq. 12): 41.3 >= 24.0 [q_bar=12.0]"
+[[nodiscard]] std::string describe_event(const Event& event);
+
+/// True when the event concerns the given partition (epoch summaries and
+/// server/link events are excluded — they are cluster-wide).
+[[nodiscard]] bool event_concerns(const Event& event, PartitionId partition);
+
+/// The subset of `events` concerning `partition`, rendered in order.
+[[nodiscard]] std::vector<std::string> partition_story(
+    std::span<const Event> events, PartitionId partition);
+
+}  // namespace rfh

@@ -10,23 +10,33 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "obs/events.h"
 
 namespace rfh {
+
+// Each action carries the DecisionExplanation that produced it (see
+// obs/events.h): the observed statistics and the inequality that fired.
+// The engine forwards it onto the emitted trace event, so a JSONL trace
+// answers "why did partition P replicate at epoch E" directly. Policies
+// that don't explain themselves (the baselines) leave it defaulted.
 
 struct ReplicateAction {
   PartitionId partition;
   ServerId target;
+  DecisionExplanation why;
 };
 
 struct MigrateAction {
   PartitionId partition;
   ServerId from;
   ServerId to;
+  DecisionExplanation why;
 };
 
 struct SuicideAction {
   PartitionId partition;
   ServerId server;
+  DecisionExplanation why;
 };
 
 struct Actions {

@@ -123,23 +123,62 @@ void Simulation::propagate(const QueryBatch& batch) {
   }
 }
 
+namespace {
+
+/// Why can_accept(target, p) said no — mirrors its checks in order so the
+/// dropped action's trace event names the binding constraint.
+DropReason classify_rejected_target(const ClusterState& cluster,
+                                    const Topology& topology,
+                                    const SimConfig& config, ServerId target,
+                                    PartitionId p) {
+  if (!cluster.alive(target)) return DropReason::kDeadTarget;
+  if (cluster.has_replica(p, target)) return DropReason::kInvalid;
+  const ServerSpec& spec = topology.server(target).spec;
+  if (cluster.copies_on(target) >= spec.max_vnodes) {
+    return DropReason::kNodeCap;
+  }
+  (void)config;
+  return DropReason::kStorageCap;  // the phi limit (Eq. 19) is all that's left
+}
+
+}  // namespace
+
 void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
   std::fill(replication_bytes_.begin(), replication_bytes_.end(), Bytes{0});
   std::fill(migration_bytes_.begin(), migration_bytes_.end(), Bytes{0});
 
+  const auto drop = [&](ActionKind kind, PartitionId p, ServerId target,
+                        DropReason reason) {
+    ++report.dropped_actions;
+    ++report.dropped_by_reason[static_cast<std::size_t>(reason)];
+    events_.emit(ActionDropped{epoch_, p, kind, reason, target});
+  };
+
   for (const ReplicateAction& a : actions.replications) {
     const ServerId src = cluster_.primary_of(a.partition);
-    if (!src.valid() || !a.target.valid() ||
-        !cluster_.can_accept(a.target, a.partition) ||
-        cluster_.replica_count(a.partition) >=
-            config_.max_replicas_per_partition) {
-      ++report.dropped_actions;
+    if (!src.valid() || !a.target.valid()) {
+      drop(ActionKind::kReplicate, a.partition, a.target,
+           !a.target.valid() ? DropReason::kDeadTarget : DropReason::kInvalid);
+      continue;
+    }
+    if (!cluster_.can_accept(a.target, a.partition)) {
+      drop(ActionKind::kReplicate, a.partition, a.target,
+           classify_rejected_target(cluster_, world_.topology, config_,
+                                    a.target, a.partition));
+      continue;
+    }
+    if (cluster_.replica_count(a.partition) >=
+        config_.max_replicas_per_partition) {
+      drop(ActionKind::kReplicate, a.partition, a.target,
+           DropReason::kNodeCap);
       continue;
     }
     const ServerSpec& spec = world_.topology.server(src).spec;
     if (replication_bytes_[src.value()] + config_.partition_size >
         spec.replication_bandwidth) {
-      ++report.dropped_actions;  // source out of replication bandwidth
+      // Source out of replication bandwidth this epoch.
+      drop(ActionKind::kReplicate, a.partition, a.target,
+           DropReason::kBandwidth);
       continue;
     }
     replication_bytes_[src.value()] += config_.partition_size;
@@ -150,20 +189,27 @@ void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
         spec.replication_bandwidth);
     report.replications += 1;
     report.replication_cost += cost;
+    events_.emit(
+        ReplicaAdded{epoch_, a.partition, src, a.target, cost, a.why});
   }
 
   for (const MigrateAction& a : actions.migrations) {
     if (!a.from.valid() || !a.to.valid() ||
         !cluster_.has_replica(a.partition, a.from) ||
-        cluster_.primary_of(a.partition) == a.from ||
-        !cluster_.can_accept(a.to, a.partition)) {
-      ++report.dropped_actions;
+        cluster_.primary_of(a.partition) == a.from) {
+      drop(ActionKind::kMigrate, a.partition, a.to, DropReason::kInvalid);
+      continue;
+    }
+    if (!cluster_.can_accept(a.to, a.partition)) {
+      drop(ActionKind::kMigrate, a.partition, a.to,
+           classify_rejected_target(cluster_, world_.topology, config_, a.to,
+                                    a.partition));
       continue;
     }
     const ServerSpec& spec = world_.topology.server(a.from).spec;
     if (migration_bytes_[a.from.value()] + config_.partition_size >
         spec.migration_bandwidth) {
-      ++report.dropped_actions;
+      drop(ActionKind::kMigrate, a.partition, a.to, DropReason::kBandwidth);
       continue;
     }
     migration_bytes_[a.from.value()] += config_.partition_size;
@@ -175,16 +221,19 @@ void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
         spec.migration_bandwidth);
     report.migrations += 1;
     report.migration_cost += cost;
+    events_.emit(
+        MigrationExecuted{epoch_, a.partition, a.from, a.to, cost, a.why});
   }
 
   for (const SuicideAction& a : actions.suicides) {
     if (!a.server.valid() || !cluster_.has_replica(a.partition, a.server) ||
         cluster_.primary_of(a.partition) == a.server) {
-      ++report.dropped_actions;
+      drop(ActionKind::kSuicide, a.partition, a.server, DropReason::kInvalid);
       continue;
     }
     cluster_.remove_replica(a.partition, a.server);
     report.suicides += 1;
+    events_.emit(Suicide{epoch_, a.partition, a.server, a.why});
   }
 }
 
@@ -196,11 +245,6 @@ EpochReport Simulation::step() {
   propagate(batch);
   stats_.update(traffic_);
 
-  PolicyContext ctx{world_.topology, paths_,  cluster_, stats_,
-                    traffic_,        config_, epoch_,   rng_policy_};
-  const Actions actions = policy_->decide(ctx);
-  apply_actions(actions, report);
-
   report.total_queries = traffic_.total_queries();
   double unserved = 0.0;
   for (std::uint32_t p = 0; p < config_.partitions; ++p) {
@@ -208,12 +252,28 @@ EpochReport Simulation::step() {
   }
   report.unserved_queries = unserved;
   report.mean_path_length = traffic_.mean_path_length();
+
+  events_.emit(QueryRoutedSummary{epoch_, report.total_queries,
+                                  report.unserved_queries,
+                                  report.mean_path_length});
+
+  PolicyContext ctx{world_.topology, paths_,  cluster_, stats_,
+                    traffic_,        config_, epoch_,   rng_policy_};
+  const Actions actions = policy_->decide(ctx);
+  apply_actions(actions, report);
+
   report.total_replicas = cluster_.total_replicas();
 
   cum_replication_cost_ += report.replication_cost;
   cum_migration_cost_ += report.migration_cost;
   cum_migrations_ += report.migrations;
   cum_replications_ += report.replications;
+
+  events_.emit(EpochCompleted{
+      epoch_, report.total_queries, report.unserved_queries,
+      report.replications, report.migrations, report.suicides,
+      report.dropped_actions, report.total_replicas, report.replication_cost,
+      report.migration_cost});
 
   ++epoch_;
   return report;
@@ -241,6 +301,7 @@ void Simulation::handle_lost_copies(
     if (best.valid()) {
       cluster_.set_primary(copy.partition, best);
       last_promotions_.push_back(Promotion{copy.partition, best, false});
+      events_.emit(PrimaryPromoted{epoch_, copy.partition, best});
       continue;
     }
     // No surviving copy: the data is lost. Re-seed an empty primary at the
@@ -262,6 +323,7 @@ void Simulation::handle_lost_copies(
     if (home.valid()) {
       cluster_.add_replica(copy.partition, home, /*primary=*/true);
       last_promotions_.push_back(Promotion{copy.partition, home, true});
+      events_.emit(Reseeded{epoch_, copy.partition, home});
     }
   }
 }
@@ -275,6 +337,7 @@ void Simulation::fail_servers(std::span<const ServerId> servers) {
                    "refusing to kill the last live server");
     auto lost = cluster_.kill_server(s);
     all_lost.insert(all_lost.end(), lost.begin(), lost.end());
+    events_.emit(ServerFailed{epoch_, s});
   }
   handle_lost_copies(all_lost);
 }
@@ -304,7 +367,9 @@ std::vector<ServerId> Simulation::fail_datacenter(DatacenterId dc) {
 
 void Simulation::recover_servers(std::span<const ServerId> servers) {
   for (const ServerId s : servers) {
-    if (!cluster_.alive(s)) cluster_.revive_server(s);
+    if (cluster_.alive(s)) continue;
+    cluster_.revive_server(s);
+    events_.emit(ServerRecovered{epoch_, s});
   }
 }
 
@@ -346,6 +411,7 @@ void Simulation::fail_link(DatacenterId a, DatacenterId b) {
   }
   disabled_links_.push_back(entry);
   rebuild_network();
+  events_.emit(LinkFailed{epoch_, a, b});
 }
 
 void Simulation::restore_link(DatacenterId a, DatacenterId b) {
@@ -355,6 +421,7 @@ void Simulation::restore_link(DatacenterId a, DatacenterId b) {
   if (it == disabled_links_.end()) return;
   disabled_links_.erase(it);
   rebuild_network();
+  events_.emit(LinkRestored{epoch_, a, b});
 }
 
 }  // namespace rfh

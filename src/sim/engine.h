@@ -18,12 +18,14 @@
 // successor when no copy survives (counted as a data loss).
 #pragma once
 
+#include <array>
 #include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/event_bus.h"
 #include "net/graph.h"
 #include "net/shortest_paths.h"
 #include "routing/router.h"
@@ -47,6 +49,8 @@ struct EpochReport {
   std::uint32_t migrations = 0;
   std::uint32_t suicides = 0;
   std::uint32_t dropped_actions = 0;
+  /// dropped_actions broken down by DropReason (indexed by its value).
+  std::array<std::uint32_t, kDropReasonCount> dropped_by_reason{};
   double replication_cost = 0.0;
   double migration_cost = 0.0;
   std::uint32_t total_replicas = 0;  // copies across partitions, primaries included
@@ -100,6 +104,13 @@ class Simulation {
   [[nodiscard]] std::size_t failed_link_count() const noexcept {
     return disabled_links_.size();
   }
+
+  // --- observability ----------------------------------------------------
+  /// The simulation's event bus. Attach sinks (obs/sinks.h) before
+  /// stepping to capture a structured trace; with no sinks installed the
+  /// instrumentation is a no-op (see bench_micro_events).
+  [[nodiscard]] EventBus& events() noexcept { return events_; }
+  [[nodiscard]] const EventBus& events() const noexcept { return events_; }
 
   // --- observers -------------------------------------------------------
   [[nodiscard]] const Topology& topology() const noexcept {
@@ -155,6 +166,7 @@ class Simulation {
 
   World world_;
   SimConfig config_;
+  EventBus events_;
   DcGraph graph_;
   ShortestPaths paths_;
   Router router_;

@@ -53,14 +53,24 @@ class ReplicationPolicy {
 ///    unreachable by construction, so it is capped at 90% of the
 ///    partition's demand.
 /// All four policies share this trigger so they face identical pressure.
+///
+/// When `explain` is non-null the observed traffic, effective threshold
+/// and q_bar are recorded there (regardless of the verdict), so a policy
+/// can attach the numbers behind Eq. 12 to the actions it emits.
 inline bool holder_overloaded(const PolicyContext& ctx, PartitionId p,
-                              ServerId primary) {
+                              ServerId primary,
+                              DecisionExplanation* explain = nullptr) {
   const double q_bar = ctx.stats.avg_query(p);
-  if (q_bar <= 0.0) return false;
   const double total =
       q_bar * static_cast<double>(ctx.topology.datacenter_count());
   const double threshold = std::min(ctx.config.beta * q_bar, 0.9 * total);
   const double tr = ctx.stats.node_traffic(p, primary);
+  if (explain != nullptr) {
+    explain->observed = tr;
+    explain->threshold = threshold;
+    explain->q_bar = q_bar;
+  }
+  if (q_bar <= 0.0) return false;
   const double capacity =
       ctx.topology.server(primary).spec.per_replica_capacity;
   return tr >= threshold && tr > capacity;

@@ -116,6 +116,7 @@ TEST(Cli, MetricValueExtractsEveryKnownName) {
   m.mean_replica_lag = 1.5;
   m.stale_read_fraction = 0.2;
   m.diversity_level = 4.5;
+  m.dropped_this_epoch = 6;
   bool ok = false;
   EXPECT_DOUBLE_EQ(metric_value(m, "utilization", &ok), 0.5);
   EXPECT_DOUBLE_EQ(metric_value(m, "replicas", &ok), 7.0);
@@ -128,9 +129,35 @@ TEST(Cli, MetricValueExtractsEveryKnownName) {
   EXPECT_DOUBLE_EQ(metric_value(m, "lag", &ok), 1.5);
   EXPECT_DOUBLE_EQ(metric_value(m, "stale", &ok), 0.2);
   EXPECT_DOUBLE_EQ(metric_value(m, "diversity", &ok), 4.5);
+  EXPECT_DOUBLE_EQ(metric_value(m, "dropped", &ok), 6.0);
   EXPECT_TRUE(ok);
   (void)metric_value(m, "bogus", &ok);
   EXPECT_FALSE(ok);
+}
+
+TEST(Cli, TraceFlags) {
+  const CliParseResult r =
+      parse({"--trace-out=run.jsonl", "--trace-format=chrome",
+             "--trace-filter=ReplicaAdded,ActionDropped"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.trace_out, "run.jsonl");
+  EXPECT_EQ(r.options.trace_format, TraceFormat::kChrome);
+  EXPECT_EQ(r.options.trace_filter, "ReplicaAdded,ActionDropped");
+}
+
+TEST(Cli, TraceDefaultsToJsonlAndNoFilter) {
+  const CliParseResult r = parse({"--trace-out=t.jsonl"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.options.trace_format, TraceFormat::kJsonl);
+  EXPECT_TRUE(r.options.trace_filter.empty());
+}
+
+TEST(Cli, TraceRejectsBadFormatEmptyPathAndCompare) {
+  EXPECT_FALSE(parse({"--trace-format=xml"}).ok);
+  EXPECT_FALSE(parse({"--trace-out="}).ok);
+  EXPECT_FALSE(parse({"--trace-out=t.jsonl", "--compare"}).ok);
+  // --compare alone stays legal.
+  EXPECT_TRUE(parse({"--compare"}).ok);
 }
 
 }  // namespace

@@ -127,7 +127,7 @@ TEST(DatacenterFailure, ClusteredPlacementLosesData) {
       const DatacenterId home = ctx.topology.server(primary).datacenter;
       for (const ServerId s : ctx.cluster.live_by_dc()[home.value()]) {
         if (ctx.cluster.can_accept(s, p)) {
-          actions.replications.push_back(ReplicateAction{p, s});
+          actions.replications.push_back(ReplicateAction{p, s, {}});
           break;
         }
       }

@@ -46,11 +46,11 @@ TEST(EngineEdge, MigrationBandwidthBudgetIsEnforced) {
   }
 
   Actions e0;
-  e0.replications.push_back(ReplicateAction{PartitionId{0}, source});
-  e0.replications.push_back(ReplicateAction{PartitionId{1}, source});
+  e0.replications.push_back(ReplicateAction{PartitionId{0}, source, {}});
+  e0.replications.push_back(ReplicateAction{PartitionId{1}, source, {}});
   Actions e1;
-  e1.migrations.push_back(MigrateAction{PartitionId{0}, source, target_a});
-  e1.migrations.push_back(MigrateAction{PartitionId{1}, source, target_b});
+  e1.migrations.push_back(MigrateAction{PartitionId{0}, source, target_a, {}});
+  e1.migrations.push_back(MigrateAction{PartitionId{1}, source, target_b, {}});
   auto sim = test::make_fixed_sim(
       {}, std::make_unique<test::ScriptedPolicy>(std::vector<Actions>{e0, e1}),
       config, options);

@@ -60,7 +60,7 @@ TEST(Engine, AppliesValidReplicationWithCost) {
   }
 
   Actions script;
-  script.replications.push_back(ReplicateAction{p, target});
+  script.replications.push_back(ReplicateAction{p, target, {}});
   auto sim = test::make_fixed_sim(
       {}, std::make_unique<test::ScriptedPolicy>(std::vector<Actions>{script}));
   const EpochReport report = sim->step();
@@ -79,14 +79,14 @@ TEST(Engine, DropsInvalidActionsInsteadOfCrashing) {
   const ServerId holder = probe->cluster().primary_of(p);
 
   Actions bad;
-  bad.replications.push_back(ReplicateAction{p, holder});  // already hosts
-  bad.replications.push_back(ReplicateAction{p, ServerId::invalid()});
+  bad.replications.push_back(ReplicateAction{p, holder, {}});  // already hosts
+  bad.replications.push_back(ReplicateAction{p, ServerId::invalid(), {}});
   bad.migrations.push_back(
-      MigrateAction{p, ServerId{7}, ServerId{8}});  // from doesn't host
+      MigrateAction{p, ServerId{7}, ServerId{8}, {}});  // from doesn't host
   bad.migrations.push_back(
-      MigrateAction{p, holder, ServerId{8}});  // can't migrate primary
-  bad.suicides.push_back(SuicideAction{p, holder});  // can't kill primary
-  bad.suicides.push_back(SuicideAction{p, ServerId{9}});  // doesn't host
+      MigrateAction{p, holder, ServerId{8}, {}});  // can't migrate primary
+  bad.suicides.push_back(SuicideAction{p, holder, {}});  // can't kill primary
+  bad.suicides.push_back(SuicideAction{p, ServerId{9}, {}});  // doesn't host
 
   auto sim = test::make_fixed_sim(
       {}, std::make_unique<test::ScriptedPolicy>(std::vector<Actions>{bad}));
@@ -115,9 +115,9 @@ TEST(Engine, MigrationMovesTheCopy) {
   }
 
   Actions e0;
-  e0.replications.push_back(ReplicateAction{p, a});
+  e0.replications.push_back(ReplicateAction{p, a, {}});
   Actions e1;
-  e1.migrations.push_back(MigrateAction{p, a, b});
+  e1.migrations.push_back(MigrateAction{p, a, b, {}});
   auto sim = test::make_fixed_sim(
       {}, std::make_unique<test::ScriptedPolicy>(std::vector<Actions>{e0, e1}));
   sim->step();
@@ -137,9 +137,9 @@ TEST(Engine, SuicideRemovesTheCopy) {
   const ServerId extra{holder.value() == 0 ? 1u : 0u};
 
   Actions e0;
-  e0.replications.push_back(ReplicateAction{p, extra});
+  e0.replications.push_back(ReplicateAction{p, extra, {}});
   Actions e1;
-  e1.suicides.push_back(SuicideAction{p, extra});
+  e1.suicides.push_back(SuicideAction{p, extra, {}});
   auto sim = test::make_fixed_sim(
       {}, std::make_unique<test::ScriptedPolicy>(std::vector<Actions>{e0, e1}));
   sim->step();
@@ -168,7 +168,7 @@ TEST(Engine, ReplicationBandwidthBudgetIsEnforced) {
 
   Actions script;
   for (const ServerId t : targets) {
-    script.replications.push_back(ReplicateAction{p, t});
+    script.replications.push_back(ReplicateAction{p, t, {}});
   }
   auto sim = test::make_fixed_sim(
       {}, std::make_unique<test::ScriptedPolicy>(std::vector<Actions>{script}),
@@ -202,7 +202,7 @@ TEST(Engine, FailoverPromotesSurvivingReplica) {
   const ServerId backup{holder.value() == 0 ? 1u : 0u};
 
   Actions e0;
-  e0.replications.push_back(ReplicateAction{p, backup});
+  e0.replications.push_back(ReplicateAction{p, backup, {}});
   auto sim = test::make_fixed_sim(
       {QueryFlow{p, DatacenterId{4}, 3.0}},
       std::make_unique<test::ScriptedPolicy>(std::vector<Actions>{e0}));

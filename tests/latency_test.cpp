@@ -90,7 +90,7 @@ TEST(Latency, NearbyReplicaCutsLatency) {
   const ServerId target = probe->topology().servers_in(requester).front();
 
   Actions e0;
-  e0.replications.push_back(ReplicateAction{p, target});
+  e0.replications.push_back(ReplicateAction{p, target, {}});
   auto sim = test::make_fixed_sim(
       {QueryFlow{p, requester, 2.0}},
       std::make_unique<test::ScriptedPolicy>(std::vector<Actions>{e0}),

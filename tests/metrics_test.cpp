@@ -44,7 +44,7 @@ TEST(Utilization, SaturatedReplicaScoresOne) {
     }
   }
   Actions e0;
-  e0.replications.push_back(ReplicateAction{p, sibling});
+  e0.replications.push_back(ReplicateAction{p, sibling, {}});
   auto sim = test::make_fixed_sim(
       {QueryFlow{p, holder_dc, 10.0}},
       std::make_unique<test::ScriptedPolicy>(std::vector<Actions>{e0}),

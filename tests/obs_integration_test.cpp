@@ -1,0 +1,198 @@
+// End-to-end observability: a real Simulation with sinks attached emits a
+// trace in which every RFH action carries its decision explanation, every
+// drop carries a reason, failure injection shows up as failure events, and
+// the per-reason drop counters in EpochReport reconcile with the trace.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/runner.h"
+#include "harness/scenario.h"
+#include "obs/sinks.h"
+
+namespace rfh {
+namespace {
+
+Scenario small_scenario() {
+  Scenario scenario = Scenario::paper_random_query();
+  scenario.epochs = 60;
+  return scenario;
+}
+
+TEST(ObsIntegration, RfhActionsCarryDecisionExplanations) {
+  const Scenario scenario = small_scenario();
+  auto sim = make_simulation(scenario, PolicyKind::kRfh);
+  RingBufferSink ring(1 << 16);
+  sim->events().add_sink(&ring);
+  for (Epoch e = 0; e < scenario.epochs; ++e) sim->step();
+
+  std::size_t replica_added = 0;
+  for (const Event& event : ring.snapshot()) {
+    if (const auto* added = std::get_if<ReplicaAdded>(&event)) {
+      ++replica_added;
+      // Every RFH replication must name the inequality that fired and the
+      // numbers behind it.
+      EXPECT_NE(added->why.rule, DecisionRule::kNone);
+      EXPECT_STRNE(rule_inequality(added->why.rule), "");
+      EXPECT_EQ(added->why.beta, sim->config().beta);
+      EXPECT_EQ(added->why.gamma, sim->config().gamma);
+      EXPECT_GE(added->why.r_min, 1u);
+      if (added->why.rule == DecisionRule::kAvailabilityFloor) {
+        EXPECT_LT(added->why.observed, added->why.threshold);
+      }
+      EXPECT_TRUE(added->target.valid());
+      EXPECT_TRUE(added->source.valid());
+    }
+    if (const auto* suicide = std::get_if<Suicide>(&event)) {
+      EXPECT_EQ(suicide->why.rule, DecisionRule::kSuicideCold);
+      EXPECT_LE(suicide->why.observed, suicide->why.threshold);
+    }
+    if (const auto* migrated = std::get_if<MigrationExecuted>(&event)) {
+      EXPECT_EQ(migrated->why.rule, DecisionRule::kMigrationBenefit);
+      EXPECT_GE(migrated->why.observed, migrated->why.threshold);
+    }
+  }
+  // The cluster must have grown replicas (availability floor alone
+  // guarantees this), so the trace cannot be empty.
+  EXPECT_GT(replica_added, 0u);
+}
+
+TEST(ObsIntegration, EpochStreamIsCompleteAndOrdered) {
+  const Scenario scenario = small_scenario();
+  auto sim = make_simulation(scenario, PolicyKind::kRfh);
+  CounterSink counters;
+  RingBufferSink ring(1 << 16);
+  sim->events().add_sink(&counters);
+  sim->events().add_sink(&ring);
+  for (Epoch e = 0; e < scenario.epochs; ++e) sim->step();
+
+  EXPECT_EQ(counters.count<EpochCompleted>(), scenario.epochs);
+  EXPECT_EQ(counters.count<QueryRoutedSummary>(), scenario.epochs);
+  Epoch last = 0;
+  for (const Event& event : ring.snapshot()) {
+    EXPECT_GE(event_epoch(event), last);
+    last = event_epoch(event);
+  }
+}
+
+TEST(ObsIntegration, FailureInjectionEmitsFailureEvents) {
+  const Scenario scenario = small_scenario();
+  auto sim = make_simulation(scenario, PolicyKind::kRfh);
+  CounterSink counters;
+  sim->events().add_sink(&counters);
+  for (Epoch e = 0; e < 30; ++e) sim->step();
+
+  const auto victims = sim->fail_random_servers(25);
+  EXPECT_EQ(counters.count<ServerFailed>(), victims.size());
+  // With 25 of 100 servers gone some partition must have lost its primary
+  // and been promoted (or reseeded).
+  EXPECT_EQ(counters.count<PrimaryPromoted>() + counters.count<Reseeded>(),
+            sim->last_promotions().size());
+
+  sim->recover_servers(victims);
+  EXPECT_EQ(counters.count<ServerRecovered>(), victims.size());
+  sim->recover_servers(victims);  // already alive: no duplicate events
+  EXPECT_EQ(counters.count<ServerRecovered>(), victims.size());
+}
+
+TEST(ObsIntegration, LinkEventsFireOnActualTransitionsOnly) {
+  const Scenario scenario = small_scenario();
+  auto sim = make_simulation(scenario, PolicyKind::kRfh);
+  CounterSink counters;
+  sim->events().add_sink(&counters);
+
+  sim->fail_link(DatacenterId{0}, DatacenterId{1});
+  sim->fail_link(DatacenterId{0}, DatacenterId{1});  // idempotent
+  EXPECT_EQ(counters.count<LinkFailed>(), 1u);
+  sim->restore_link(DatacenterId{0}, DatacenterId{1});
+  sim->restore_link(DatacenterId{0}, DatacenterId{1});
+  EXPECT_EQ(counters.count<LinkRestored>(), 1u);
+}
+
+TEST(ObsIntegration, DropReasonCountersReconcileWithTheTrace) {
+  // A starved replication budget makes the engine refuse actions,
+  // exercising the drop path deterministically.
+  Scenario scenario = small_scenario();
+  scenario.world.replication_bandwidth = 1;
+  auto sim = make_simulation(scenario, PolicyKind::kRfh);
+  CounterSink counters;
+  sim->events().add_sink(&counters);
+
+  std::uint64_t reported_drops = 0;
+  std::uint64_t reported_by_reason = 0;
+  for (Epoch e = 0; e < scenario.epochs; ++e) {
+    const EpochReport report = sim->step();
+    reported_drops += report.dropped_actions;
+    for (const std::uint32_t count : report.dropped_by_reason) {
+      reported_by_reason += count;
+    }
+  }
+  EXPECT_EQ(reported_drops, reported_by_reason);
+  EXPECT_EQ(counters.count<ActionDropped>(), reported_drops);
+  std::uint64_t trace_by_reason = 0;
+  for (std::size_t r = 0; r < kDropReasonCount; ++r) {
+    trace_by_reason += counters.dropped(static_cast<DropReason>(r));
+  }
+  EXPECT_EQ(trace_by_reason, reported_drops);
+}
+
+TEST(ObsIntegration, RunPolicyAttachesAndFlushesTheSink) {
+  Scenario scenario = small_scenario();
+  scenario.epochs = 20;
+  std::ostringstream out;
+  ChromeTraceSink sink(out);
+  std::vector<FailureEvent> failures;
+  FailureEvent event;
+  event.epoch = 10;
+  event.kill_random = 5;
+  failures.push_back(event);
+  const PolicyRun run = run_policy(scenario, PolicyKind::kRfh, failures,
+                                   RfhPolicy::Options{}, &sink);
+  EXPECT_EQ(run.series.size(), 20u);
+  const std::string trace = out.str();
+  // Flushed: the array is closed.
+  EXPECT_EQ(trace.find_last_of(']'), trace.size() - 2);
+  EXPECT_NE(trace.find("ServerFailed"), std::string::npos);
+  EXPECT_NE(trace.find("EpochCompleted"), std::string::npos);
+}
+
+TEST(ObsIntegration, MetricsCarryPerReasonDropCounters) {
+  Scenario scenario = small_scenario();
+  scenario.world.replication_bandwidth = 1;
+  const PolicyRun run = run_policy(scenario, PolicyKind::kRfh);
+  std::uint64_t total = 0;
+  std::uint64_t by_reason = 0;
+  for (const EpochMetrics& m : run.series) {
+    total += m.dropped_this_epoch;
+    by_reason += std::uint64_t{m.dropped_bandwidth} + m.dropped_storage_cap +
+                 m.dropped_node_cap + m.dropped_dead_target +
+                 m.dropped_invalid;
+  }
+  EXPECT_EQ(total, by_reason);
+  EXPECT_GT(total, 0u);  // the cap must actually bite in this scenario
+}
+
+TEST(ObsIntegration, TracingDoesNotPerturbTheSimulation) {
+  // Determinism guard: the same scenario with and without sinks produces
+  // identical epoch series (observability is read-only).
+  const Scenario scenario = small_scenario();
+  auto traced = make_simulation(scenario, PolicyKind::kRfh);
+  RingBufferSink ring(1024);
+  CounterSink counters;
+  traced->events().add_sink(&ring);
+  traced->events().add_sink(&counters);
+  auto plain = make_simulation(scenario, PolicyKind::kRfh);
+  for (Epoch e = 0; e < 40; ++e) {
+    const EpochReport a = traced->step();
+    const EpochReport b = plain->step();
+    ASSERT_DOUBLE_EQ(a.total_queries, b.total_queries);
+    ASSERT_EQ(a.replications, b.replications);
+    ASSERT_EQ(a.migrations, b.migrations);
+    ASSERT_EQ(a.suicides, b.suicides);
+    ASSERT_EQ(a.dropped_actions, b.dropped_actions);
+    ASSERT_EQ(a.total_replicas, b.total_replicas);
+  }
+}
+
+}  // namespace
+}  // namespace rfh

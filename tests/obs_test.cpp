@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/event_bus.h"
+#include "obs/sinks.h"
+#include "obs/story.h"
+
+namespace rfh {
+namespace {
+
+Event sample_replica_added() {
+  ReplicaAdded e;
+  e.epoch = 7;
+  e.partition = PartitionId{3};
+  e.source = ServerId{1};
+  e.target = ServerId{9};
+  e.cost = 2.5;
+  e.why.rule = DecisionRule::kOverloadHub;
+  e.why.observed = 41.0;
+  e.why.threshold = 24.0;
+  e.why.q_bar = 12.0;
+  e.why.beta = 2.0;
+  e.why.replica_count = 2;
+  e.why.r_min = 2;
+  return e;
+}
+
+TEST(EventBus, DisabledWithoutSinksAndEmitIsANoOp) {
+  EventBus bus;
+  EXPECT_FALSE(bus.enabled());
+  bus.emit(ServerFailed{0, ServerId{1}});  // must not crash
+  EXPECT_EQ(bus.sink_count(), 0u);
+}
+
+TEST(EventBus, DispatchesToEverySinkInOrder) {
+  EventBus bus;
+  CounterSink a;
+  CounterSink b;
+  bus.add_sink(&a);
+  bus.add_sink(&b);
+  EXPECT_TRUE(bus.enabled());
+  bus.emit(ServerFailed{0, ServerId{1}});
+  bus.emit(ServerRecovered{1, ServerId{1}});
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(b.total(), 2u);
+  EXPECT_EQ(a.count<ServerFailed>(), 1u);
+  EXPECT_EQ(a.count("ServerRecovered"), 1u);
+}
+
+TEST(EventBus, OwnedSinksAreFlushedOnClose) {
+  std::ostringstream out;
+  {
+    EventBus bus;
+    bus.add_sink(std::make_unique<ChromeTraceSink>(out));
+    bus.emit(sample_replica_added());
+  }  // destructor closes the JSON array
+  const std::string trace = out.str();
+  EXPECT_EQ(trace.front(), '[');
+  EXPECT_NE(trace.find("]"), std::string::npos);
+}
+
+TEST(EventName, CoversEveryAlternative) {
+  EXPECT_STREQ(event_name(Event(QueryRoutedSummary{})), "QueryRoutedSummary");
+  EXPECT_STREQ(event_name(Event(ReplicaAdded{})), "ReplicaAdded");
+  EXPECT_STREQ(event_name(Event(MigrationExecuted{})), "MigrationExecuted");
+  EXPECT_STREQ(event_name(Event(Suicide{})), "Suicide");
+  EXPECT_STREQ(event_name(Event(ActionDropped{})), "ActionDropped");
+  EXPECT_STREQ(event_name(Event(ServerFailed{})), "ServerFailed");
+  EXPECT_STREQ(event_name(Event(ServerRecovered{})), "ServerRecovered");
+  EXPECT_STREQ(event_name(Event(PrimaryPromoted{})), "PrimaryPromoted");
+  EXPECT_STREQ(event_name(Event(Reseeded{})), "Reseeded");
+  EXPECT_STREQ(event_name(Event(LinkFailed{})), "LinkFailed");
+  EXPECT_STREQ(event_name(Event(LinkRestored{})), "LinkRestored");
+  EXPECT_STREQ(event_name(Event(EpochCompleted{})), "EpochCompleted");
+}
+
+TEST(EventEpoch, ReadsTheStampedEpoch) {
+  EXPECT_EQ(event_epoch(Event(ServerFailed{42, ServerId{1}})), 42u);
+  EXPECT_EQ(event_epoch(sample_replica_added()), 7u);
+}
+
+TEST(RingBufferSink, KeepsTheLastNInArrivalOrder) {
+  RingBufferSink ring(3);
+  for (std::uint32_t e = 0; e < 5; ++e) {
+    ring.on_event(Event(ServerFailed{e, ServerId{e}}));
+  }
+  EXPECT_EQ(ring.total_events(), 5u);
+  EXPECT_EQ(ring.size(), 3u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(event_epoch(events[0]), 2u);
+  EXPECT_EQ(event_epoch(events[1]), 3u);
+  EXPECT_EQ(event_epoch(events[2]), 4u);
+}
+
+TEST(CounterSink, CountsDropReasons) {
+  CounterSink counters;
+  ActionDropped dropped;
+  dropped.reason = DropReason::kBandwidth;
+  counters.on_event(Event(dropped));
+  counters.on_event(Event(dropped));
+  dropped.reason = DropReason::kStorageCap;
+  counters.on_event(Event(dropped));
+  EXPECT_EQ(counters.dropped(DropReason::kBandwidth), 2u);
+  EXPECT_EQ(counters.dropped(DropReason::kStorageCap), 1u);
+  EXPECT_EQ(counters.dropped(DropReason::kDeadTarget), 0u);
+  EXPECT_EQ(counters.count<ActionDropped>(), 3u);
+  EXPECT_EQ(counters.summary(), "ActionDropped=3");
+}
+
+TEST(JsonlSink, OneSelfDescribingObjectPerLine) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  sink.on_event(sample_replica_added());
+  sink.on_event(Event(ServerFailed{8, ServerId{2}}));
+  std::istringstream lines(out.str());
+  std::string first;
+  std::string second;
+  ASSERT_TRUE(std::getline(lines, first));
+  ASSERT_TRUE(std::getline(lines, second));
+  EXPECT_EQ(first.front(), '{');
+  EXPECT_EQ(first.back(), '}');
+  EXPECT_NE(first.find("\"type\":\"ReplicaAdded\""), std::string::npos);
+  EXPECT_NE(first.find("\"epoch\":7"), std::string::npos);
+  EXPECT_NE(first.find("\"rule\":\"overload_hub\""), std::string::npos);
+  EXPECT_NE(first.find("\"inequality\":\"tr >= beta*q_bar (Eq. 12)\""),
+            std::string::npos);
+  EXPECT_NE(second.find("\"type\":\"ServerFailed\""), std::string::npos);
+}
+
+TEST(JsonlSink, InvalidIdsSerializeAsNull) {
+  ActionDropped dropped;  // default target is invalid
+  dropped.partition = PartitionId{1};
+  const std::string json = event_to_json(Event(dropped));
+  EXPECT_NE(json.find("\"target\":null"), std::string::npos);
+}
+
+// Structural JSON validation: every brace/bracket/quote balances. This is
+// what "loads in Perfetto" reduces to for a generated file (Perfetto
+// accepts any well-formed trace_event JSON array).
+void expect_balanced_json(const std::string& text) {
+  int depth_obj = 0;
+  int depth_arr = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++depth_obj; break;
+      case '}': --depth_obj; EXPECT_GE(depth_obj, 0); break;
+      case '[': ++depth_arr; break;
+      case ']': --depth_arr; EXPECT_GE(depth_arr, 0); break;
+      default: break;
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth_obj, 0);
+  EXPECT_EQ(depth_arr, 0);
+}
+
+TEST(ChromeTraceSink, EmitsAWellFormedJsonArrayWithMetadata) {
+  std::ostringstream out;
+  {
+    ChromeTraceSink sink(out);
+    sink.on_event(sample_replica_added());
+    EpochCompleted done;
+    done.epoch = 7;
+    done.total_replicas = 130;
+    done.dropped_actions = 2;
+    sink.on_event(Event(done));
+    sink.flush();
+    sink.flush();  // idempotent
+  }
+  const std::string trace = out.str();
+  expect_balanced_json(trace);
+  EXPECT_EQ(trace.front(), '[');
+  // Metadata names the process; the instant event carries its args; the
+  // epoch is a duration slice; counters feed the replica census track.
+  EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"C\""), std::string::npos);
+  // Epoch 7 at the default 10 s/epoch => ts 70,000,000 us.
+  EXPECT_NE(trace.find("\"ts\":70000000"), std::string::npos);
+}
+
+TEST(FilterSink, PassesOnlyListedTypes) {
+  CounterSink counters;
+  FilterSink filter(counters, "ReplicaAdded, ActionDropped");
+  filter.on_event(sample_replica_added());
+  filter.on_event(Event(ServerFailed{1, ServerId{0}}));
+  filter.on_event(Event(ActionDropped{}));
+  EXPECT_EQ(counters.total(), 2u);
+  EXPECT_EQ(counters.count<ServerFailed>(), 0u);
+  EXPECT_TRUE(filter.passes("ReplicaAdded"));
+  EXPECT_FALSE(filter.passes("ServerFailed"));
+}
+
+TEST(FilterSink, EmptySpecPassesEverything) {
+  CounterSink counters;
+  FilterSink filter(counters, "");
+  filter.on_event(Event(ServerFailed{1, ServerId{0}}));
+  EXPECT_EQ(counters.total(), 1u);
+}
+
+TEST(Story, DescribesExplainedActions) {
+  const std::string line = describe_event(sample_replica_added());
+  EXPECT_NE(line.find("ReplicaAdded"), std::string::npos);
+  EXPECT_NE(line.find("partition 3"), std::string::npos);
+  EXPECT_NE(line.find("tr >= beta*q_bar (Eq. 12)"), std::string::npos);
+}
+
+TEST(Story, PartitionStoryFiltersByPartition) {
+  std::vector<Event> events;
+  events.push_back(sample_replica_added());               // partition 3
+  events.push_back(Event(ServerFailed{1, ServerId{0}}));  // cluster-wide
+  PrimaryPromoted promoted;
+  promoted.partition = PartitionId{4};
+  events.push_back(Event(promoted));
+  EXPECT_EQ(partition_story(events, PartitionId{3}).size(), 1u);
+  EXPECT_EQ(partition_story(events, PartitionId{4}).size(), 1u);
+  EXPECT_TRUE(partition_story(events, PartitionId{9}).empty());
+}
+
+TEST(Taxonomy, NamesAreStable) {
+  EXPECT_STREQ(drop_reason_name(DropReason::kBandwidth), "bandwidth");
+  EXPECT_STREQ(drop_reason_name(DropReason::kStorageCap), "storage_cap");
+  EXPECT_STREQ(drop_reason_name(DropReason::kNodeCap), "node_cap");
+  EXPECT_STREQ(drop_reason_name(DropReason::kDeadTarget), "dead_target");
+  EXPECT_STREQ(drop_reason_name(DropReason::kInvalid), "invalid");
+  EXPECT_STREQ(rule_name(DecisionRule::kAvailabilityFloor),
+               "availability_floor");
+  EXPECT_STREQ(rule_inequality(DecisionRule::kSuicideCold),
+               "tr <= delta*q_bar (Eq. 15)");
+  EXPECT_STREQ(action_kind_name(ActionKind::kMigrate), "migrate");
+}
+
+}  // namespace
+}  // namespace rfh

@@ -66,6 +66,116 @@ TEST(TraceWorkload, ParserSkipsHeaderCommentsAndBlanks) {
   EXPECT_DOUBLE_EQ(trace.generate(4, rng)[0].queries, 1.0);
 }
 
+TEST(TraceWorkload, OutOfOrderEpochsAreReorderedBySchedule) {
+  // Rows may arrive in any epoch order (e.g. a trace merged from
+  // per-server logs); replay is by epoch index, not file order.
+  std::stringstream csv(
+      "5,1,2,10\n"
+      "0,3,4,1.5\n"
+      "5,0,0,2\n"
+      "2,7,8,4\n");
+  TraceWorkload trace = TraceWorkload::from_csv(csv);
+  Rng rng(1);
+  ASSERT_EQ(trace.epoch_count(), 6u);
+  EXPECT_DOUBLE_EQ(trace.generate(0, rng)[0].queries, 1.5);
+  EXPECT_DOUBLE_EQ(trace.generate(2, rng)[0].queries, 4.0);
+  ASSERT_EQ(trace.generate(5, rng).size(), 2u);  // both epoch-5 rows kept
+  EXPECT_TRUE(trace.generate(1, rng).empty());
+  EXPECT_TRUE(trace.generate(3, rng).empty());
+}
+
+TEST(TraceWorkload, SparseEpochsReplayAsEmpty) {
+  std::stringstream csv("9,0,0,1\n");
+  TraceWorkload trace = TraceWorkload::from_csv(csv);
+  Rng rng(1);
+  ASSERT_EQ(trace.epoch_count(), 10u);
+  for (Epoch e = 0; e < 9; ++e) {
+    EXPECT_TRUE(trace.generate(e, rng).empty()) << "epoch " << e;
+  }
+  EXPECT_EQ(trace.generate(9, rng).size(), 1u);
+}
+
+TEST(TraceWorkload, NoTrailingNewlineOnLastRow) {
+  std::stringstream csv("0,1,2,3.5\n1,2,3,4.5");  // EOF right after a row
+  TraceWorkload trace = TraceWorkload::from_csv(csv);
+  Rng rng(1);
+  ASSERT_EQ(trace.epoch_count(), 2u);
+  EXPECT_DOUBLE_EQ(trace.generate(1, rng)[0].queries, 4.5);
+}
+
+TEST(TraceWorkload, CrlfLineEndingsAndTrailingBlankLines) {
+  std::stringstream csv(
+      "epoch,partition,requester,queries\r\n"
+      "0,1,2,3.5\r\n"
+      "\r\n"
+      "\n");
+  TraceWorkload trace = TraceWorkload::from_csv(csv);
+  Rng rng(1);
+  ASSERT_EQ(trace.epoch_count(), 1u);
+  EXPECT_DOUBLE_EQ(trace.generate(0, rng)[0].queries, 3.5);
+}
+
+TEST(TraceWorkload, HeaderOnlyAfterCommentsIsStillSkipped) {
+  // The header is recognized on the first *content* line even when
+  // comments and blanks precede it.
+  std::stringstream csv(
+      "# produced by rfh trace_replay\n"
+      "\n"
+      "epoch,partition,requester,queries\n"
+      "0,1,2,3\n");
+  TraceWorkload trace = TraceWorkload::from_csv(csv);
+  Rng rng(1);
+  ASSERT_EQ(trace.epoch_count(), 1u);
+  EXPECT_EQ(trace.generate(0, rng).size(), 1u);
+}
+
+TEST(TraceWorkload, EmptyAndCommentOnlyInputsYieldAnEmptySchedule) {
+  {
+    std::stringstream csv("");
+    EXPECT_EQ(TraceWorkload::from_csv(csv).epoch_count(), 0u);
+  }
+  {
+    std::stringstream csv("# nothing but comments\n#\n\n");
+    EXPECT_EQ(TraceWorkload::from_csv(csv).epoch_count(), 0u);
+  }
+  {
+    std::stringstream csv("epoch,partition,requester,queries\n");
+    EXPECT_EQ(TraceWorkload::from_csv(csv).epoch_count(), 0u);
+  }
+}
+
+TEST(TraceWorkload, PropertyRecordSerializeReplayRoundTrip) {
+  // Property test over seeds: record a stochastic run, serialize to CSV,
+  // replay — every flow (partition, requester, queries) must survive the
+  // round trip exactly, per epoch and in order.
+  for (const std::uint64_t seed : {1ull, 17ull, 92ull, 4096ull}) {
+    WorkloadParams params;
+    params.partitions = 16;
+    params.datacenters = 10;
+    RecordingWorkload recording(std::make_unique<UniformWorkload>(params));
+    Rng rng(seed);
+    constexpr Epoch kEpochs = 7;
+    for (Epoch e = 0; e < kEpochs; ++e) (void)recording.generate(e, rng);
+
+    std::stringstream csv;
+    write_trace_csv(csv, recording.recorded());
+    TraceWorkload replay = TraceWorkload::from_csv(csv);
+    Rng rng2(seed + 1);  // replay must ignore the rng entirely
+
+    ASSERT_EQ(replay.epoch_count(), recording.recorded().size());
+    for (Epoch e = 0; e < kEpochs; ++e) {
+      const QueryBatch& want = recording.recorded()[e];
+      const QueryBatch got = replay.generate(e, rng2);
+      ASSERT_EQ(got.size(), want.size()) << "seed " << seed << " epoch " << e;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].partition, want[i].partition);
+        EXPECT_EQ(got[i].requester, want[i].requester);
+        EXPECT_DOUBLE_EQ(got[i].queries, want[i].queries);
+      }
+    }
+  }
+}
+
 TEST(TraceWorkloadDeath, MalformedRows) {
   {
     std::stringstream csv("0,1,2\n");

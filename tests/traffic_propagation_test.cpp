@@ -121,7 +121,7 @@ TEST(TrafficPropagation, UpstreamReplicaReducesHolderResidual) {
 
   // Now run with a scripted replication onto that transit server.
   Actions epoch0;
-  epoch0.replications.push_back(ReplicateAction{p, target});
+  epoch0.replications.push_back(ReplicateAction{p, target, {}});
   auto sim = test::make_fixed_sim(
       {QueryFlow{p, requester, 5.0}},
       std::make_unique<test::ScriptedPolicy>(std::vector<Actions>{epoch0}),
@@ -153,7 +153,7 @@ TEST(TrafficPropagation, PathLengthShortensWhenReplicaAbsorbsEarly) {
   const ServerId target = probe->topology().servers_in(requester).front();
 
   Actions epoch0;
-  epoch0.replications.push_back(ReplicateAction{p, target});
+  epoch0.replications.push_back(ReplicateAction{p, target, {}});
   auto sim = test::make_fixed_sim(
       {QueryFlow{p, requester, 2.0}},  // exactly the replica capacity
       std::make_unique<test::ScriptedPolicy>(std::vector<Actions>{epoch0}),
@@ -187,7 +187,7 @@ TEST(TrafficPropagation, NonPrimariesAbsorbBeforeThePrimary) {
   ASSERT_TRUE(sibling.valid());
 
   Actions epoch0;
-  epoch0.replications.push_back(ReplicateAction{p, sibling});
+  epoch0.replications.push_back(ReplicateAction{p, sibling, {}});
   auto sim = test::make_fixed_sim(
       {QueryFlow{p, holder_dc, 3.0}},
       std::make_unique<test::ScriptedPolicy>(std::vector<Actions>{epoch0}),
