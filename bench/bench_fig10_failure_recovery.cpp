@@ -6,16 +6,21 @@
 // RFH re-replicates on the survivors.
 #include <iostream>
 
+#include "bench_report.h"
 #include "harness/report.h"
 
 int main() {
+  rfh::BenchReport report("fig10_failure_recovery");
   const rfh::Scenario s = rfh::Scenario::paper_failure_recovery();
   rfh::FailureEvent failure;
   failure.epoch = 290;
   failure.kill_random = 30;
   const std::vector<rfh::FailureEvent> failures{failure};
-  const rfh::PolicyRun run = rfh::run_policy(s, rfh::PolicyKind::kRfh,
-                                             failures);
+  rfh::PolicyRun run;
+  {
+    const auto stage = report.stage("run_rfh");
+    run = rfh::run_policy(s, rfh::PolicyKind::kRfh, failures);
+  }
 
   std::cout << "# Fig 10: node failure and recovery (RFH), 30 servers "
                "killed at epoch 290\n";
@@ -39,5 +44,10 @@ int main() {
   std::cout << "# plateau(240-289)=" << mean_over(240, 290)
             << " trough(290-299)=" << mean_over(290, 300)
             << " recovered(450-499)=" << mean_over(450, 500) << "\n";
+
+  report.add_metric("plateau_replicas", mean_over(240, 290));
+  report.add_metric("trough_replicas", mean_over(290, 300));
+  report.add_metric("recovered_replicas", mean_over(450, 500));
+  report.write_file();
   return 0;
 }

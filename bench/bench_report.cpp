@@ -1,0 +1,96 @@
+#include "bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace rfh {
+
+namespace {
+
+void append_number(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += buf;
+}
+
+double ms_between(BenchReport::Clock::time_point a,
+                  BenchReport::Clock::time_point b) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                 .count()) /
+         1e6;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_(Clock::now()) {}
+
+BenchReport::ScopedStage::~ScopedStage() {
+  report_->stages_[index_].wall_ms = ms_between(start_, Clock::now());
+}
+
+BenchReport::ScopedStage BenchReport::stage(std::string name) {
+  stages_.push_back(Stage{std::move(name), 0.0});
+  return ScopedStage(*this, stages_.size() - 1);
+}
+
+void BenchReport::add_metric(const std::string& name, double value) {
+  for (auto& [existing, old] : metrics_) {
+    if (existing == name) {
+      old = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(name, value);
+}
+
+std::string BenchReport::to_json() const {
+  // Names are ASCII identifiers chosen by the bench author, so no JSON
+  // string escaping is needed (same convention as obs/sinks.cpp).
+  std::string out = "{\"schema\":\"rfh-bench-report/1\",\"bench\":\"";
+  out += name_;
+  out += "\",\"stages\":[";
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"name\":\"";
+    out += stages_[i].name;
+    out += "\",\"wall_ms\":";
+    append_number(out, stages_[i].wall_ms);
+    out += '}';
+  }
+  out += "],\"metrics\":{";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += metrics_[i].first;
+    out += "\":";
+    append_number(out, metrics_[i].second);
+  }
+  out += "},\"total_wall_ms\":";
+  append_number(out, ms_between(start_, Clock::now()));
+  out += "}\n";
+  return out;
+}
+
+std::string BenchReport::write_file() const {
+  std::string path;
+  if (const char* dir = std::getenv("RFH_BENCH_OUT_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    path = dir;
+    if (path.back() != '/') path += '/';
+  }
+  path += "BENCH_" + name_ + ".json";
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "bench_report: cannot open '%s' for writing\n",
+                 path.c_str());
+    return "";
+  }
+  file << to_json();
+  std::fprintf(stderr, "# bench report written to %s\n", path.c_str());
+  return path;
+}
+
+}  // namespace rfh

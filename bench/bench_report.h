@@ -1,0 +1,88 @@
+// Machine-readable bench reporting.
+//
+// Every bench_* binary prints human-oriented CSV on stdout; this helper
+// additionally writes BENCH_<name>.json — wall-clock per stage plus the
+// bench's own summary metrics — so CI can archive results and
+// scripts/bench_diff.py can compare two runs for regressions.
+//
+// Schema ("rfh-bench-report/1"):
+//   {
+//     "schema": "rfh-bench-report/1",
+//     "bench": "<name>",
+//     "stages": [{"name": "...", "wall_ms": <double>}, ...],
+//     "metrics": {"<name>": <double>, ...},
+//     "total_wall_ms": <double>
+//   }
+//
+// Usage:
+//   rfh::BenchReport report("fig10_failure_recovery");
+//   { auto s = report.stage("run_rfh"); ... }   // RAII wall-clock stage
+//   report.add_metric("plateau_replicas", plateau);
+//   report.write_file();   // BENCH_fig10_failure_recovery.json
+//
+// The output directory is $RFH_BENCH_OUT_DIR when set, else the current
+// working directory. Reporting is observational: it never touches
+// simulation state, so bench outputs stay deterministic.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rfh {
+
+class BenchReport {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `name` must be a filesystem-safe identifier (it lands in the file
+  /// name and the "bench" field). The total-wall clock starts here.
+  explicit BenchReport(std::string name);
+
+  /// RAII wall-clock stage: the stage's duration is the ScopedStage's
+  /// lifetime. Stages may not overlap in practice (benches are
+  /// sequential) but nothing enforces it; each records independently.
+  class ScopedStage {
+   public:
+    ScopedStage(BenchReport& report, std::size_t index)
+        : report_(&report), index_(index), start_(Clock::now()) {}
+    ScopedStage(const ScopedStage&) = delete;
+    ScopedStage& operator=(const ScopedStage&) = delete;
+    ~ScopedStage();
+
+   private:
+    BenchReport* report_;
+    std::size_t index_;
+    Clock::time_point start_;
+  };
+
+  [[nodiscard]] ScopedStage stage(std::string name);
+
+  /// Record a summary metric (figure plateaus, tail means, counts...).
+  /// Re-adding a name overwrites it.
+  void add_metric(const std::string& name, double value);
+
+  /// Serialize the report (stops the total-wall clock at call time).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write BENCH_<name>.json into $RFH_BENCH_OUT_DIR (or the cwd) and
+  /// return the path; empty string on I/O failure (also reported on
+  /// stderr, but benches keep their exit status).
+  std::string write_file() const;
+
+ private:
+  friend class ScopedStage;
+
+  struct Stage {
+    std::string name;
+    double wall_ms = 0.0;
+  };
+
+  std::string name_;
+  Clock::time_point start_;
+  std::vector<Stage> stages_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace rfh

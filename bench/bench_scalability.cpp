@@ -8,13 +8,16 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 
+#include "bench_report.h"
 #include "core/rfh_policy.h"
 #include "metrics/collector.h"
 #include "topology/world.h"
 #include "workload/generator.h"
 
 int main() {
+  rfh::BenchReport report("scalability");
   std::printf("# RFH scalability sweep (synthetic ring+chord worlds, "
               "demand 30 queries/epoch per datacenter)\n");
   std::printf("%6s %8s %11s %11s %10s %12s\n", "DCs", "servers",
@@ -40,18 +43,28 @@ int main() {
     const rfh::Epoch measured = 60;
     sim.run(warmup);
     const auto start = std::chrono::steady_clock::now();
-    for (rfh::Epoch e = 0; e < measured; ++e) {
-      collector.collect(sim, sim.step());
+    {
+      const auto stage =
+          report.stage("measure_dcs_" + std::to_string(n_dcs));
+      for (rfh::Epoch e = 0; e < measured; ++e) {
+        collector.collect(sim, sim.step());
+      }
     }
     const auto elapsed = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - start)
                              .count();
 
+    const double utilization =
+        collector.tail_mean(&rfh::EpochMetrics::utilization, 30);
+    const double unserved =
+        collector.tail_mean(&rfh::EpochMetrics::unserved_fraction, 30);
     std::printf("%6u %8zu %11u %11.3f %10.3f %12.3f\n", n_dcs, servers,
-                config.partitions,
-                collector.tail_mean(&rfh::EpochMetrics::utilization, 30),
-                collector.tail_mean(&rfh::EpochMetrics::unserved_fraction, 30),
+                config.partitions, utilization, unserved,
                 elapsed / static_cast<double>(measured));
+    const std::string suffix = "_dcs_" + std::to_string(n_dcs);
+    report.add_metric("utilization" + suffix, utilization);
+    report.add_metric("unserved_fraction" + suffix, unserved);
   }
+  report.write_file();
   return 0;
 }

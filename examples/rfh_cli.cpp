@@ -7,6 +7,9 @@
 //   ./rfh_cli --kill=30@100 --trace-out=run.jsonl --quiet
 //   ./rfh_cli --trace-out=run.json --trace-format=chrome
 //   ./rfh_cli --trace-out=r.jsonl --trace-filter=ReplicaAdded,ActionDropped
+//   ./rfh_cli --metrics-out=metrics.prom --quiet
+//   ./rfh_cli --metrics-out=metrics.json --metrics-format=json
+//   ./rfh_cli --profile --quiet
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -15,6 +18,8 @@
 #include "harness/cli.h"
 #include "harness/report.h"
 #include "obs/sinks.h"
+#include "telemetry/profiler.h"
+#include "telemetry/registry.h"
 
 namespace {
 
@@ -88,17 +93,48 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Optional telemetry registry and phase profiler (single-policy mode,
+  // guaranteed by parse_cli).
+  std::unique_ptr<rfh::MetricRegistry> registry;
+  if (!options.metrics_out.empty()) {
+    registry = std::make_unique<rfh::MetricRegistry>();
+  }
+  std::unique_ptr<rfh::PhaseProfiler> profiler;
+  if (options.profile) profiler = std::make_unique<rfh::PhaseProfiler>();
+
   std::vector<rfh::PolicyRun> runs;
   if (options.compare) {
     runs = rfh::run_comparison(options.scenario, options.failures).runs;
   } else {
     runs.push_back(rfh::run_policy(options.scenario, options.policy,
                                    options.failures, rfh::RfhPolicy::Options{},
-                                   sink));
+                                   sink, registry.get(), profiler.get()));
   }
   emit(options, runs);
   if (sink != nullptr && !options.quiet) {
     std::fprintf(stderr, "# trace written to %s\n", options.trace_out.c_str());
+  }
+
+  if (registry != nullptr) {
+    std::ofstream metrics_file(options.metrics_out);
+    if (!metrics_file) {
+      std::fprintf(stderr, "rfh_cli: cannot open '%s' for writing\n",
+                   options.metrics_out.c_str());
+      return 2;
+    }
+    if (options.metrics_format == rfh::MetricsFormat::kJson) {
+      registry->write_json(metrics_file);
+    } else {
+      registry->write_prometheus(metrics_file);
+    }
+    if (!options.quiet) {
+      std::fprintf(stderr, "# metrics written to %s\n",
+                   options.metrics_out.c_str());
+    }
+  }
+  if (profiler != nullptr) {
+    // "# " prefix keeps the table ignorable by CSV consumers of stdout.
+    profiler->write_table(std::cout, "# ");
   }
   return 0;
 }

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compare two rfh-bench-report JSON files and flag regressions.
+
+Usage:
+  scripts/bench_diff.py OLD.json NEW.json [--time-threshold 0.10]
+                                          [--metric-threshold 0.05]
+                                          [--fail-on-metric-drift]
+
+A *time regression* is a stage (or the total) whose wall clock grew by
+more than --time-threshold (relative) AND by more than 1 ms (absolute —
+micro-stages jitter). A *metric drift* is a summary metric that moved by
+more than --metric-threshold relative to the old value; drifts are always
+printed but only fail the run with --fail-on-metric-drift, because
+deliberate algorithm changes move metrics legitimately.
+
+Exit status: 0 clean, 1 regression detected, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "rfh-bench-report/1"
+ABS_FLOOR_MS = 1.0
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"bench_diff: cannot read {path}: {exc}")
+    if data.get("schema") != SCHEMA:
+        sys.exit(f"bench_diff: {path}: expected schema {SCHEMA!r}, "
+                 f"got {data.get('schema')!r}")
+    for key in ("bench", "stages", "metrics", "total_wall_ms"):
+        if key not in data:
+            sys.exit(f"bench_diff: {path}: missing field {key!r}")
+    return data
+
+
+def rel_change(old, new):
+    if old == 0:
+        return float("inf") if new != 0 else 0.0
+    return (new - old) / abs(old)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare two rfh-bench-report JSON files.")
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--time-threshold", type=float, default=0.10,
+                        help="relative wall-clock growth that counts as a "
+                             "regression (default 0.10 = +10%%)")
+    parser.add_argument("--metric-threshold", type=float, default=0.05,
+                        help="relative metric drift worth reporting "
+                             "(default 0.05 = 5%%)")
+    parser.add_argument("--fail-on-metric-drift", action="store_true",
+                        help="exit 1 on metric drift, not just time "
+                             "regressions")
+    args = parser.parse_args()
+
+    old = load_report(args.old)
+    new = load_report(args.new)
+    if old["bench"] != new["bench"]:
+        sys.exit(f"bench_diff: comparing different benches: "
+                 f"{old['bench']!r} vs {new['bench']!r}")
+
+    regressions = []
+    drifts = []
+
+    print(f"bench: {old['bench']}")
+    print(f"{'stage':<28} {'old ms':>12} {'new ms':>12} {'change':>9}")
+
+    old_stages = {s["name"]: s["wall_ms"] for s in old["stages"]}
+    new_stages = {s["name"]: s["wall_ms"] for s in new["stages"]}
+    rows = [(name, old_stages.get(name), new_stages.get(name))
+            for name in dict.fromkeys(list(old_stages) + list(new_stages))]
+    rows.append(("TOTAL", old["total_wall_ms"], new["total_wall_ms"]))
+
+    for name, before, after in rows:
+        if before is None or after is None:
+            side = "added" if before is None else "removed"
+            print(f"{name:<28} {'-' if before is None else f'{before:12.3f}'}"
+                  f" {'-' if after is None else f'{after:12.3f}'}   ({side})")
+            continue
+        change = rel_change(before, after)
+        flag = ""
+        if change > args.time_threshold and after - before > ABS_FLOOR_MS:
+            flag = "  << TIME REGRESSION"
+            regressions.append(name)
+        print(f"{name:<28} {before:12.3f} {after:12.3f} {change:+8.1%}{flag}")
+
+    print()
+    print(f"{'metric':<40} {'old':>14} {'new':>14} {'change':>9}")
+    names = dict.fromkeys(list(old["metrics"]) + list(new["metrics"]))
+    for name in names:
+        before = old["metrics"].get(name)
+        after = new["metrics"].get(name)
+        if before is None or after is None:
+            side = "added" if before is None else "removed"
+            print(f"{name:<40} {'-':>14} {'-':>14}   ({side})")
+            continue
+        change = rel_change(before, after)
+        flag = ""
+        if abs(change) > args.metric_threshold:
+            flag = "  << METRIC DRIFT"
+            drifts.append(name)
+        print(f"{name:<40} {before:14.6g} {after:14.6g} {change:+8.1%}{flag}")
+
+    failed = bool(regressions) or (args.fail_on_metric_drift and bool(drifts))
+    print()
+    if regressions:
+        print(f"time regressions: {', '.join(regressions)}")
+    if drifts:
+        print(f"metric drifts: {', '.join(drifts)}")
+    if not regressions and not drifts:
+        print("no regressions, no metric drift")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

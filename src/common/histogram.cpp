@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/assert.h"
 
@@ -60,6 +61,66 @@ double Histogram::fraction_at_or_below(double value) const noexcept {
   double below = 0.0;
   for (std::size_t i = 0; i <= limit; ++i) below += weights_[i];
   return below / total_weight_;
+}
+
+std::vector<double> Histogram::quantiles(std::span<const double> qs) const {
+  std::vector<double> out(qs.size(), 0.0);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    RFH_ASSERT(qs[i] > 0.0 && qs[i] <= 1.0);
+    RFH_ASSERT_MSG(i == 0 || qs[i] >= qs[i - 1],
+                   "quantile grid must be ascending");
+  }
+  if (total_weight_ == 0.0) return out;
+  std::size_t qi = 0;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < kBuckets && qi < qs.size(); ++i) {
+    if (weights_[i] == 0.0) continue;
+    while (qi < qs.size() &&
+           cumulative + weights_[i] >= qs[qi] * total_weight_) {
+      const double within =
+          (qs[qi] * total_weight_ - cumulative) / weights_[i];
+      out[qi] = bucket_lo(i) + within * (bucket_hi(i) - bucket_lo(i));
+      ++qi;
+    }
+    cumulative += weights_[i];
+  }
+  // Floating-point shortfall at q=1.0: the running sum can end a hair
+  // below the target, exactly as percentile() falls through to max.
+  for (; qi < qs.size(); ++qi) out[qi] = max_value_;
+  return out;
+}
+
+void Histogram::append_json(std::string& out,
+                            std::span<const double> qs) const {
+  const auto fmt = [&out](double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out += buf;
+  };
+  const std::vector<double> values = quantiles(qs);
+  out += "{\"count\":";
+  fmt(total_weight_);
+  out += ",\"mean\":";
+  fmt(mean());
+  out += ",\"max\":";
+  fmt(max_value_);
+  out += ",\"quantiles\":{";
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    if (i > 0) out += ',';
+    char key[16];
+    std::snprintf(key, sizeof key, "%g", qs[i]);
+    out += '"';
+    out += key;
+    out += "\":";
+    fmt(values[i]);
+  }
+  out += "}}";
+}
+
+std::string Histogram::to_json(std::span<const double> qs) const {
+  std::string out;
+  append_json(out, qs);
+  return out;
 }
 
 void Histogram::merge(const Histogram& other) noexcept {

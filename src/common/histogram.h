@@ -9,6 +9,9 @@
 
 #include <array>
 #include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
 
 namespace rfh {
 
@@ -17,6 +20,10 @@ class Histogram {
   static constexpr double kMinValue = 0.1;      // 0.1 ms
   static constexpr double kMaxValue = 100000.0; // 100 s
   static constexpr std::size_t kBuckets = 256;
+  /// Default quantile grid for telemetry snapshots (registry exports,
+  /// bench reports).
+  static constexpr std::array<double, 4> kSnapshotQuantiles{0.5, 0.9, 0.99,
+                                                            0.999};
 
   Histogram() noexcept { reset(); }
 
@@ -38,6 +45,18 @@ class Histogram {
   /// Fraction of the weight at or below `value` (1.0 when empty: an SLA
   /// over zero requests is trivially met).
   [[nodiscard]] double fraction_at_or_below(double value) const noexcept;
+
+  /// percentile() over an ascending grid of quantiles in one bucket pass;
+  /// element i equals percentile(qs[i]) exactly. All zeros when empty.
+  [[nodiscard]] std::vector<double> quantiles(
+      std::span<const double> qs) const;
+
+  /// Append a one-line JSON snapshot — {"count":...,"mean":...,
+  /// "max":...,"quantiles":{"0.5":...}} — for the metric registry and
+  /// bench reports. `count` is the total observation weight.
+  void append_json(std::string& out, std::span<const double> qs) const;
+  [[nodiscard]] std::string to_json(
+      std::span<const double> qs = kSnapshotQuantiles) const;
 
   [[nodiscard]] double mean() const noexcept {
     return total_weight_ > 0.0 ? weighted_sum_ / total_weight_ : 0.0;

@@ -4,6 +4,7 @@
 
 #include "common/availability.h"
 #include "core/selection.h"
+#include "telemetry/registry.h"
 
 namespace rfh {
 
@@ -114,6 +115,51 @@ ServerId RfhPolicy::pick_target(const PolicyContext& ctx, PartitionId p,
     }
   }
   return ServerId::invalid();
+}
+
+void RfhPolicy::set_telemetry(MetricRegistry* registry) {
+  if (registry == nullptr) {
+    decide_calls_ = nullptr;
+    proposed_ = {};
+    rule_fired_ = {};
+    return;
+  }
+  decide_calls_ = &registry->counter("rfh_policy_decide_calls_total", {},
+                                     "Epochs the policy was consulted");
+  for (std::size_t k = 0; k < proposed_.size(); ++k) {
+    proposed_[k] = &registry->counter(
+        "rfh_policy_proposed_total",
+        {{"kind", action_kind_name(static_cast<ActionKind>(k))}},
+        "Actions proposed before engine validation");
+  }
+  for (std::size_t r = 0; r < rule_fired_.size(); ++r) {
+    rule_fired_[r] = &registry->counter(
+        "rfh_policy_rule_fired_total",
+        {{"rule", rule_name(static_cast<DecisionRule>(r))}},
+        "Decision-tree inequalities that produced an action");
+  }
+}
+
+void RfhPolicy::count_actions(const Actions& actions) {
+  decide_calls_->inc();
+  const auto rule_slot = [this](DecisionRule rule) {
+    return rule_fired_[static_cast<std::size_t>(rule)];
+  };
+  proposed_[static_cast<std::size_t>(ActionKind::kReplicate)]->inc(
+      static_cast<double>(actions.replications.size()));
+  proposed_[static_cast<std::size_t>(ActionKind::kMigrate)]->inc(
+      static_cast<double>(actions.migrations.size()));
+  proposed_[static_cast<std::size_t>(ActionKind::kSuicide)]->inc(
+      static_cast<double>(actions.suicides.size()));
+  for (const ReplicateAction& a : actions.replications) {
+    rule_slot(a.why.rule)->inc();
+  }
+  for (const MigrateAction& a : actions.migrations) {
+    rule_slot(a.why.rule)->inc();
+  }
+  for (const SuicideAction& a : actions.suicides) {
+    rule_slot(a.why.rule)->inc();
+  }
 }
 
 Actions RfhPolicy::decide(const PolicyContext& ctx) {
@@ -277,6 +323,7 @@ Actions RfhPolicy::decide(const PolicyContext& ctx) {
       }
     }
   }
+  if (decide_calls_ != nullptr) count_actions(actions);
   return actions;
 }
 

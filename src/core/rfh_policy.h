@@ -24,13 +24,17 @@
 // server choice, migration/suicide toggles) used by bench_ablation_*.
 #pragma once
 
+#include <array>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/events.h"
 #include "sim/policy.h"
 
 namespace rfh {
+
+class Counter;
 
 class RfhPolicy final : public ReplicationPolicy {
  public:
@@ -65,6 +69,10 @@ class RfhPolicy final : public ReplicationPolicy {
   [[nodiscard]] std::string_view name() const override { return "RFH"; }
   [[nodiscard]] Actions decide(const PolicyContext& ctx) override;
 
+  /// Export decision counters (rfh_policy_*): decide calls, proposals by
+  /// kind, and which inequality fired per action. nullptr detaches.
+  void set_telemetry(MetricRegistry* registry) override;
+
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 
  private:
@@ -89,7 +97,14 @@ class RfhPolicy final : public ReplicationPolicy {
   [[nodiscard]] ServerId select_in_dc(const PolicyContext& ctx,
                                       DatacenterId dc, PartitionId p) const;
 
+  /// Count `actions` into the resolved registry handles.
+  void count_actions(const Actions& actions);
+
   Options options_;
+  // Registry-owned counters (null when telemetry is detached).
+  Counter* decide_calls_ = nullptr;
+  std::array<Counter*, 3> proposed_{};  // indexed by ActionKind
+  std::array<Counter*, kDecisionRuleCount> rule_fired_{};
   /// Consecutive epochs each partition's holder has been overloaded.
   std::vector<std::uint32_t> overload_streak_;
   /// Consecutive epochs each copy has been cold, keyed by

@@ -137,6 +137,15 @@ CliParseResult parse_cli(std::span<const char* const> args) {
       else return fail("--trace-format expects jsonl or chrome");
     } else if (consume(arg, "--trace-filter=", value)) {
       options.trace_filter = value;
+    } else if (consume(arg, "--metrics-out=", value)) {
+      if (value.empty()) return fail("--metrics-out expects a file path");
+      options.metrics_out = value;
+    } else if (consume(arg, "--metrics-format=", value)) {
+      if (value == "prom") options.metrics_format = MetricsFormat::kProm;
+      else if (value == "json") options.metrics_format = MetricsFormat::kJson;
+      else return fail("--metrics-format expects prom or json");
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      options.profile = true;
     } else if (std::strcmp(arg, "--compare") == 0) {
       options.compare = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -147,6 +156,12 @@ CliParseResult parse_cli(std::span<const char* const> args) {
   }
   if (!options.trace_out.empty() && options.compare) {
     return fail("--trace-out traces a single policy run; drop --compare");
+  }
+  if (!options.metrics_out.empty() && options.compare) {
+    return fail("--metrics-out dumps a single policy run; drop --compare");
+  }
+  if (options.profile && options.compare) {
+    return fail("--profile times a single policy run; drop --compare");
   }
   result.ok = true;
   return result;

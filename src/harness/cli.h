@@ -17,6 +17,13 @@
 //   --trace-format=jsonl|chrome   (default jsonl; chrome loads in Perfetto)
 //   --trace-filter=A,B,...        (event type names to keep, e.g.
 //                                  ReplicaAdded,ActionDropped; default all)
+//   --metrics-out=FILE            (dump the telemetry registry after the
+//                                  run; single policy runs only)
+//   --metrics-format=prom|json    (default prom: Prometheus text format)
+//   --profile                     (time the epoch phases; prints a
+//                                  breakdown table and, with --trace-out,
+//                                  emits PhaseSpan slices into the trace;
+//                                  single policy runs only)
 #pragma once
 
 #include <span>
@@ -28,6 +35,7 @@
 namespace rfh {
 
 enum class TraceFormat { kJsonl, kChrome };
+enum class MetricsFormat { kProm, kJson };
 
 struct CliOptions {
   PolicyKind policy = PolicyKind::kRfh;
@@ -41,6 +49,11 @@ struct CliOptions {
   TraceFormat trace_format = TraceFormat::kJsonl;
   /// Comma-separated event type allow-list (empty keeps everything).
   std::string trace_filter;
+  /// Telemetry-registry dump destination; empty disables the registry.
+  std::string metrics_out;
+  MetricsFormat metrics_format = MetricsFormat::kProm;
+  /// Wall-clock phase profiling (see telemetry/profiler.h).
+  bool profile = false;
 };
 
 struct CliParseResult {

@@ -18,11 +18,18 @@ const PolicyRun& ComparativeResult::run(PolicyKind kind) const {
 
 PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
                      const std::vector<FailureEvent>& failures,
-                     const RfhPolicy::Options& rfh, EventSink* trace_sink) {
+                     const RfhPolicy::Options& rfh, EventSink* trace_sink,
+                     MetricRegistry* registry, PhaseProfiler* profiler) {
   PolicyRun run;
   run.kind = kind;
   auto sim = make_simulation(scenario, kind, rfh);
   if (trace_sink != nullptr) sim->events().add_sink(trace_sink);
+  if (registry != nullptr) sim->set_telemetry(registry);
+  if (profiler != nullptr) {
+    profiler->set_trace(&sim->events());
+    if (registry != nullptr) profiler->attach_registry(*registry);
+    sim->set_profiler(profiler);
+  }
   MetricsCollector collector;
 
   std::optional<ConsistencyTracker> tracker;
@@ -58,6 +65,7 @@ PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
       if (!event.recover.empty()) sim->recover_servers(event.recover);
     }
     const EpochReport report = sim->step();
+    const ScopedTimer collect_timer(profiler, Phase::kMetricsCollect);
     EpochMetrics metrics = collector.collect(*sim, report);
     if (tracker) {
       std::vector<double> writes(scenario.sim.partitions, 0.0);
@@ -73,6 +81,9 @@ PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
     }
     run.series.push_back(metrics);
   }
+  // Close the last profiler window before the trace is finalized so its
+  // PhaseSpan events still reach the caller's sink.
+  if (profiler != nullptr) profiler->finalize();
   // Finalize the trace while the caller's sink is guaranteed alive.
   sim->events().close();
   return run;

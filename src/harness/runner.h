@@ -7,6 +7,8 @@
 
 #include "harness/scenario.h"
 #include "metrics/collector.h"
+#include "telemetry/profiler.h"
+#include "telemetry/registry.h"
 
 namespace rfh {
 
@@ -39,10 +41,20 @@ struct ComparativeResult {
 /// `trace_sink`, when non-null, is attached to the simulation's EventBus
 /// before the first epoch and flushed after the last, so the whole run —
 /// failure injection included — lands in the trace.
+///
+/// `metrics`, when non-null, receives the engine/router/policy counters
+/// and gauges (see DESIGN.md "Telemetry") for the whole run. `profiler`,
+/// when non-null, times every hot-path phase — including the harness's
+/// own metric collection — and is finalized before this returns; it also
+/// emits PhaseSpan events into the trace when one is attached. Both are
+/// observational only: simulation outputs are bit-identical with or
+/// without them.
 PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
                      const std::vector<FailureEvent>& failures = {},
                      const RfhPolicy::Options& rfh = {},
-                     EventSink* trace_sink = nullptr);
+                     EventSink* trace_sink = nullptr,
+                     MetricRegistry* metrics = nullptr,
+                     PhaseProfiler* profiler = nullptr);
 
 /// The paper's standard comparison: Request, Owner, Random, RFH. The four
 /// runs are fully independent (each has its own world, generators and

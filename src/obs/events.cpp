@@ -78,6 +78,7 @@ struct NameVisitor {
   const char* operator()(const EpochCompleted&) const {
     return "EpochCompleted";
   }
+  const char* operator()(const PhaseSpan&) const { return "PhaseSpan"; }
 };
 
 }  // namespace

@@ -42,6 +42,7 @@ enum class DecisionRule : std::uint8_t {
   /// Eq. 15: replica cold below delta * q_bar for the streak window.
   kSuicideCold,
 };
+inline constexpr std::size_t kDecisionRuleCount = 7;
 
 [[nodiscard]] const char* rule_name(DecisionRule rule) noexcept;
 /// The inequality that fired, in the paper's notation (empty for kNone).
@@ -204,10 +205,26 @@ struct EpochCompleted {
   double migration_cost = 0.0;
 };
 
+/// Profiler span (telemetry/profiler.h): wall-clock cost of one engine
+/// phase within one epoch. `phase` is a static-duration string
+/// (phase_name()); start/duration are fractions of the epoch's measured
+/// wall time, so the ChromeTraceSink can nest the span inside the
+/// simulated-time epoch slice regardless of the real-to-simulated ratio.
+/// Only emitted when a PhaseProfiler is attached — wall times are
+/// observational and never feed simulation state.
+struct PhaseSpan {
+  Epoch epoch = 0;
+  const char* phase = "";
+  double start_frac = 0.0;
+  double dur_frac = 0.0;
+  double wall_ms = 0.0;
+};
+
 using Event =
     std::variant<QueryRoutedSummary, ReplicaAdded, MigrationExecuted, Suicide,
                  ActionDropped, ServerFailed, ServerRecovered, PrimaryPromoted,
-                 Reseeded, LinkFailed, LinkRestored, EpochCompleted>;
+                 Reseeded, LinkFailed, LinkRestored, EpochCompleted,
+                 PhaseSpan>;
 
 /// Stable PascalCase type name ("ReplicaAdded", ...), used by sinks and
 /// the CLI's --trace-filter grammar.

@@ -130,6 +130,12 @@ void append_fields(JsonWriter& w, const LinkRestored& e) {
   w.id("a", e.a);
   w.id("b", e.b);
 }
+void append_fields(JsonWriter& w, const PhaseSpan& e) {
+  w.str("phase", e.phase);
+  w.num("wall_ms", e.wall_ms);
+  w.num("start_frac", e.start_frac);
+  w.num("dur_frac", e.dur_frac);
+}
 void append_fields(JsonWriter& w, const EpochCompleted& e) {
   w.num("total_queries", e.total_queries);
   w.num("unserved_queries", e.unserved_queries);
@@ -259,6 +265,7 @@ std::uint32_t chrome_tid(const Event& event) {
     std::uint32_t operator()(const Reseeded&) const { return 3; }
     std::uint32_t operator()(const LinkFailed&) const { return 3; }
     std::uint32_t operator()(const LinkRestored&) const { return 3; }
+    std::uint32_t operator()(const PhaseSpan&) const { return 1; }
   };
   return std::visit(Visitor{}, event);
 }
@@ -292,14 +299,26 @@ void ChromeTraceSink::on_event(const Event& event) {
 
   scratch_.clear();
   {
+    const auto* span = std::get_if<PhaseSpan>(&event);
     JsonWriter w(scratch_);
-    w.str("name", event_name(event));
+    w.str("name", span != nullptr ? span->phase : event_name(event));
     w.str("cat", "rfh");
     if (std::holds_alternative<EpochCompleted>(event)) {
       // The epoch itself is a duration slice on the epochs track.
       w.str("ph", "X");
       w.num("ts", ts);
       w.num("dur", epoch_us_);
+    } else if (span != nullptr) {
+      // Profiler phases nest inside the epoch slice: same track, start
+      // and duration scaled from wall-time fractions onto the simulated
+      // epoch span (Perfetto nests contained slices automatically).
+      w.str("ph", "X");
+      w.num("ts", ts + static_cast<std::uint64_t>(
+                           span->start_frac *
+                           static_cast<double>(epoch_us_)));
+      const auto dur = static_cast<std::uint64_t>(
+          span->dur_frac * static_cast<double>(epoch_us_));
+      w.num("dur", dur > 0 ? dur : 1);
     } else {
       w.str("ph", "i");
       w.str("s", "t");  // thread-scoped instant

@@ -82,6 +82,9 @@ struct DescribeVisitor {
                   e.total_replicas, e.replications, e.suicides, e.migrations,
                   e.dropped_actions);
   }
+  std::string operator()(const PhaseSpan& e) const {
+    return format("phase %s took %.3f ms", e.phase, e.wall_ms);
+  }
 };
 
 }  // namespace

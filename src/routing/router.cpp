@@ -4,12 +4,29 @@
 #include "ring/hash.h"
 #include "ring/rendezvous.h"
 #include "ring/ring.h"
+#include "telemetry/registry.h"
 
 namespace rfh {
 
 Router::Router(const Topology& topology, const ShortestPaths& paths)
     : topology_(&topology), paths_(&paths) {
   RFH_ASSERT(topology.datacenter_count() == paths.size());
+}
+
+void Router::set_telemetry(MetricRegistry* registry) {
+  if (registry == nullptr) {
+    routes_ = nullptr;
+    stages_ = nullptr;
+    dead_skips_ = nullptr;
+    return;
+  }
+  routes_ = &registry->counter("rfh_router_routes_total", {},
+                               "Routes computed");
+  stages_ = &registry->counter("rfh_router_route_stages_total", {},
+                               "Datacenter stages across all routes");
+  dead_skips_ = &registry->counter(
+      "rfh_router_dead_dc_skips_total", {},
+      "Transit datacenters skipped because no server was alive");
 }
 
 ServerId Router::relay_for(PartitionId partition, DatacenterId dc,
@@ -43,6 +60,7 @@ Route Router::route(PartitionId partition, DatacenterId requester,
     if (live.empty()) {
       // Dead datacenter: traffic passes through its backbone router but no
       // server can absorb or be a hub there.
+      if (dead_skips_ != nullptr) dead_skips_->inc();
       ++hops;
       continue;
     }
@@ -55,6 +73,10 @@ Route Router::route(PartitionId partition, DatacenterId requester,
   // Final descent from the holder datacenter's relay to the owning server.
   route.total_hops = hops;
   route.total_latency_ms = latency + kHopLatencyMs;
+  if (routes_ != nullptr) {
+    routes_->inc();
+    stages_->inc(static_cast<double>(route.stages.size()));
+  }
   return route;
 }
 

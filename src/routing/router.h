@@ -19,6 +19,9 @@
 
 namespace rfh {
 
+class Counter;
+class MetricRegistry;
+
 /// One datacenter visited by a query, in order.
 struct RouteStage {
   DatacenterId dc;
@@ -63,9 +66,18 @@ class Router {
       PartitionId partition, DatacenterId dc,
       std::span<const ServerId> live_servers);
 
+  /// Export route/stage/dead-skip counters into `registry`
+  /// (rfh_router_*). nullptr detaches. Counting is observational only;
+  /// route() stays deterministic either way.
+  void set_telemetry(MetricRegistry* registry);
+
  private:
   const Topology* topology_;
   const ShortestPaths* paths_;
+  // Registry-owned counters (not ours); null when telemetry is detached.
+  Counter* routes_ = nullptr;
+  Counter* stages_ = nullptr;
+  Counter* dead_skips_ = nullptr;
 };
 
 }  // namespace rfh

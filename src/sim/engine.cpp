@@ -238,45 +238,129 @@ void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
 }
 
 EpochReport Simulation::step() {
+  // The profiler's epoch window spans from here until the next
+  // begin_epoch (or finalize), so metric collection performed by the
+  // caller between steps lands inside this epoch's window.
+  if (profiler_ != nullptr) profiler_->begin_epoch(epoch_);
+
   EpochReport report;
   report.epoch = epoch_;
 
-  const QueryBatch batch = workload_->generate(epoch_, rng_workload_);
-  propagate(batch);
-  stats_.update(traffic_);
-
-  report.total_queries = traffic_.total_queries();
-  double unserved = 0.0;
-  for (std::uint32_t p = 0; p < config_.partitions; ++p) {
-    unserved += traffic_.unserved(PartitionId{p});
+  QueryBatch batch;
+  {
+    const ScopedTimer timer(profiler_, Phase::kWorkloadGen);
+    batch = workload_->generate(epoch_, rng_workload_);
   }
-  report.unserved_queries = unserved;
-  report.mean_path_length = traffic_.mean_path_length();
+  {
+    const ScopedTimer timer(profiler_, Phase::kRouting);
+    propagate(batch);
+  }
+  {
+    const ScopedTimer timer(profiler_, Phase::kStatsUpdate);
+    stats_.update(traffic_);
 
-  events_.emit(QueryRoutedSummary{epoch_, report.total_queries,
-                                  report.unserved_queries,
-                                  report.mean_path_length});
+    report.total_queries = traffic_.total_queries();
+    double unserved = 0.0;
+    for (std::uint32_t p = 0; p < config_.partitions; ++p) {
+      unserved += traffic_.unserved(PartitionId{p});
+    }
+    report.unserved_queries = unserved;
+    report.mean_path_length = traffic_.mean_path_length();
 
-  PolicyContext ctx{world_.topology, paths_,  cluster_, stats_,
-                    traffic_,        config_, epoch_,   rng_policy_};
-  const Actions actions = policy_->decide(ctx);
-  apply_actions(actions, report);
+    events_.emit(QueryRoutedSummary{epoch_, report.total_queries,
+                                    report.unserved_queries,
+                                    report.mean_path_length});
+  }
 
-  report.total_replicas = cluster_.total_replicas();
+  Actions actions;
+  {
+    const ScopedTimer timer(profiler_, Phase::kPolicyDecide);
+    PolicyContext ctx{world_.topology, paths_,  cluster_, stats_,
+                      traffic_,        config_, epoch_,   rng_policy_};
+    actions = policy_->decide(ctx);
+  }
+  {
+    const ScopedTimer timer(profiler_, Phase::kActionApply);
+    apply_actions(actions, report);
 
-  cum_replication_cost_ += report.replication_cost;
-  cum_migration_cost_ += report.migration_cost;
-  cum_migrations_ += report.migrations;
-  cum_replications_ += report.replications;
+    report.total_replicas = cluster_.total_replicas();
 
-  events_.emit(EpochCompleted{
-      epoch_, report.total_queries, report.unserved_queries,
-      report.replications, report.migrations, report.suicides,
-      report.dropped_actions, report.total_replicas, report.replication_cost,
-      report.migration_cost});
+    cum_replication_cost_ += report.replication_cost;
+    cum_migration_cost_ += report.migration_cost;
+    cum_migrations_ += report.migrations;
+    cum_replications_ += report.replications;
+
+    events_.emit(EpochCompleted{
+        epoch_, report.total_queries, report.unserved_queries,
+        report.replications, report.migrations, report.suicides,
+        report.dropped_actions, report.total_replicas,
+        report.replication_cost, report.migration_cost});
+
+    if (telemetry_ != nullptr) update_telemetry(report);
+  }
 
   ++epoch_;
   return report;
+}
+
+void Simulation::set_telemetry(MetricRegistry* registry) {
+  telemetry_ = registry;
+  router_.set_telemetry(registry);
+  policy_->set_telemetry(registry);
+  if (registry == nullptr) {
+    tel_ = TelemetryHandles{};
+    return;
+  }
+  MetricRegistry& reg = *registry;
+  tel_.queries = &reg.counter("rfh_queries_total", {},
+                              "Queries offered to the cluster");
+  tel_.unserved = &reg.counter("rfh_unserved_queries_total", {},
+                               "Queries blocked beyond every capacity");
+  for (std::size_t k = 0; k < tel_.applied.size(); ++k) {
+    tel_.applied[k] = &reg.counter(
+        "rfh_actions_applied_total",
+        {{"kind", action_kind_name(static_cast<ActionKind>(k))}},
+        "Policy actions the engine validated and applied");
+  }
+  for (std::size_t r = 0; r < kDropReasonCount; ++r) {
+    tel_.dropped[r] = &reg.counter(
+        "rfh_actions_dropped_total",
+        {{"reason", drop_reason_name(static_cast<DropReason>(r))}},
+        "Policy actions the engine refused during validation");
+  }
+  tel_.replication_cost = &reg.counter(
+      "rfh_replication_cost_total", {}, "Cumulative Eq. 1 replication cost");
+  tel_.migration_cost = &reg.counter("rfh_migration_cost_total", {},
+                                     "Cumulative Eq. 1 migration cost");
+  tel_.epochs = &reg.counter("rfh_epochs_total", {}, "Epochs simulated");
+  tel_.data_losses = &reg.counter(
+      "rfh_data_losses_total", {},
+      "Partitions that lost every copy and were reseeded empty");
+  tel_.replicas =
+      &reg.gauge("rfh_replicas", {}, "Copy census, primaries included");
+  tel_.live_servers = &reg.gauge("rfh_live_servers", {}, "Live servers");
+  tel_.epoch = &reg.gauge("rfh_epoch", {}, "Current epoch");
+}
+
+void Simulation::update_telemetry(const EpochReport& report) {
+  tel_.queries->inc(report.total_queries);
+  tel_.unserved->inc(report.unserved_queries);
+  tel_.applied[static_cast<std::size_t>(ActionKind::kReplicate)]->inc(
+      static_cast<double>(report.replications));
+  tel_.applied[static_cast<std::size_t>(ActionKind::kMigrate)]->inc(
+      static_cast<double>(report.migrations));
+  tel_.applied[static_cast<std::size_t>(ActionKind::kSuicide)]->inc(
+      static_cast<double>(report.suicides));
+  for (std::size_t r = 0; r < kDropReasonCount; ++r) {
+    tel_.dropped[r]->inc(static_cast<double>(report.dropped_by_reason[r]));
+  }
+  tel_.replication_cost->inc(report.replication_cost);
+  tel_.migration_cost->inc(report.migration_cost);
+  tel_.epochs->inc(1.0);
+  tel_.replicas->set(static_cast<double>(report.total_replicas));
+  tel_.live_servers->set(
+      static_cast<double>(cluster_.live_server_count()));
+  tel_.epoch->set(static_cast<double>(report.epoch));
 }
 
 void Simulation::run(Epoch epochs) {
@@ -307,6 +391,7 @@ void Simulation::handle_lost_copies(
     // No surviving copy: the data is lost. Re-seed an empty primary at the
     // ring successor so the keyspace stays owned.
     ++data_losses_;
+    if (telemetry_ != nullptr) tel_.data_losses->inc(1.0);
     log(LogLevel::kWarn, "partition %u lost all copies; reseeding",
         copy.partition.value());
     const auto preference = cluster_.ring().preference_list(

@@ -26,6 +26,8 @@
 
 #include "common/rng.h"
 #include "obs/event_bus.h"
+#include "telemetry/profiler.h"
+#include "telemetry/registry.h"
 #include "net/graph.h"
 #include "net/shortest_paths.h"
 #include "routing/router.h"
@@ -112,6 +114,29 @@ class Simulation {
   [[nodiscard]] EventBus& events() noexcept { return events_; }
   [[nodiscard]] const EventBus& events() const noexcept { return events_; }
 
+  // --- telemetry --------------------------------------------------------
+  /// Attach a wall-clock profiler: step() opens one epoch window per call
+  /// and times each hot-path phase into it. nullptr (the default)
+  /// disables profiling at the cost of one pointer test per phase.
+  /// Timing is observational only and never feeds simulation state.
+  void set_profiler(PhaseProfiler* profiler) noexcept {
+    profiler_ = profiler;
+  }
+  [[nodiscard]] PhaseProfiler* profiler() const noexcept {
+    return profiler_;
+  }
+
+  /// Attach a metric registry: the engine resolves its counter/gauge
+  /// handles once (see DESIGN.md for the metric names) and bumps them at
+  /// the end of every step; the router and policy receive the registry
+  /// too. nullptr detaches. Counters are updated from the same
+  /// EpochReport fields the trace events carry, so registry totals,
+  /// CounterSink totals and report sums always reconcile.
+  void set_telemetry(MetricRegistry* registry);
+  [[nodiscard]] MetricRegistry* telemetry() const noexcept {
+    return telemetry_;
+  }
+
   // --- observers -------------------------------------------------------
   [[nodiscard]] const Topology& topology() const noexcept {
     return world_.topology;
@@ -160,13 +185,34 @@ class Simulation {
   void propagate(const QueryBatch& batch);
   void apply_actions(const Actions& actions, EpochReport& report);
   void handle_lost_copies(std::span<const ClusterState::LostCopy> lost);
+  /// Bump the resolved registry handles from this epoch's report.
+  void update_telemetry(const EpochReport& report);
   /// Rebuild graph / shortest paths / router from the live link set.
   void rebuild_network();
   [[nodiscard]] std::vector<Link> active_links() const;
 
+  /// Registry handles resolved once by set_telemetry so the per-epoch
+  /// update is plain pointer bumps (no name lookups in the hot path).
+  struct TelemetryHandles {
+    Counter* queries = nullptr;
+    Counter* unserved = nullptr;
+    std::array<Counter*, 3> applied{};  // indexed by ActionKind
+    std::array<Counter*, kDropReasonCount> dropped{};
+    Counter* replication_cost = nullptr;
+    Counter* migration_cost = nullptr;
+    Counter* epochs = nullptr;
+    Counter* data_losses = nullptr;
+    Gauge* replicas = nullptr;
+    Gauge* live_servers = nullptr;
+    Gauge* epoch = nullptr;
+  };
+
   World world_;
   SimConfig config_;
   EventBus events_;
+  PhaseProfiler* profiler_ = nullptr;
+  MetricRegistry* telemetry_ = nullptr;
+  TelemetryHandles tel_;
   DcGraph graph_;
   ShortestPaths paths_;
   Router router_;

@@ -35,11 +35,16 @@ struct PolicyContext {
   Rng& rng;
 };
 
+class MetricRegistry;
+
 class ReplicationPolicy {
  public:
   virtual ~ReplicationPolicy() = default;
   [[nodiscard]] virtual std::string_view name() const = 0;
   [[nodiscard]] virtual Actions decide(const PolicyContext& ctx) = 0;
+  /// Offered a registry by Simulation::set_telemetry; policies that export
+  /// metrics resolve their handles here. nullptr detaches. Optional.
+  virtual void set_telemetry(MetricRegistry* /*registry*/) {}
 };
 
 /// Eq. 12 with two practical adjustments:

@@ -1,0 +1,165 @@
+#include "telemetry/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/event_bus.h"
+#include "telemetry/registry.h"
+
+namespace rfh {
+
+const char* phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kWorkloadGen: return "workload_gen";
+    case Phase::kRouting: return "routing";
+    case Phase::kStatsUpdate: return "stats_update";
+    case Phase::kPolicyDecide: return "policy_decide";
+    case Phase::kActionApply: return "action_apply";
+    case Phase::kMetricsCollect: return "metrics_collect";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kNsPerMs = 1e6;
+
+std::uint64_t elapsed_ns(PhaseProfiler::Clock::time_point start,
+                         PhaseProfiler::Clock::time_point end) {
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count();
+  return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+}
+
+}  // namespace
+
+void PhaseProfiler::attach_registry(MetricRegistry& registry) {
+  registry_ = &registry;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    phase_hist_[i] = &registry.histogram(
+        "rfh_phase_duration_ms",
+        {{"phase", phase_name(static_cast<Phase>(i))}},
+        "Wall-clock time per epoch spent in each engine phase");
+  }
+  epoch_hist_ = &registry.histogram(
+      "rfh_epoch_duration_ms", {},
+      "Wall-clock time per epoch (step + metric collection)");
+}
+
+void PhaseProfiler::record(Phase phase, Clock::time_point start,
+                           Clock::time_point end) {
+  const std::uint64_t ns = elapsed_ns(start, end);
+  const auto i = static_cast<std::size_t>(phase);
+  Lifetime& life = lifetime_[i];
+  ++life.calls;
+  life.total_ns += ns;
+  if (ns > life.max_ns) life.max_ns = ns;
+  if (!window_open_) return;
+  InEpoch& epoch = in_epoch_[i];
+  if (!epoch.seen) {
+    epoch.seen = true;
+    epoch.first_start_ns = elapsed_ns(window_start_, start);
+  }
+  epoch.accum_ns += ns;
+}
+
+void PhaseProfiler::begin_epoch(Epoch epoch) {
+  close_window();
+  window_open_ = true;
+  window_epoch_ = epoch;
+  in_epoch_.fill(InEpoch{});
+  window_start_ = Clock::now();
+}
+
+void PhaseProfiler::finalize() { close_window(); }
+
+void PhaseProfiler::close_window() {
+  if (!window_open_) return;
+  window_open_ = false;
+  const std::uint64_t wall_ns = elapsed_ns(window_start_, Clock::now());
+  epoch_wall_ns_ += wall_ns;
+  ++epochs_;
+
+  if (registry_ != nullptr) {
+    epoch_hist_->observe(static_cast<double>(wall_ns) / kNsPerMs);
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      if (in_epoch_[i].seen) {
+        phase_hist_[i]->observe(static_cast<double>(in_epoch_[i].accum_ns) /
+                                kNsPerMs);
+      }
+    }
+  }
+
+  if (trace_ == nullptr || !trace_->enabled() || wall_ns == 0) return;
+  // Phase slices expressed as fractions of the epoch window, so the
+  // ChromeTraceSink can nest them inside the (simulated-time) epoch slice
+  // whatever the real-to-simulated time ratio is.
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const InEpoch& e = in_epoch_[i];
+    if (!e.seen) continue;
+    PhaseSpan span;
+    span.epoch = window_epoch_;
+    span.phase = phase_name(static_cast<Phase>(i));
+    const double wall = static_cast<double>(wall_ns);
+    span.start_frac =
+        std::min(static_cast<double>(e.first_start_ns) / wall, 1.0);
+    span.dur_frac = std::min(static_cast<double>(e.accum_ns) / wall,
+                             1.0 - span.start_frac);
+    span.wall_ms = static_cast<double>(e.accum_ns) / kNsPerMs;
+    trace_->emit(span);
+  }
+}
+
+PhaseProfiler::PhaseTotals PhaseProfiler::totals(Phase phase) const noexcept {
+  const Lifetime& life = lifetime_[static_cast<std::size_t>(phase)];
+  PhaseTotals out;
+  out.calls = life.calls;
+  out.total_ms = static_cast<double>(life.total_ns) / kNsPerMs;
+  out.max_ms = static_cast<double>(life.max_ns) / kNsPerMs;
+  return out;
+}
+
+double PhaseProfiler::epoch_wall_ms() const noexcept {
+  return static_cast<double>(epoch_wall_ns_) / kNsPerMs;
+}
+
+double PhaseProfiler::coverage() const noexcept {
+  if (epoch_wall_ns_ == 0) return 0.0;
+  std::uint64_t phase_ns = 0;
+  for (const Lifetime& life : lifetime_) phase_ns += life.total_ns;
+  return static_cast<double>(phase_ns) / static_cast<double>(epoch_wall_ns_);
+}
+
+void PhaseProfiler::write_table(std::ostream& out, const char* line_prefix) {
+  finalize();
+  char buf[160];
+  const double wall = epoch_wall_ms();
+  const double per_epoch =
+      epochs_ > 0 ? wall / static_cast<double>(epochs_) : 0.0;
+  std::snprintf(buf, sizeof buf,
+                "%sphase breakdown over %llu epochs "
+                "(wall %.3f ms, %.4f ms/epoch)\n",
+                line_prefix, static_cast<unsigned long long>(epochs_), wall,
+                per_epoch);
+  out << buf;
+  std::snprintf(buf, sizeof buf, "%s%-16s %10s %12s %12s %7s\n", line_prefix,
+                "phase", "calls", "total_ms", "ms/epoch", "%");
+  out << buf;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const PhaseTotals t = totals(static_cast<Phase>(i));
+    std::snprintf(
+        buf, sizeof buf, "%s%-16s %10llu %12.3f %12.5f %7.2f\n", line_prefix,
+        phase_name(static_cast<Phase>(i)),
+        static_cast<unsigned long long>(t.calls), t.total_ms,
+        epochs_ > 0 ? t.total_ms / static_cast<double>(epochs_) : 0.0,
+        wall > 0.0 ? 100.0 * t.total_ms / wall : 0.0);
+    out << buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "%sphases cover %.1f%% of measured epoch wall time\n",
+                line_prefix, 100.0 * coverage());
+  out << buf;
+}
+
+}  // namespace rfh

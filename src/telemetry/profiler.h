@@ -1,0 +1,147 @@
+// RAII wall-clock profiler for the epoch hot path.
+//
+// The engine's step() is a fixed pipeline (workload generation -> routing
+// -> smoothed-stats update -> policy decide -> action apply) and the
+// runner appends metric collection; each of those is a Phase. A
+// PhaseProfiler accumulates per-phase wall time across epochs, and the
+// breakdown is reported three ways:
+//
+//  * write_table() — the rfh_cli --profile per-phase table;
+//  * attach_registry() — rfh_phase_duration_ms{phase=...} and
+//    rfh_epoch_duration_ms histograms in a MetricRegistry;
+//  * set_trace() — PhaseSpan events into the simulation's EventBus, so a
+//    Chrome trace opens each epoch slice into nested phase slices in
+//    Perfetto.
+//
+// Zero-cost when disabled: every instrumentation site holds a
+// PhaseProfiler* that is null unless profiling was requested, and
+// ScopedTimer's constructor/destructor reduce to one pointer test each —
+// the same guard pattern as EventBus::emit. Timing is observational only:
+// measured durations never feed simulation state, so profiled and
+// unprofiled runs are bit-identical (asserted by obs_integration_test).
+//
+// Epoch windows: begin_epoch(e) closes the previous window and opens a
+// new one, so a window spans one full runner-loop iteration (step plus
+// metric collection plus anything between steps). finalize() closes the
+// last window; it is idempotent and implied by write_table().
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+
+#include "common/units.h"
+
+namespace rfh {
+
+class EventBus;
+class MetricRegistry;
+class HistogramMetric;
+
+/// The epoch hot-path phases, in execution order.
+enum class Phase : std::uint8_t {
+  kWorkloadGen = 0,  // WorkloadGenerator::generate
+  kRouting,          // Simulation::propagate (route + absorb every flow)
+  kStatsUpdate,      // TrafficStats::update + routing summary
+  kPolicyDecide,     // ReplicationPolicy::decide
+  kActionApply,      // apply_actions + epoch bookkeeping
+  kMetricsCollect,   // MetricsCollector::collect (runner side)
+};
+inline constexpr std::size_t kPhaseCount = 6;
+
+[[nodiscard]] const char* phase_name(Phase phase) noexcept;
+
+class PhaseProfiler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  PhaseProfiler() = default;
+  PhaseProfiler(const PhaseProfiler&) = delete;
+  PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+  /// Emit PhaseSpan events for each closed epoch window into `bus`
+  /// (nullptr detaches). Spans are only built when the bus has sinks.
+  void set_trace(EventBus* bus) noexcept { trace_ = bus; }
+
+  /// Record phase/epoch duration histograms into `registry` from now on.
+  void attach_registry(MetricRegistry& registry);
+
+  /// Close the previous epoch window (if any) and open one for `epoch`.
+  void begin_epoch(Epoch epoch);
+  /// Close the open window. Idempotent; call after the last epoch.
+  void finalize();
+
+  /// One ScopedTimer completion for `phase` over [start, end).
+  void record(Phase phase, Clock::time_point start, Clock::time_point end);
+
+  struct PhaseTotals {
+    std::uint64_t calls = 0;
+    double total_ms = 0.0;
+    double max_ms = 0.0;
+  };
+  [[nodiscard]] PhaseTotals totals(Phase phase) const noexcept;
+  /// Closed epoch windows so far.
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
+  /// Wall time inside closed epoch windows, ms.
+  [[nodiscard]] double epoch_wall_ms() const noexcept;
+  /// Sum of per-phase totals / epoch_wall_ms (0 before any window
+  /// closes). The phases blanket step(), so this sits near 1.0; the
+  /// remainder is loop glue outside any timer.
+  [[nodiscard]] double coverage() const noexcept;
+
+  /// Per-phase breakdown table (finalizes first). Every line is prefixed
+  /// with `line_prefix` so the CLI can keep its output CSV-comment-safe.
+  void write_table(std::ostream& out, const char* line_prefix = "");
+
+ private:
+  void close_window();
+
+  struct Lifetime {
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  struct InEpoch {
+    std::uint64_t accum_ns = 0;
+    std::uint64_t first_start_ns = 0;  // offset from the window start
+    bool seen = false;
+  };
+
+  std::array<Lifetime, kPhaseCount> lifetime_{};
+  std::array<InEpoch, kPhaseCount> in_epoch_{};
+  bool window_open_ = false;
+  Epoch window_epoch_ = 0;
+  Clock::time_point window_start_{};
+  std::uint64_t epochs_ = 0;
+  std::uint64_t epoch_wall_ns_ = 0;
+
+  EventBus* trace_ = nullptr;
+  MetricRegistry* registry_ = nullptr;
+  std::array<HistogramMetric*, kPhaseCount> phase_hist_{};
+  HistogramMetric* epoch_hist_ = nullptr;
+};
+
+/// Times one scope into a phase; a null profiler makes both ends a single
+/// pointer test (the disabled path never reads the clock).
+class ScopedTimer {
+ public:
+  ScopedTimer(PhaseProfiler* profiler, Phase phase) noexcept
+      : profiler_(profiler), phase_(phase) {
+    if (profiler_ != nullptr) start_ = PhaseProfiler::Clock::now();
+  }
+  ~ScopedTimer() {
+    if (profiler_ != nullptr) {
+      profiler_->record(phase_, start_, PhaseProfiler::Clock::now());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  PhaseProfiler* profiler_;
+  Phase phase_;
+  PhaseProfiler::Clock::time_point start_{};
+};
+
+}  // namespace rfh

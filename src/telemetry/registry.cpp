@@ -1,0 +1,245 @@
+#include "telemetry/registry.h"
+
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace rfh {
+
+namespace {
+
+// %.17g round-trips doubles exactly, so the prom and JSON exports of the
+// same instrument always agree digit-for-digit.
+void append_number(std::string& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += buf;
+}
+
+// All metric names and label values in the simulator are plain ASCII
+// identifiers (enum names, phase names), so no escaping is needed in
+// either exposition format — same rule as obs/sinks.cpp.
+void append_label_pairs(std::string& out, const MetricLabels& labels,
+                        const char* extra_key = nullptr,
+                        const char* extra_value = nullptr) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += value;
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+}
+
+const char* type_name(bool histogram_as, bool counter_as) {
+  if (histogram_as) return "summary";
+  return counter_as ? "counter" : "gauge";
+}
+
+}  // namespace
+
+MetricRegistry::Family& MetricRegistry::family(std::string_view name,
+                                               Type type,
+                                               std::string_view help) {
+  RFH_ASSERT_MSG(!name.empty(), "metric family needs a name");
+  for (Family& fam : families_) {
+    if (fam.name == name) {
+      RFH_ASSERT_MSG(fam.type == type,
+                     "metric family re-registered with a different type");
+      if (fam.help.empty() && !help.empty()) fam.help = help;
+      return fam;
+    }
+  }
+  Family fam;
+  fam.name = std::string(name);
+  fam.help = std::string(help);
+  fam.type = type;
+  families_.push_back(std::move(fam));
+  return families_.back();
+}
+
+MetricRegistry::Instrument& MetricRegistry::instrument(Family& fam,
+                                                       MetricLabels labels) {
+  for (Instrument& inst : fam.instruments) {
+    if (inst.labels == labels) return inst;
+  }
+  Instrument inst;
+  inst.labels = std::move(labels);
+  switch (fam.type) {
+    case Type::kCounter: inst.counter = std::make_unique<Counter>(); break;
+    case Type::kGauge: inst.gauge = std::make_unique<Gauge>(); break;
+    case Type::kHistogram:
+      inst.hist = std::make_unique<HistogramMetric>();
+      break;
+  }
+  fam.instruments.push_back(std::move(inst));
+  return fam.instruments.back();
+}
+
+Counter& MetricRegistry::counter(std::string_view name, MetricLabels labels,
+                                 std::string_view help) {
+  return *instrument(family(name, Type::kCounter, help), std::move(labels))
+              .counter;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name, MetricLabels labels,
+                             std::string_view help) {
+  return *instrument(family(name, Type::kGauge, help), std::move(labels))
+              .gauge;
+}
+
+HistogramMetric& MetricRegistry::histogram(std::string_view name,
+                                           MetricLabels labels,
+                                           std::string_view help) {
+  return *instrument(family(name, Type::kHistogram, help), std::move(labels))
+              .hist;
+}
+
+const MetricRegistry::Instrument* MetricRegistry::find(
+    std::string_view name, Type type, const MetricLabels& labels) const {
+  for (const Family& fam : families_) {
+    if (fam.name != name || fam.type != type) continue;
+    for (const Instrument& inst : fam.instruments) {
+      if (inst.labels == labels) return &inst;
+    }
+  }
+  return nullptr;
+}
+
+const Counter* MetricRegistry::find_counter(std::string_view name,
+                                            const MetricLabels& labels) const {
+  const Instrument* inst = find(name, Type::kCounter, labels);
+  return inst != nullptr ? inst->counter.get() : nullptr;
+}
+
+const Gauge* MetricRegistry::find_gauge(std::string_view name,
+                                        const MetricLabels& labels) const {
+  const Instrument* inst = find(name, Type::kGauge, labels);
+  return inst != nullptr ? inst->gauge.get() : nullptr;
+}
+
+const HistogramMetric* MetricRegistry::find_histogram(
+    std::string_view name, const MetricLabels& labels) const {
+  const Instrument* inst = find(name, Type::kHistogram, labels);
+  return inst != nullptr ? inst->hist.get() : nullptr;
+}
+
+std::size_t MetricRegistry::size() const noexcept {
+  std::size_t n = 0;
+  for (const Family& fam : families_) n += fam.instruments.size();
+  return n;
+}
+
+void MetricRegistry::write_prometheus(std::ostream& out) const {
+  std::string line;
+  for (const Family& fam : families_) {
+    if (!fam.help.empty()) {
+      out << "# HELP " << fam.name << ' ' << fam.help << '\n';
+    }
+    out << "# TYPE " << fam.name << ' '
+        << type_name(fam.type == Type::kHistogram, fam.type == Type::kCounter)
+        << '\n';
+    for (const Instrument& inst : fam.instruments) {
+      if (fam.type == Type::kHistogram) {
+        const Histogram& h = inst.hist->histogram();
+        const auto quantiles = h.quantiles(Histogram::kSnapshotQuantiles);
+        for (std::size_t i = 0; i < quantiles.size(); ++i) {
+          char q[16];
+          std::snprintf(q, sizeof q, "%g",
+                        Histogram::kSnapshotQuantiles[i]);
+          line.clear();
+          line += fam.name;
+          append_label_pairs(line, inst.labels, "quantile", q);
+          line += ' ';
+          append_number(line, quantiles[i]);
+          out << line << '\n';
+        }
+        line.clear();
+        line += fam.name;
+        line += "_sum";
+        append_label_pairs(line, inst.labels);
+        line += ' ';
+        append_number(line, h.mean() * h.total_weight());
+        out << line << '\n';
+        line.clear();
+        line += fam.name;
+        line += "_count";
+        append_label_pairs(line, inst.labels);
+        line += ' ';
+        append_number(line, h.total_weight());
+        out << line << '\n';
+        continue;
+      }
+      line.clear();
+      line += fam.name;
+      append_label_pairs(line, inst.labels);
+      line += ' ';
+      append_number(line, fam.type == Type::kCounter ? inst.counter->value()
+                                                     : inst.gauge->value());
+      out << line << '\n';
+    }
+  }
+}
+
+void MetricRegistry::write_json(std::ostream& out) const {
+  std::string doc;
+  doc += "{\"schema\":\"rfh-metrics/1\",\"metrics\":[";
+  bool first_family = true;
+  for (const Family& fam : families_) {
+    if (!first_family) doc += ',';
+    first_family = false;
+    doc += "{\"name\":\"";
+    doc += fam.name;
+    doc += "\",\"type\":\"";
+    doc += type_name(fam.type == Type::kHistogram,
+                     fam.type == Type::kCounter);
+    doc += "\",\"help\":\"";
+    doc += fam.help;
+    doc += "\",\"series\":[";
+    bool first_inst = true;
+    for (const Instrument& inst : fam.instruments) {
+      if (!first_inst) doc += ',';
+      first_inst = false;
+      doc += "{\"labels\":{";
+      bool first_label = true;
+      for (const auto& [key, value] : inst.labels) {
+        if (!first_label) doc += ',';
+        first_label = false;
+        doc += '"';
+        doc += key;
+        doc += "\":\"";
+        doc += value;
+        doc += '"';
+      }
+      doc += '}';
+      if (fam.type == Type::kHistogram) {
+        doc += ",\"summary\":";
+        inst.hist->histogram().append_json(doc,
+                                           Histogram::kSnapshotQuantiles);
+      } else {
+        doc += ",\"value\":";
+        append_number(doc, fam.type == Type::kCounter
+                               ? inst.counter->value()
+                               : inst.gauge->value());
+      }
+      doc += '}';
+    }
+    doc += "]}";
+  }
+  doc += "]}";
+  out << doc << '\n';
+}
+
+}  // namespace rfh

@@ -1,0 +1,133 @@
+// Labeled metric registry: counters, gauges and latency histograms.
+//
+// The second leg of observability (src/obs/ answers *what happened and
+// why*; this answers *how much and how fast*). The model is the standard
+// production-store shape — Dynamo-style systems instrument request rates
+// and operation latencies the same way — reduced to what a single-threaded
+// simulator needs:
+//
+//  * an instrument is (family name, label set) -> Counter / Gauge /
+//    HistogramMetric;
+//  * handles returned by counter()/gauge()/histogram() are stable for the
+//    registry's lifetime, so hot paths resolve them once and bump a plain
+//    double thereafter (no map lookup per event);
+//  * snapshots export as Prometheus text format (histograms as summaries
+//    with precomputed quantiles) or as one JSON document.
+//
+// Threading: a registry belongs to one Simulation, which is
+// single-threaded (the comparative runner gives each policy its own), so
+// no atomics or locks anywhere — identical to the EventBus contract.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace rfh {
+
+/// Label key/value pairs, e.g. {{"kind", "replicate"}}. Order is
+/// significant: the same pairs in a different order name a different
+/// series (instrumentation sites use literal lists, so this never bites).
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing value. Fractional increments are allowed
+/// (query counts are weighted doubles throughout the simulator).
+class Counter {
+ public:
+  void inc(double delta = 1.0) noexcept { value_ += delta; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Point-in-time value (replica census, current epoch, ...).
+class Gauge {
+ public:
+  void set(double value) noexcept { value_ = value; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Weighted latency/duration distribution over common/histogram.h.
+class HistogramMetric {
+ public:
+  void observe(double value, double weight = 1.0) noexcept {
+    hist_.add(weight, value);
+  }
+  [[nodiscard]] const Histogram& histogram() const noexcept { return hist_; }
+
+ private:
+  Histogram hist_;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Find-or-create the instrument for (name, labels). The returned
+  /// reference stays valid for the registry's lifetime. Re-requesting an
+  /// existing family with a different type asserts.
+  Counter& counter(std::string_view name, MetricLabels labels = {},
+                   std::string_view help = "");
+  Gauge& gauge(std::string_view name, MetricLabels labels = {},
+               std::string_view help = "");
+  HistogramMetric& histogram(std::string_view name, MetricLabels labels = {},
+                             std::string_view help = "");
+
+  /// Lookup without creation (tests, exporters); nullptr when absent.
+  [[nodiscard]] const Counter* find_counter(
+      std::string_view name, const MetricLabels& labels = {}) const;
+  [[nodiscard]] const Gauge* find_gauge(
+      std::string_view name, const MetricLabels& labels = {}) const;
+  [[nodiscard]] const HistogramMetric* find_histogram(
+      std::string_view name, const MetricLabels& labels = {}) const;
+
+  /// Total instruments across all families.
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return families_.empty(); }
+
+  /// Prometheus text exposition format: # HELP / # TYPE headers, one
+  /// sample line per instrument, histograms as summaries with
+  /// Histogram::kSnapshotQuantiles plus _sum and _count.
+  void write_prometheus(std::ostream& out) const;
+  /// One JSON document: {"schema":"rfh-metrics/1","metrics":[...]}.
+  void write_json(std::ostream& out) const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Instrument {
+    MetricLabels labels;
+    // Exactly one is set, matching the family type; unique_ptr keeps the
+    // handle address stable while the vector grows.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> hist;
+  };
+
+  struct Family {
+    std::string name;
+    std::string help;
+    Type type = Type::kCounter;
+    std::vector<Instrument> instruments;  // insertion order
+  };
+
+  Family& family(std::string_view name, Type type, std::string_view help);
+  Instrument& instrument(Family& fam, MetricLabels labels);
+  [[nodiscard]] const Instrument* find(std::string_view name, Type type,
+                                       const MetricLabels& labels) const;
+
+  std::vector<Family> families_;  // insertion order, linear lookup
+};
+
+}  // namespace rfh

@@ -160,5 +160,42 @@ TEST(Cli, TraceRejectsBadFormatEmptyPathAndCompare) {
   EXPECT_TRUE(parse({"--compare"}).ok);
 }
 
+TEST(Cli, MetricsFlags) {
+  const CliParseResult r =
+      parse({"--metrics-out=metrics.json", "--metrics-format=json"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.metrics_out, "metrics.json");
+  EXPECT_EQ(r.options.metrics_format, MetricsFormat::kJson);
+}
+
+TEST(Cli, MetricsDefaultsToPrometheusAndOff) {
+  const CliParseResult defaults = parse({});
+  ASSERT_TRUE(defaults.ok);
+  EXPECT_TRUE(defaults.options.metrics_out.empty());
+  EXPECT_EQ(defaults.options.metrics_format, MetricsFormat::kProm);
+  EXPECT_FALSE(defaults.options.profile);
+
+  const CliParseResult r = parse({"--metrics-out=m.prom"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.options.metrics_format, MetricsFormat::kProm);
+}
+
+TEST(Cli, ProfileFlag) {
+  const CliParseResult r = parse({"--profile", "--quiet"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.options.profile);
+  // Profiling composes with tracing (PhaseSpans land in the trace).
+  EXPECT_TRUE(parse({"--profile", "--trace-out=t.json",
+                     "--trace-format=chrome"})
+                  .ok);
+}
+
+TEST(Cli, TelemetryRejectsBadInputAndCompare) {
+  EXPECT_FALSE(parse({"--metrics-out="}).ok);
+  EXPECT_FALSE(parse({"--metrics-format=xml"}).ok);
+  EXPECT_FALSE(parse({"--metrics-out=m.prom", "--compare"}).ok);
+  EXPECT_FALSE(parse({"--profile", "--compare"}).ok);
+}
+
 }  // namespace
 }  // namespace rfh

@@ -100,11 +100,125 @@ TEST(Histogram, ResetClears) {
   EXPECT_DOUBLE_EQ(h.percentile(0.9), 0.0);
 }
 
+TEST(Histogram, QuantilesMatchPercentileExactly) {
+  Histogram h;
+  Rng rng(33);
+  for (int i = 0; i < 20000; ++i) {
+    h.add(1.0, rng.uniform_real_range(0.5, 5000.0));
+  }
+  const std::array<double, 6> grid{0.1, 0.25, 0.5, 0.9, 0.99, 1.0};
+  const std::vector<double> qs = h.quantiles(grid);
+  ASSERT_EQ(qs.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(qs[i], h.percentile(grid[i])) << "q=" << grid[i];
+  }
+}
+
+TEST(Histogram, QuantilesOfEmptyAreZero) {
+  const Histogram h;
+  const std::vector<double> qs = h.quantiles(Histogram::kSnapshotQuantiles);
+  ASSERT_EQ(qs.size(), Histogram::kSnapshotQuantiles.size());
+  for (const double v : qs) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Histogram, QuantilesAtBucketEdges) {
+  // All mass in a single bucket: the interpolation runs from the bucket's
+  // lower edge at q->0+ to its upper edge at q=1, and every quantile must
+  // stay inside that bucket (which is ~3.3% wide around 10 ms).
+  Histogram h;
+  h.add(100.0, 10.0);
+  const std::array<double, 3> grid{0.001, 0.5, 1.0};
+  const std::vector<double> qs = h.quantiles(grid);
+  EXPECT_LT(qs[0], qs[1]);
+  EXPECT_LT(qs[1], qs[2]);
+  for (const double v : qs) EXPECT_NEAR(v, 10.0, 0.5);
+  // q=1 is the bucket's upper edge; it bounds the recorded value.
+  EXPECT_GE(qs[2], 10.0 - 1e-9);
+}
+
+TEST(Histogram, QuantilesOfClampedValuesStayInRange) {
+  Histogram h;
+  h.add(1.0, 1e9);   // clamped down to kMaxValue
+  h.add(1.0, 1e-9);  // clamped up to kMinValue
+  const std::array<double, 2> grid{0.5, 1.0};
+  const std::vector<double> qs = h.quantiles(grid);
+  EXPECT_GE(qs[0], Histogram::kMinValue - 1e-12);
+  EXPECT_LE(qs[1], Histogram::kMaxValue + 1e-12);
+  EXPECT_DOUBLE_EQ(qs[1], h.percentile(1.0));
+}
+
+TEST(Histogram, MergeEmptyIsIdentity) {
+  Histogram a;
+  a.add(3.0, 25.0);
+  const double mean = a.mean();
+  const double p90 = a.percentile(0.9);
+  Histogram empty;
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_DOUBLE_EQ(a.percentile(0.9), p90);
+  // Merging into an empty histogram copies the mass.
+  Histogram b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.total_weight(), a.total_weight());
+  EXPECT_DOUBLE_EQ(b.percentile(0.9), a.percentile(0.9));
+  EXPECT_DOUBLE_EQ(b.max_value(), a.max_value());
+}
+
+TEST(Histogram, MergedPercentilesEqualCombinedHistogram) {
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  Rng rng(34);
+  for (int i = 0; i < 3000; ++i) {
+    const double v = rng.uniform_real_range(1.0, 100.0);
+    a.add(1.0, v);
+    combined.add(1.0, v);
+  }
+  for (int i = 0; i < 3000; ++i) {
+    const double v = rng.uniform_real_range(100.0, 10000.0);
+    b.add(1.0, v);
+    combined.add(1.0, v);
+  }
+  a.merge(b);
+  for (const double q : {0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_DOUBLE_EQ(a.percentile(q), combined.percentile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+}
+
+TEST(Histogram, ToJsonRoundTrip) {
+  Histogram h;
+  h.add(2.0, 10.0);
+  h.add(2.0, 1000.0);
+  const std::string json = h.to_json();
+  // Spot-check the snapshot contract without a JSON parser: fields
+  // present, count exact, quantile keys from kSnapshotQuantiles.
+  EXPECT_NE(json.find("\"count\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean\":"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"0.5\":"), std::string::npos);
+  EXPECT_NE(json.find("\"0.999\":"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+
+  const Histogram empty;
+  EXPECT_NE(empty.to_json().find("\"count\":0"), std::string::npos);
+}
+
 TEST(HistogramDeath, NegativeWeight) {
   Histogram h;
   EXPECT_DEATH(h.add(-1.0, 10.0), "");
   EXPECT_DEATH((void)h.percentile(0.0), "");
   EXPECT_DEATH((void)h.percentile(1.5), "");
+}
+
+TEST(HistogramDeath, QuantileGridMustBeAscendingInRange) {
+  Histogram h;
+  h.add(1.0, 10.0);
+  const std::array<double, 2> descending{0.9, 0.5};
+  EXPECT_DEATH((void)h.quantiles(descending), "");
+  const std::array<double, 1> zero{0.0};
+  EXPECT_DEATH((void)h.quantiles(zero), "");
 }
 
 }  // namespace

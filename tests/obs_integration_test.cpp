@@ -194,5 +194,49 @@ TEST(ObsIntegration, TracingDoesNotPerturbTheSimulation) {
   }
 }
 
+TEST(ObsIntegration, ProfilingAndTelemetryDoNotPerturbTheSimulation) {
+  // Same guard for the telemetry layer: --profile / --metrics-out must
+  // leave every simulation output bit-identical. Wall-clock timing feeds
+  // the profiler and the registry, never the simulation.
+  Scenario scenario = small_scenario();
+  scenario.world.replication_bandwidth = 1;  // exercise the drop path too
+  std::vector<FailureEvent> failures;
+  FailureEvent event;
+  event.epoch = 25;
+  event.kill_random = 10;
+  failures.push_back(event);
+
+  const PolicyRun plain =
+      run_policy(scenario, PolicyKind::kRfh, failures);
+  MetricRegistry registry;
+  PhaseProfiler profiler;
+  std::ostringstream trace;
+  ChromeTraceSink sink(trace);
+  const PolicyRun instrumented =
+      run_policy(scenario, PolicyKind::kRfh, failures, RfhPolicy::Options{},
+                 &sink, &registry, &profiler);
+
+  ASSERT_EQ(plain.series.size(), instrumented.series.size());
+  ASSERT_EQ(plain.killed, instrumented.killed);
+  for (std::size_t e = 0; e < plain.series.size(); ++e) {
+    const EpochMetrics& a = plain.series[e];
+    const EpochMetrics& b = instrumented.series[e];
+    ASSERT_DOUBLE_EQ(a.utilization, b.utilization);
+    ASSERT_DOUBLE_EQ(a.unserved_fraction, b.unserved_fraction);
+    ASSERT_DOUBLE_EQ(a.path_length, b.path_length);
+    ASSERT_DOUBLE_EQ(a.load_imbalance, b.load_imbalance);
+    ASSERT_DOUBLE_EQ(a.latency_mean_ms, b.latency_mean_ms);
+    ASSERT_DOUBLE_EQ(a.replication_cost_total, b.replication_cost_total);
+    ASSERT_DOUBLE_EQ(a.migration_cost_total, b.migration_cost_total);
+    ASSERT_EQ(a.total_replicas, b.total_replicas);
+    ASSERT_EQ(a.migrations_total, b.migrations_total);
+    ASSERT_EQ(a.dropped_this_epoch, b.dropped_this_epoch);
+  }
+  // The instrumented run actually instrumented: phases were timed and the
+  // trace carries nested PhaseSpan slices.
+  EXPECT_EQ(profiler.epochs(), scenario.epochs);
+  EXPECT_NE(trace.str().find("workload_gen"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rfh
