@@ -4,83 +4,96 @@
 // departure, failure or recovery only affects its immediate neighbors,
 // and keep other nodes unaffected". This bench subjects RFH to sustained
 // churn — every 10 epochs one random server dies and one previously dead
-// server returns — and measures the blast radius: repair actions per
+// server returns, expressed as a FaultPlan churn event and applied by the
+// ChaosController — and measures the blast radius: repair actions per
 // churn event, steady-state census drift, and service impact, compared
 // to a churn-free control run.
 #include <cstdio>
-#include <memory>
 
-#include "core/rfh_policy.h"
+#include "bench_report.h"
+#include "fault/plan.h"
+#include "harness/runner.h"
 #include "harness/scenario.h"
-#include "metrics/collector.h"
-#include "workload/generator.h"
 
 namespace {
+
+constexpr rfh::Epoch kSettle = 60;
+constexpr rfh::Epoch kMeasured = 300;
 
 struct ChurnResult {
   double actions_per_epoch = 0.0;
   double replicas = 0.0;
   double unserved = 0.0;
   double utilization = 0.0;
+  std::uint64_t faults_injected = 0;
 };
 
-ChurnResult run(bool with_churn) {
-  const rfh::Scenario scenario = rfh::Scenario::paper_random_query();
-  rfh::World world = rfh::build_paper_world(scenario.world);
-  auto sim = std::make_unique<rfh::Simulation>(
-      std::move(world), scenario.sim,
-      rfh::make_workload(scenario, rfh::build_paper_world(scenario.world)),
-      std::make_unique<rfh::RfhPolicy>());
-  rfh::MetricsCollector collector;
-
-  sim->run(60);  // settle
-  std::vector<rfh::ServerId> dead;
+ChurnResult summarize(const rfh::PolicyRun& run) {
   ChurnResult result;
-  const rfh::Epoch measured = 300;
-  for (rfh::Epoch e = 0; e < measured; ++e) {
-    if (with_churn && e % 10 == 0) {
-      // One leaves...
-      const auto victims = sim->fail_random_servers(1);
-      dead.insert(dead.end(), victims.begin(), victims.end());
-      // ...and (once somebody is dead) one returns.
-      if (dead.size() > 1) {
-        const rfh::ServerId back = dead.front();
-        dead.erase(dead.begin());
-        const rfh::ServerId recover[] = {back};
-        sim->recover_servers(recover);
-      }
-    }
-    const rfh::EpochReport r = sim->step();
-    const rfh::EpochMetrics m = collector.collect(*sim, r);
-    result.actions_per_epoch += r.replications + r.migrations + r.suicides;
+  for (rfh::Epoch e = kSettle; e < kSettle + kMeasured; ++e) {
+    const rfh::EpochMetrics& m = run.series[e];
+    result.actions_per_epoch += m.replications_this_epoch +
+                                m.migrations_this_epoch +
+                                m.suicides_this_epoch;
     result.replicas += m.total_replicas;
     result.unserved += m.unserved_fraction;
     result.utilization += m.utilization;
   }
-  result.actions_per_epoch /= measured;
-  result.replicas /= measured;
-  result.unserved /= measured;
-  result.utilization /= measured;
+  result.actions_per_epoch /= kMeasured;
+  result.replicas /= kMeasured;
+  result.unserved /= kMeasured;
+  result.utilization /= kMeasured;
+  result.faults_injected = run.faults_injected;
   return result;
+}
+
+ChurnResult run(rfh::BenchReport& report, bool with_churn) {
+  rfh::Scenario scenario = rfh::Scenario::paper_random_query();
+  scenario.epochs = kSettle + kMeasured;
+  if (with_churn) {
+    rfh::FaultEvent churn;
+    churn.kind = rfh::FaultKind::kChurn;
+    churn.at = kSettle;
+    churn.until = kSettle + kMeasured;
+    churn.period = 10;
+    churn.kill = 1;
+    churn.recover = 1;
+    scenario.fault_plan.add(churn);
+  }
+  const auto stage = report.stage(with_churn ? "run_churn" : "run_control");
+  return summarize(rfh::run_policy(scenario, rfh::PolicyKind::kRfh));
 }
 
 }  // namespace
 
 int main() {
+  rfh::BenchReport report("churn");
   std::printf("# Membership churn: one server leaves and one rejoins every "
               "10 epochs, 300 epochs measured (RFH)\n");
   std::printf("%-10s %16s %10s %10s %12s\n", "mode", "actions/epoch",
               "replicas", "unserved", "utilization");
-  const ChurnResult control = run(false);
-  const ChurnResult churned = run(true);
+  const ChurnResult control = run(report, false);
+  const ChurnResult churned = run(report, true);
   std::printf("%-10s %16.2f %10.1f %10.3f %12.3f\n", "control",
               control.actions_per_epoch, control.replicas, control.unserved,
               control.utilization);
   std::printf("%-10s %16.2f %10.1f %10.3f %12.3f\n", "churn",
               churned.actions_per_epoch, churned.replicas, churned.unserved,
               churned.utilization);
+  const double blast =
+      (churned.actions_per_epoch - control.actions_per_epoch) * 10.0;
   std::printf("# blast radius: %.2f extra repair actions per churn event "
-              "(10-epoch spacing)\n",
-              (churned.actions_per_epoch - control.actions_per_epoch) * 10.0);
+              "(10-epoch spacing); %llu faults injected\n",
+              blast, static_cast<unsigned long long>(churned.faults_injected));
+
+  report.add_metric("control_actions_per_epoch", control.actions_per_epoch);
+  report.add_metric("churn_actions_per_epoch", churned.actions_per_epoch);
+  report.add_metric("blast_radius_actions", blast);
+  report.add_metric("control_replicas", control.replicas);
+  report.add_metric("churn_replicas", churned.replicas);
+  report.add_metric("churn_unserved", churned.unserved);
+  report.add_metric("faults_injected",
+                    static_cast<double>(churned.faults_injected));
+  report.write_file();
   return 0;
 }

@@ -1,25 +1,28 @@
 // Fig. 10 — node join, failure and recovery (RFH only).
 //
 // 500 epochs of uniform query load; at epoch 290, 30 of the 100 servers
-// are removed at random. Paper shape: the copy count grows, plateaus,
-// drops sharply at the failure, then recovers to the initial plateau as
-// RFH re-replicates on the survivors.
+// are removed at random — expressed as a FaultPlan so the injection goes
+// through the same chaos path the tests and the CLI use. Paper shape:
+// the copy count grows, plateaus, drops sharply at the failure, then
+// recovers to the initial plateau as RFH re-replicates on the survivors.
 #include <iostream>
 
 #include "bench_report.h"
+#include "fault/plan.h"
 #include "harness/report.h"
 
 int main() {
   rfh::BenchReport report("fig10_failure_recovery");
-  const rfh::Scenario s = rfh::Scenario::paper_failure_recovery();
-  rfh::FailureEvent failure;
-  failure.epoch = 290;
-  failure.kill_random = 30;
-  const std::vector<rfh::FailureEvent> failures{failure};
+  rfh::Scenario s = rfh::Scenario::paper_failure_recovery();
+  rfh::FaultEvent failure;
+  failure.kind = rfh::FaultKind::kCrash;
+  failure.at = 290;
+  failure.count = 30;
+  s.fault_plan.add(failure);
   rfh::PolicyRun run;
   {
     const auto stage = report.stage("run_rfh");
-    run = rfh::run_policy(s, rfh::PolicyKind::kRfh, failures);
+    run = rfh::run_policy(s, rfh::PolicyKind::kRfh);
   }
 
   std::cout << "# Fig 10: node failure and recovery (RFH), 30 servers "
@@ -48,6 +51,9 @@ int main() {
   report.add_metric("plateau_replicas", mean_over(240, 290));
   report.add_metric("trough_replicas", mean_over(290, 300));
   report.add_metric("recovered_replicas", mean_over(450, 500));
+  report.add_metric("faults_injected",
+                    static_cast<double>(run.faults_injected));
+  report.add_metric("servers_killed", static_cast<double>(run.killed.size()));
   report.write_file();
   return 0;
 }

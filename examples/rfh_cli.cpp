@@ -10,11 +10,13 @@
 //   ./rfh_cli --metrics-out=metrics.prom --quiet
 //   ./rfh_cli --metrics-out=metrics.json --metrics-format=json
 //   ./rfh_cli --profile --quiet
+//   ./rfh_cli --fault-plan=chaos.plan --check-invariants --quiet
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 
+#include "fault/invariants.h"
 #include "harness/cli.h"
 #include "harness/report.h"
 #include "obs/sinks.h"
@@ -101,6 +103,11 @@ int main(int argc, char** argv) {
   }
   std::unique_ptr<rfh::PhaseProfiler> profiler;
   if (options.profile) profiler = std::make_unique<rfh::PhaseProfiler>();
+  std::unique_ptr<rfh::InvariantChecker> checker;
+  if (options.check_invariants) {
+    checker = std::make_unique<rfh::InvariantChecker>(
+        rfh::InvariantChecker::Mode::kRecord);
+  }
 
   std::vector<rfh::PolicyRun> runs;
   if (options.compare) {
@@ -108,9 +115,14 @@ int main(int argc, char** argv) {
   } else {
     runs.push_back(rfh::run_policy(options.scenario, options.policy,
                                    options.failures, rfh::RfhPolicy::Options{},
-                                   sink, registry.get(), profiler.get()));
+                                   sink, registry.get(), profiler.get(),
+                                   checker.get()));
   }
   emit(options, runs);
+  if (!options.scenario.fault_plan.empty()) {
+    std::printf("# faults injected: %llu\n",
+                static_cast<unsigned long long>(runs.front().faults_injected));
+  }
   if (sink != nullptr && !options.quiet) {
     std::fprintf(stderr, "# trace written to %s\n", options.trace_out.c_str());
   }
@@ -135,6 +147,10 @@ int main(int argc, char** argv) {
   if (profiler != nullptr) {
     // "# " prefix keeps the table ignorable by CSV consumers of stdout.
     profiler->write_table(std::cout, "# ");
+  }
+  if (checker != nullptr) {
+    std::printf("# %s\n", checker->summary().c_str());
+    if (!checker->violations().empty()) return 1;
   }
   return 0;
 }

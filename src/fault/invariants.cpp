@@ -1,0 +1,333 @@
+#include "fault/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/availability.h"
+#include "obs/events.h"
+#include "routing/router.h"
+#include "telemetry/registry.h"
+
+namespace rfh {
+
+namespace {
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[256];
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+/// |a - b| within an absolute-or-relative tolerance (query tallies are
+/// sums of doubles accumulated in different orders).
+bool close(double a, double b) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= 1e-6 * scale;
+}
+
+}  // namespace
+
+const char* invariant_name(InvariantId id) noexcept {
+  switch (id) {
+    case InvariantId::kReplicaFloor: return "replica_floor";
+    case InvariantId::kDeadHost: return "dead_host";
+    case InvariantId::kRouting: return "routing";
+    case InvariantId::kStorage: return "storage";
+    case InvariantId::kAccounting: return "accounting";
+    case InvariantId::kTraffic: return "traffic";
+    case InvariantId::kTelemetry: return "telemetry";
+  }
+  return "?";
+}
+
+void InvariantChecker::report_violation(Epoch epoch, InvariantId id,
+                                        std::string detail) {
+  ++violations_this_epoch_;
+  violations_.push_back(Violation{epoch, id, std::move(detail)});
+}
+
+std::size_t InvariantChecker::check_epoch(const Simulation& sim,
+                                          const EpochReport& report) {
+  violations_this_epoch_ = 0;
+  const Epoch epoch = report.epoch;
+
+  // Order matters only for readability of fail-fast output: structural
+  // state first, flow accounting after.
+  check_dead_hosts(sim, epoch);
+  check_replica_floor(sim, epoch);
+  check_routing(sim, epoch);
+  check_storage(sim, epoch);
+  check_accounting(sim, report);
+  check_traffic(sim, report);
+
+  queries_sum_ += report.total_queries;
+  unserved_sum_ += report.unserved_queries;
+  replications_sum_ += report.replications;
+  migrations_sum_ += report.migrations;
+  suicides_sum_ += report.suicides;
+  ++epochs_checked_;
+  check_telemetry(sim, epoch);
+
+  if (mode_ == Mode::kFailFast && violations_this_epoch_ > 0) {
+    std::fprintf(stderr,
+                 "invariant check failed at epoch %u (%zu violations):\n",
+                 epoch, violations_this_epoch_);
+    const std::size_t first = violations_.size() - violations_this_epoch_;
+    for (std::size_t i = first; i < violations_.size(); ++i) {
+      std::fprintf(stderr, "  [%s] %s\n", invariant_name(violations_[i].id),
+                   violations_[i].detail.c_str());
+    }
+    std::abort();
+  }
+  return violations_this_epoch_;
+}
+
+void InvariantChecker::check_replica_floor(const Simulation& sim,
+                                           Epoch epoch) {
+  const SimConfig& cfg = sim.config();
+  const std::uint32_t floor =
+      min_replicas(cfg.min_availability, cfg.failure_rate);
+  if (excused_.empty()) {
+    excused_.assign(cfg.partitions, 1);  // bootstrap: seeded with 1 copy
+    prev_hosts_.resize(cfg.partitions);
+  }
+  for (std::uint32_t p = 0; p < cfg.partitions; ++p) {
+    const PartitionId pid{p};
+    const auto replicas = sim.cluster().replicas_of(pid);
+    std::vector<ServerId> hosts;
+    hosts.reserve(replicas.size());
+    for (const Replica& r : replicas) hosts.push_back(r.server);
+
+    const auto count = static_cast<std::uint32_t>(hosts.size());
+    if (count >= floor) {
+      excused_[p] = 0;
+    } else if (excused_[p] == 0) {
+      // Dropped below the floor since the last check: only a copy lost to
+      // a dead server (crash, promotion, reseed) excuses the deficit; a
+      // voluntary drop (policy suicide below r_min) is a violation.
+      bool failure_caused = false;
+      for (const ServerId prev : prev_hosts_[p]) {
+        const bool still_hosted =
+            std::find(hosts.begin(), hosts.end(), prev) != hosts.end();
+        if (!still_hosted && !sim.cluster().alive(prev)) {
+          failure_caused = true;
+          break;
+        }
+      }
+      if (failure_caused) {
+        excused_[p] = 1;
+      } else {
+        report_violation(
+            epoch, InvariantId::kReplicaFloor,
+            format("partition %u holds %u copies < Eq. 14 floor %u with no "
+                   "server failure to excuse it",
+                   p, count, floor));
+      }
+    }
+    prev_hosts_[p] = std::move(hosts);
+  }
+}
+
+void InvariantChecker::check_dead_hosts(const Simulation& sim, Epoch epoch) {
+  const std::uint32_t partitions = sim.config().partitions;
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    const PartitionId pid{p};
+    for (const Replica& r : sim.cluster().replicas_of(pid)) {
+      if (!sim.cluster().alive(r.server)) {
+        report_violation(epoch, InvariantId::kDeadHost,
+                         format("partition %u keeps a copy on dead server %u",
+                                p, r.server.value()));
+      }
+    }
+    const ServerId primary = sim.cluster().primary_of(pid);
+    if (primary.valid() && !sim.cluster().alive(primary)) {
+      report_violation(
+          epoch, InvariantId::kDeadHost,
+          format("partition %u primary %u is dead", p, primary.value()));
+    }
+  }
+}
+
+void InvariantChecker::check_routing(const Simulation& sim, Epoch epoch) {
+  // A fresh Router over the current topology/paths is cheap (two
+  // pointers) and keeps the checker read-only with respect to the
+  // engine's own router.
+  const Router router(sim.topology(), sim.paths());
+  const std::uint32_t partitions = sim.config().partitions;
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    const PartitionId pid{p};
+    const ServerId primary = sim.cluster().primary_of(pid);
+    if (!primary.valid()) {
+      if (!sim.cluster().replicas_of(pid).empty()) {
+        report_violation(
+            epoch, InvariantId::kRouting,
+            format("partition %u has copies but no primary", p));
+      }
+      continue;
+    }
+    if (!sim.cluster().alive(primary)) continue;  // reported by dead_host
+    const Route route = router.route(pid, DatacenterId{0}, primary,
+                                     sim.cluster().live_by_dc());
+    if (route.holder != primary || route.stages.empty()) {
+      report_violation(
+          epoch, InvariantId::kRouting,
+          format("partition %u route does not reach primary %u", p,
+                 primary.value()));
+      continue;
+    }
+    const DatacenterId holder_dc = sim.topology().server(primary).datacenter;
+    if (route.stages.back().dc != holder_dc) {
+      report_violation(
+          epoch, InvariantId::kRouting,
+          format("partition %u route ends in dc %u, primary lives in dc %u",
+                 p, route.stages.back().dc.value(), holder_dc.value()));
+    }
+  }
+}
+
+void InvariantChecker::check_storage(const Simulation& sim, Epoch epoch) {
+  const SimConfig& cfg = sim.config();
+  for (const Server& server : sim.topology().servers()) {
+    const std::uint32_t copies = sim.cluster().copies_on(server.id);
+    if (copies == 0) continue;
+    const Bytes used = sim.cluster().storage_used(server.id);
+    if (used != copies * cfg.partition_size) {
+      report_violation(
+          epoch, InvariantId::kStorage,
+          format("server %u accounts %llu bytes for %u copies of %llu each",
+                 server.id.value(), static_cast<unsigned long long>(used),
+                 copies,
+                 static_cast<unsigned long long>(cfg.partition_size)));
+    }
+    if (copies > server.spec.max_vnodes) {
+      report_violation(epoch, InvariantId::kStorage,
+                       format("server %u hosts %u copies > vnode cap %u",
+                              server.id.value(), copies,
+                              server.spec.max_vnodes));
+    }
+    const double fraction = sim.cluster().storage_fraction(server.id);
+    if (fraction > cfg.storage_limit + 1e-9) {
+      report_violation(
+          epoch, InvariantId::kStorage,
+          format("server %u occupancy %.4f exceeds Eq. 19 limit phi=%.2f",
+                 server.id.value(), fraction, cfg.storage_limit));
+    }
+  }
+}
+
+void InvariantChecker::check_accounting(const Simulation& sim,
+                                        const EpochReport& report) {
+  std::uint32_t by_partition = 0;
+  for (std::uint32_t p = 0; p < sim.config().partitions; ++p) {
+    by_partition += sim.cluster().replica_count(PartitionId{p});
+  }
+  const std::uint32_t census = sim.cluster().total_replicas();
+  if (by_partition != census || report.total_replicas != census) {
+    report_violation(
+        report.epoch, InvariantId::kAccounting,
+        format("replica census disagrees: report=%u cluster=%u sum=%u",
+               report.total_replicas, census, by_partition));
+  }
+}
+
+void InvariantChecker::check_traffic(const Simulation& sim,
+                                     const EpochReport& report) {
+  const EpochTraffic& traffic = sim.traffic();
+  double queries = 0.0;
+  double unserved = 0.0;
+  for (std::uint32_t p = 0; p < sim.config().partitions; ++p) {
+    const PartitionId pid{p};
+    queries += traffic.partition_queries(pid);
+    unserved += traffic.unserved(pid);
+    if (traffic.unserved(pid) >
+        traffic.partition_queries(pid) * (1.0 + 1e-9) + 1e-9) {
+      report_violation(
+          report.epoch, InvariantId::kTraffic,
+          format("partition %u blocked %.3f of only %.3f offered queries", p,
+                 traffic.unserved(pid), traffic.partition_queries(pid)));
+    }
+  }
+  if (!close(queries, report.total_queries) ||
+      !close(queries, traffic.total_queries())) {
+    report_violation(
+        report.epoch, InvariantId::kTraffic,
+        format("query conservation broke: sum=%.6f report=%.6f total=%.6f",
+               queries, report.total_queries, traffic.total_queries()));
+  }
+  if (!close(unserved, report.unserved_queries)) {
+    report_violation(
+        report.epoch, InvariantId::kTraffic,
+        format("unserved conservation broke: sum=%.6f report=%.6f", unserved,
+               report.unserved_queries));
+  }
+  for (const Server& server : sim.topology().servers()) {
+    const double cap = server.spec.per_replica_capacity;
+    for (std::uint32_t p = 0; p < sim.config().partitions; ++p) {
+      const double served = traffic.served(PartitionId{p}, server.id);
+      if (served > cap * (1.0 + 1e-9) + 1e-9) {
+        report_violation(
+            report.epoch, InvariantId::kTraffic,
+            format("partition %u replica on server %u served %.3f > "
+                   "capacity %.3f",
+                   p, server.id.value(), served, cap));
+      }
+    }
+  }
+}
+
+void InvariantChecker::check_telemetry(const Simulation& sim, Epoch epoch) {
+  const MetricRegistry* reg = sim.telemetry();
+  if (reg == nullptr) return;
+  const Counter* epochs = reg->find_counter("rfh_epochs_total");
+  // Only reconcile when the checker observed every counted epoch — a
+  // registry attached mid-run has a head start the sums cannot see.
+  if (epochs == nullptr ||
+      epochs->value() != static_cast<double>(epochs_checked_)) {
+    return;
+  }
+  const auto expect = [&](const char* name, MetricLabels labels,
+                          double want) {
+    const Counter* c = reg->find_counter(name, labels);
+    const double got = c != nullptr ? c->value() : 0.0;
+    if (!close(got, want)) {
+      std::string series = name;
+      if (!labels.empty()) {
+        series += "{" + labels.front().first + "=" + labels.front().second +
+                  "}";
+      }
+      report_violation(
+          epoch, InvariantId::kTelemetry,
+          format("%s=%.6f does not reconcile with report sum %.6f",
+                 series.c_str(), got, want));
+    }
+  };
+  expect("rfh_queries_total", {}, queries_sum_);
+  expect("rfh_unserved_queries_total", {}, unserved_sum_);
+  expect("rfh_actions_applied_total", {{"kind", "replicate"}},
+         static_cast<double>(replications_sum_));
+  expect("rfh_actions_applied_total", {{"kind", "migrate"}},
+         static_cast<double>(migrations_sum_));
+  expect("rfh_actions_applied_total", {{"kind", "suicide"}},
+         static_cast<double>(suicides_sum_));
+  expect("rfh_data_losses_total", {},
+         static_cast<double>(sim.data_losses()));
+}
+
+std::string InvariantChecker::summary() const {
+  std::string text =
+      format("invariants: %zu epochs checked, %zu violations",
+             epochs_checked_, violations_.size());
+  for (const Violation& v : violations_) {
+    text += format("\n  epoch %u [%s] ", v.epoch, invariant_name(v.id));
+    text += v.detail;
+  }
+  return text;
+}
+
+}  // namespace rfh

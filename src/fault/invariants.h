@@ -1,0 +1,115 @@
+// Always-on cross-cutting invariant checking.
+//
+// An InvariantChecker is invoked once per epoch, right after
+// Simulation::step(), and verifies properties that no single subsystem
+// owns (see DESIGN.md for the catalogue):
+//
+//   replica_floor     every partition holds >= Eq. 14 minimum copies,
+//                     unless a recorded failure explains the deficit
+//   dead_host         no copy (primary included) lives on a dead server
+//   routing           the primary of every partition is reachable: the
+//                     route ends in the holder's datacenter at a live,
+//                     valid holder server
+//   storage           every live server respects the Eq. 19 occupancy
+//                     limit phi, its vnode cap, and exact used-bytes
+//                     accounting (copies * partition size)
+//   accounting        the EpochReport's replica census matches the
+//                     cluster's, which matches the per-partition sum
+//   traffic           per-partition query/unserved tallies sum to the
+//                     epoch totals, and no replica served beyond its
+//                     capacity
+//   telemetry         registry counters reconcile with the accumulated
+//                     EpochReport fields (only when a registry is
+//                     attached and the checker saw every epoch)
+//
+// Modes: kRecord collects violations for inspection (benches, the CLI);
+// kFailFast prints every violation of the offending epoch to stderr and
+// aborts, so soak runs and sanitizer jobs stop at the first bad state
+// with the trace intact.
+//
+// The checker is an observer: it never mutates the simulation, draws no
+// randomness, and attaching it cannot change a seeded run's results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace rfh {
+
+enum class InvariantId : std::uint8_t {
+  kReplicaFloor = 0,
+  kDeadHost,
+  kRouting,
+  kStorage,
+  kAccounting,
+  kTraffic,
+  kTelemetry,
+};
+inline constexpr std::size_t kInvariantCount = 7;
+
+/// Stable snake_case name ("replica_floor", ...).
+[[nodiscard]] const char* invariant_name(InvariantId id) noexcept;
+
+class InvariantChecker {
+ public:
+  enum class Mode {
+    kRecord,    // collect violations, never abort
+    kFailFast,  // print the epoch's violations to stderr and abort
+  };
+
+  explicit InvariantChecker(Mode mode = Mode::kRecord) : mode_(mode) {}
+
+  struct Violation {
+    Epoch epoch = 0;
+    InvariantId id = InvariantId::kReplicaFloor;
+    std::string detail;
+  };
+
+  /// Verify every invariant against the post-step state. Returns the
+  /// number of violations found this epoch (always 0 in fail-fast mode —
+  /// it aborts instead of returning nonzero).
+  std::size_t check_epoch(const Simulation& sim, const EpochReport& report);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] std::size_t epochs_checked() const noexcept {
+    return epochs_checked_;
+  }
+  /// One line per violation, prefixed with a pass/fail headline.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  void report_violation(Epoch epoch, InvariantId id, std::string detail);
+
+  void check_replica_floor(const Simulation& sim, Epoch epoch);
+  void check_dead_hosts(const Simulation& sim, Epoch epoch);
+  void check_routing(const Simulation& sim, Epoch epoch);
+  void check_storage(const Simulation& sim, Epoch epoch);
+  void check_accounting(const Simulation& sim, const EpochReport& report);
+  void check_traffic(const Simulation& sim, const EpochReport& report);
+  void check_telemetry(const Simulation& sim, Epoch epoch);
+
+  Mode mode_;
+  std::vector<Violation> violations_;
+  std::size_t violations_this_epoch_ = 0;
+  std::size_t epochs_checked_ = 0;
+
+  // replica_floor excuse state: a partition below the Eq. 14 floor is
+  // excused while bootstrapping (it has never reached the floor) or after
+  // a copy was lost to a server failure, until it climbs back.
+  std::vector<char> excused_;
+  std::vector<std::vector<ServerId>> prev_hosts_;
+
+  // telemetry reconciliation accumulators (sums of EpochReport fields).
+  double queries_sum_ = 0.0;
+  double unserved_sum_ = 0.0;
+  std::uint64_t replications_sum_ = 0;
+  std::uint64_t migrations_sum_ = 0;
+  std::uint64_t suicides_sum_ = 0;
+};
+
+}  // namespace rfh

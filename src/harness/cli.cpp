@@ -144,6 +144,16 @@ CliParseResult parse_cli(std::span<const char* const> args) {
       if (value == "prom") options.metrics_format = MetricsFormat::kProm;
       else if (value == "json") options.metrics_format = MetricsFormat::kJson;
       else return fail("--metrics-format expects prom or json");
+    } else if (consume(arg, "--fault-plan=", value)) {
+      if (value.empty()) return fail("--fault-plan expects a file path");
+      FaultPlan::ParseResult parsed = FaultPlan::parse_file(value);
+      if (!parsed.ok) {
+        return fail("--fault-plan: " + parsed.error);
+      }
+      options.fault_plan_path = value;
+      options.scenario.fault_plan = std::move(parsed.plan);
+    } else if (std::strcmp(arg, "--check-invariants") == 0) {
+      options.check_invariants = true;
     } else if (std::strcmp(arg, "--profile") == 0) {
       options.profile = true;
     } else if (std::strcmp(arg, "--compare") == 0) {
@@ -162,6 +172,13 @@ CliParseResult parse_cli(std::span<const char* const> args) {
   }
   if (options.profile && options.compare) {
     return fail("--profile times a single policy run; drop --compare");
+  }
+  if (!options.fault_plan_path.empty() && options.compare) {
+    return fail("--fault-plan drives a single policy run; drop --compare");
+  }
+  if (options.check_invariants && options.compare) {
+    return fail("--check-invariants checks a single policy run; drop "
+                "--compare");
   }
   result.ok = true;
   return result;

@@ -24,6 +24,12 @@
 //                                  breakdown table and, with --trace-out,
 //                                  emits PhaseSpan slices into the trace;
 //                                  single policy runs only)
+//   --fault-plan=FILE             (scheduled chaos: parse a fault-plan
+//                                  spec (fault/plan.h) into the scenario;
+//                                  single policy runs only)
+//   --check-invariants            (verify the invariant catalogue after
+//                                  every epoch and report violations;
+//                                  single policy runs only)
 #pragma once
 
 #include <span>
@@ -54,6 +60,11 @@ struct CliOptions {
   MetricsFormat metrics_format = MetricsFormat::kProm;
   /// Wall-clock phase profiling (see telemetry/profiler.h).
   bool profile = false;
+  /// Path the scenario's fault plan was parsed from (empty without one;
+  /// the parsed plan itself lands in scenario.fault_plan).
+  std::string fault_plan_path;
+  /// Run the InvariantChecker (record mode) over every epoch.
+  bool check_invariants = false;
 };
 
 struct CliParseResult {

@@ -6,6 +6,7 @@
 
 #include "common/assert.h"
 #include "consistency/tracker.h"
+#include "fault/chaos.h"
 
 namespace rfh {
 
@@ -19,7 +20,8 @@ const PolicyRun& ComparativeResult::run(PolicyKind kind) const {
 PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
                      const std::vector<FailureEvent>& failures,
                      const RfhPolicy::Options& rfh, EventSink* trace_sink,
-                     MetricRegistry* registry, PhaseProfiler* profiler) {
+                     MetricRegistry* registry, PhaseProfiler* profiler,
+                     InvariantChecker* checker) {
   PolicyRun run;
   run.kind = kind;
   auto sim = make_simulation(scenario, kind, rfh);
@@ -38,6 +40,11 @@ PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
                     static_cast<std::uint32_t>(sim->topology().server_count()));
   }
 
+  std::optional<ChaosController> chaos;
+  if (!scenario.fault_plan.empty()) {
+    chaos.emplace(scenario.fault_plan, scenario.sim.seed);
+  }
+
   auto note_failures = [&](std::span<const ServerId> victims) {
     if (!tracker) return;
     // Promotions first (they read the survivors' versions), then forget
@@ -51,6 +58,12 @@ PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
   };
 
   for (Epoch e = 0; e < scenario.epochs; ++e) {
+    if (chaos) {
+      const ChaosController::Applied applied =
+          chaos->before_epoch(*sim, e, note_failures);
+      run.killed.insert(run.killed.end(), applied.killed.begin(),
+                        applied.killed.end());
+    }
     for (const FailureEvent& event : failures) {
       if (event.epoch != e) continue;
       if (!event.kill.empty()) {
@@ -65,6 +78,7 @@ PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
       if (!event.recover.empty()) sim->recover_servers(event.recover);
     }
     const EpochReport report = sim->step();
+    if (checker != nullptr) checker->check_epoch(*sim, report);
     const ScopedTimer collect_timer(profiler, Phase::kMetricsCollect);
     EpochMetrics metrics = collector.collect(*sim, report);
     if (tracker) {
@@ -80,6 +94,10 @@ PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
       metrics.lost_writes_total = tracker->lost_writes();
     }
     run.series.push_back(metrics);
+  }
+  if (chaos) {
+    run.faults_injected = chaos->injected_total();
+    run.faults_by_kind = chaos->injected_by_kind();
   }
   // Close the last profiler window before the trace is finalized so its
   // PhaseSpan events still reach the caller's sink.

@@ -3,8 +3,10 @@
 // four curves in every figure face byte-identical demand.
 #pragma once
 
+#include <array>
 #include <vector>
 
+#include "fault/invariants.h"
 #include "harness/scenario.h"
 #include "metrics/collector.h"
 #include "telemetry/profiler.h"
@@ -26,8 +28,13 @@ struct FailureEvent {
 struct PolicyRun {
   PolicyKind kind = PolicyKind::kRfh;
   std::vector<EpochMetrics> series;
-  /// Servers killed by `kill_random` events, in order.
+  /// Servers killed by `kill_random` events and by the scenario's fault
+  /// plan, in order.
   std::vector<ServerId> killed;
+  /// FaultInjected tallies from the scenario's chaos plan (zero without
+  /// one), total and per FaultKind.
+  std::uint64_t faults_injected = 0;
+  std::array<std::uint64_t, kFaultKindCount> faults_by_kind{};
 };
 
 struct ComparativeResult {
@@ -49,12 +56,17 @@ struct ComparativeResult {
 /// emits PhaseSpan events into the trace when one is attached. Both are
 /// observational only: simulation outputs are bit-identical with or
 /// without them.
+///
+/// When the scenario carries a FaultPlan, a ChaosController applies it
+/// before each epoch's step. `checker`, when non-null, verifies the
+/// cross-cutting invariants (fault/invariants.h) after every step.
 PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
                      const std::vector<FailureEvent>& failures = {},
                      const RfhPolicy::Options& rfh = {},
                      EventSink* trace_sink = nullptr,
                      MetricRegistry* metrics = nullptr,
-                     PhaseProfiler* profiler = nullptr);
+                     PhaseProfiler* profiler = nullptr,
+                     InvariantChecker* checker = nullptr);
 
 /// The paper's standard comparison: Request, Owner, Random, RFH. The four
 /// runs are fully independent (each has its own world, generators and

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "core/rfh_policy.h"
+#include "fault/plan.h"
 #include "sim/engine.h"
 #include "topology/world.h"
 #include "workload/generator.h"
@@ -30,6 +31,10 @@ struct Scenario {
   /// lag, stale reads, failover write loss) via ConsistencyTracker.
   /// Purely observational: placement decisions are unaffected.
   double write_fraction = 0.0;
+  /// Scheduled chaos (fault/plan.h). When non-empty, the runner drives a
+  /// ChaosController seeded from `sim.seed`, so the same scenario injects
+  /// the same faults into every compared policy's run.
+  FaultPlan fault_plan;
 
   /// Table I defaults with the paper's horizons per workload kind.
   static Scenario paper_random_query();

@@ -75,6 +75,9 @@ struct NameVisitor {
   const char* operator()(const Reseeded&) const { return "Reseeded"; }
   const char* operator()(const LinkFailed&) const { return "LinkFailed"; }
   const char* operator()(const LinkRestored&) const { return "LinkRestored"; }
+  const char* operator()(const FaultInjected&) const {
+    return "FaultInjected";
+  }
   const char* operator()(const EpochCompleted&) const {
     return "EpochCompleted";
   }

@@ -191,6 +191,23 @@ struct LinkRestored {
   DatacenterId b;
 };
 
+/// A chaos-plan entry was applied by the fault subsystem (src/fault/):
+/// one event per injection, emitted before the epoch it acts on steps.
+/// `kind` is a static-duration string (fault_kind_name): "crash",
+/// "recover", "outage", "linkdown", "flap", "churn" or "flashcrowd".
+/// `servers` counts the servers killed or revived (0 for link and
+/// traffic events); dc / link endpoints are invalid when inapplicable.
+/// `magnitude` is the flash-crowd traffic factor (0 otherwise).
+struct FaultInjected {
+  Epoch epoch = 0;
+  const char* kind = "";
+  std::uint32_t servers = 0;
+  DatacenterId dc;
+  DatacenterId link_a;
+  DatacenterId link_b;
+  double magnitude = 0.0;
+};
+
 /// End-of-step summary mirroring EpochReport.
 struct EpochCompleted {
   Epoch epoch = 0;
@@ -223,8 +240,8 @@ struct PhaseSpan {
 using Event =
     std::variant<QueryRoutedSummary, ReplicaAdded, MigrationExecuted, Suicide,
                  ActionDropped, ServerFailed, ServerRecovered, PrimaryPromoted,
-                 Reseeded, LinkFailed, LinkRestored, EpochCompleted,
-                 PhaseSpan>;
+                 Reseeded, LinkFailed, LinkRestored, FaultInjected,
+                 EpochCompleted, PhaseSpan>;
 
 /// Stable PascalCase type name ("ReplicaAdded", ...), used by sinks and
 /// the CLI's --trace-filter grammar.

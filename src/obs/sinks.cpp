@@ -130,6 +130,14 @@ void append_fields(JsonWriter& w, const LinkRestored& e) {
   w.id("a", e.a);
   w.id("b", e.b);
 }
+void append_fields(JsonWriter& w, const FaultInjected& e) {
+  w.str("kind", e.kind);
+  w.num("servers", std::uint64_t{e.servers});
+  w.id("dc", e.dc);
+  w.id("link_a", e.link_a);
+  w.id("link_b", e.link_b);
+  w.num("magnitude", e.magnitude);
+}
 void append_fields(JsonWriter& w, const PhaseSpan& e) {
   w.str("phase", e.phase);
   w.num("wall_ms", e.wall_ms);
@@ -265,6 +273,7 @@ std::uint32_t chrome_tid(const Event& event) {
     std::uint32_t operator()(const Reseeded&) const { return 3; }
     std::uint32_t operator()(const LinkFailed&) const { return 3; }
     std::uint32_t operator()(const LinkRestored&) const { return 3; }
+    std::uint32_t operator()(const FaultInjected&) const { return 3; }
     std::uint32_t operator()(const PhaseSpan&) const { return 1; }
   };
   return std::visit(Visitor{}, event);

@@ -76,6 +76,16 @@ struct DescribeVisitor {
     return format("link between datacenters %u and %u restored", e.a.value(),
                   e.b.value());
   }
+  std::string operator()(const FaultInjected& e) const {
+    std::string text = format("chaos injected %s", e.kind);
+    if (e.servers > 0) text += format(" (%u servers)", e.servers);
+    if (e.dc.valid()) text += format(" [dc %u]", e.dc.value());
+    if (e.link_a.valid() && e.link_b.valid()) {
+      text += format(" [link %u-%u]", e.link_a.value(), e.link_b.value());
+    }
+    if (e.magnitude != 0.0) text += format(" [x%.3g traffic]", e.magnitude);
+    return text;
+  }
   std::string operator()(const EpochCompleted& e) const {
     return format("epoch done: %u replicas, +%u/-%u copies, %u migrations, "
                   "%u dropped",

@@ -250,6 +250,9 @@ EpochReport Simulation::step() {
   {
     const ScopedTimer timer(profiler_, Phase::kWorkloadGen);
     batch = workload_->generate(epoch_, rng_workload_);
+    if (traffic_multiplier_ != 1.0) {
+      for (QueryFlow& flow : batch) flow.queries *= traffic_multiplier_;
+    }
   }
   {
     const ScopedTimer timer(profiler_, Phase::kRouting);
@@ -485,6 +488,16 @@ void Simulation::rebuild_network() {
   paths_ = ShortestPaths(graph_);
   // router_ holds pointers to world_.topology and paths_, both of which
   // keep their addresses across the reassignment above.
+}
+
+bool Simulation::link_failure_would_partition(DatacenterId a,
+                                              DatacenterId b) const {
+  std::vector<Link> links;
+  const auto key = link_key(a, b);
+  for (const Link& link : active_links()) {
+    if (link_key(link.a, link.b) != key) links.push_back(link);
+  }
+  return !DcGraph(world_.topology.datacenter_count(), links).connected();
 }
 
 void Simulation::fail_link(DatacenterId a, DatacenterId b) {

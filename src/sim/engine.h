@@ -106,6 +106,24 @@ class Simulation {
   [[nodiscard]] std::size_t failed_link_count() const noexcept {
     return disabled_links_.size();
   }
+  /// True when taking (a, b) down on top of the already-failed links
+  /// would disconnect the datacenter graph — fail_link refuses (asserts)
+  /// in that case, so schedulers probe here first.
+  [[nodiscard]] bool link_failure_would_partition(DatacenterId a,
+                                                  DatacenterId b) const;
+
+  // --- traffic injection -------------------------------------------------
+  /// Scale every query flow by `factor` from the next step() on (chaos
+  /// flash-crowd events). The multiplier is applied to the generated
+  /// batch, so all downstream statistics see the surged demand; it does
+  /// not perturb any RNG stream, keeping seeded runs bit-identical for
+  /// factor == 1.
+  void set_traffic_multiplier(double factor) noexcept {
+    traffic_multiplier_ = factor;
+  }
+  [[nodiscard]] double traffic_multiplier() const noexcept {
+    return traffic_multiplier_;
+  }
 
   // --- observability ----------------------------------------------------
   /// The simulation's event bus. Attach sinks (obs/sinks.h) before
@@ -225,6 +243,7 @@ class Simulation {
   Rng rng_policy_;
   Rng rng_failures_;
   Epoch epoch_ = 0;
+  double traffic_multiplier_ = 1.0;
   std::uint32_t data_losses_ = 0;
   std::vector<Promotion> last_promotions_;
   /// Disabled links as normalized (min id, max id) datacenter pairs.

@@ -1,0 +1,102 @@
+// 200-epoch rolling-churn soak with the invariant checker in fail-fast
+// mode. Not a gtest binary: registered under `ctest -C soak` (label
+// `soak`) and run by the CI sanitizer job, outside the tier-1 suite.
+#include <cstdio>
+
+#include "fault/invariants.h"
+#include "fault/plan.h"
+#include "harness/runner.h"
+#include "harness/scenario.h"
+
+namespace {
+
+rfh::FaultPlan soak_plan() {
+  using rfh::FaultEvent;
+  using rfh::FaultKind;
+  rfh::FaultPlan plan;
+
+  // The backbone: rolling churn for the whole run, one server swapped
+  // out every three epochs.
+  FaultEvent churn;
+  churn.kind = FaultKind::kChurn;
+  churn.at = 3;
+  churn.until = 200;
+  churn.period = 3;
+  churn.kill = 1;
+  churn.recover = 1;
+  plan.add(churn);
+
+  // A correlated burst on top of it.
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrash;
+  crash.at = 50;
+  crash.count = 8;
+  plan.add(crash);
+
+  FaultEvent heal;
+  heal.kind = FaultKind::kRecover;
+  heal.at = 70;
+  heal.count = 8;
+  plan.add(heal);
+
+  // A whole datacenter drops out and comes back.
+  FaultEvent outage;
+  outage.kind = FaultKind::kDatacenterOutage;
+  outage.at = 100;
+  outage.dc = rfh::DatacenterId{4};
+  outage.recover_after = 20;
+  plan.add(outage);
+
+  // An unstable inter-datacenter link through the middle of the run.
+  FaultEvent flap;
+  flap.kind = FaultKind::kLinkFlap;
+  flap.at = 80;
+  flap.until = 160;
+  flap.link_a = rfh::DatacenterId{1};
+  flap.link_b = rfh::DatacenterId{2};
+  flap.period = 8;
+  flap.down = 3;
+  plan.add(flap);
+
+  // Demand doubles while the outage is still healing.
+  FaultEvent crowd;
+  crowd.kind = FaultKind::kFlashCrowd;
+  crowd.at = 110;
+  crowd.duration = 30;
+  crowd.factor = 2.0;
+  plan.add(crowd);
+
+  return plan;
+}
+
+}  // namespace
+
+int main() {
+  rfh::Scenario scenario = rfh::Scenario::paper_random_query();
+  scenario.epochs = 200;
+  scenario.fault_plan = soak_plan();
+
+  // Fail-fast: any violated invariant aborts with the details on stderr,
+  // which the sanitizer job surfaces as a test failure.
+  rfh::InvariantChecker checker(rfh::InvariantChecker::Mode::kFailFast);
+  const rfh::PolicyRun run =
+      rfh::run_policy(scenario, rfh::PolicyKind::kRfh, {},
+                      rfh::RfhPolicy::Options{}, nullptr, nullptr, nullptr,
+                      &checker);
+
+  if (run.series.size() != scenario.epochs ||
+      checker.epochs_checked() != scenario.epochs) {
+    std::fprintf(stderr, "soak: expected %u epochs, ran %zu (checked %zu)\n",
+                 scenario.epochs, run.series.size(),
+                 checker.epochs_checked());
+    return 1;
+  }
+  if (run.faults_injected == 0) {
+    std::fprintf(stderr, "soak: fault plan injected nothing\n");
+    return 1;
+  }
+  std::printf("soak: 200 epochs, %llu faults injected, %s\n",
+              static_cast<unsigned long long>(run.faults_injected),
+              checker.summary().c_str());
+  return 0;
+}

@@ -334,5 +334,87 @@ TEST(TelemetryIntegration, RunPolicyWiresRegistryAndProfiler) {
       registry.find_counter("rfh_epochs_total", {})->value(), 30.0);
 }
 
+// --- determinism regression under a chaos plan -------------------------
+
+namespace {
+
+Scenario chaos_scenario() {
+  Scenario scenario = Scenario::paper_random_query();
+  scenario.epochs = 60;
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrash;
+  crash.at = 10;
+  crash.count = 4;
+  scenario.fault_plan.add(crash);
+  FaultEvent churn;
+  churn.kind = FaultKind::kChurn;
+  churn.at = 20;
+  churn.until = 50;
+  churn.period = 5;
+  churn.kill = 1;
+  churn.recover = 1;
+  scenario.fault_plan.add(churn);
+  FaultEvent crowd;
+  crowd.kind = FaultKind::kFlashCrowd;
+  crowd.at = 30;
+  crowd.duration = 10;
+  crowd.factor = 2.5;
+  scenario.fault_plan.add(crowd);
+  return scenario;
+}
+
+void expect_identical_series(const PolicyRun& a, const PolicyRun& b) {
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_EQ(a.series[i].total_replicas, b.series[i].total_replicas) << i;
+    EXPECT_EQ(a.series[i].migrations_total, b.series[i].migrations_total)
+        << i;
+    EXPECT_DOUBLE_EQ(a.series[i].utilization, b.series[i].utilization) << i;
+    EXPECT_DOUBLE_EQ(a.series[i].latency_mean_ms, b.series[i].latency_mean_ms)
+        << i;
+    EXPECT_DOUBLE_EQ(a.series[i].replication_cost_total,
+                     b.series[i].replication_cost_total)
+        << i;
+  }
+  EXPECT_EQ(a.killed, b.killed);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.faults_by_kind, b.faults_by_kind);
+}
+
+}  // namespace
+
+TEST(ChaosDeterminism, ObserversNeverPerturbAPlannedRun) {
+  const Scenario scenario = chaos_scenario();
+  // Bare run: no observers at all.
+  const PolicyRun bare = run_policy(scenario, PolicyKind::kRfh);
+
+  // Fully instrumented run: trace sink + registry + profiler + checker.
+  std::ostringstream trace;
+  JsonlSink sink(trace);
+  MetricRegistry registry;
+  PhaseProfiler profiler;
+  InvariantChecker checker(InvariantChecker::Mode::kRecord);
+  const PolicyRun instrumented =
+      run_policy(scenario, PolicyKind::kRfh, {}, RfhPolicy::Options{}, &sink,
+                 &registry, &profiler, &checker);
+
+  expect_identical_series(bare, instrumented);
+  EXPECT_TRUE(checker.violations().empty()) << checker.summary();
+  // The chaos injections really showed up in trace and telemetry.
+  EXPECT_NE(trace.str().find("FaultInjected"), std::string::npos);
+  EXPECT_GT(instrumented.faults_injected, 0u);
+  const Counter* injected = registry.find_counter(
+      "rfh_faults_injected_total", {{"kind", "churn"}});
+  ASSERT_NE(injected, nullptr);
+  EXPECT_GT(injected->value(), 0.0);
+}
+
+TEST(ChaosDeterminism, ConsecutiveRunsAreBitIdentical) {
+  const Scenario scenario = chaos_scenario();
+  const PolicyRun a = run_policy(scenario, PolicyKind::kRfh);
+  const PolicyRun b = run_policy(scenario, PolicyKind::kRfh);
+  expect_identical_series(a, b);
+}
+
 }  // namespace
 }  // namespace rfh
