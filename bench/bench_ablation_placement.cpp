@@ -10,14 +10,13 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_args.h"
+#include "exec/sweep.h"
 #include "harness/runner.h"
 
 namespace {
 
-void report(const std::string& label, const rfh::Scenario& s,
-            const rfh::RfhPolicy::Options& opt) {
-  const rfh::PolicyRun run = rfh::run_policy(s, rfh::PolicyKind::kRfh, {},
-                                             opt);
+void report(const std::string& label, const rfh::PolicyRun& run) {
   const std::size_t tail = 100;
   double util = 0.0;
   double path = 0.0;
@@ -35,7 +34,8 @@ void report(const std::string& label, const rfh::Scenario& s,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = rfh::bench_jobs(argc, argv);
   rfh::Scenario s = rfh::Scenario::paper_flash_crowd();
   s.epochs = 300;
 
@@ -52,13 +52,26 @@ int main() {
       {"near-requester", Placement::kNearRequester},
       {"random-dc", Placement::kRandom},
   };
+  // Each variant is an independent sweep cell; the pool fans them out and
+  // the merge prints in grid order, so the table is bit-identical for
+  // every --jobs value.
+  std::vector<rfh::SweepCell> cells;
   for (const auto& [name, placement] : placements) {
     for (const bool erlang : {true, false}) {
-      rfh::RfhPolicy::Options opt;
-      opt.placement = placement;
-      opt.erlang_b_selection = erlang;
-      report(std::string(name) + (erlang ? "+erlangB" : "+firstfit"), s, opt);
+      rfh::SweepCell cell;
+      cell.label = std::string(name) + (erlang ? "+erlangB" : "+firstfit");
+      cell.scenario = s;
+      cell.policy = rfh::PolicyKind::kRfh;
+      cell.rfh.placement = placement;
+      cell.rfh.erlang_b_selection = erlang;
+      cells.push_back(std::move(cell));
     }
+  }
+  rfh::SweepOptions options;
+  options.jobs = jobs;
+  for (const rfh::SweepCellResult& result :
+       rfh::SweepRunner(options).run(cells)) {
+    report(result.label, result.run);
   }
   return 0;
 }

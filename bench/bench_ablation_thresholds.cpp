@@ -12,15 +12,22 @@
 #include <cstdio>
 #include <initializer_list>
 #include <memory>
+#include <vector>
 
+#include "bench_args.h"
+#include "exec/sweep.h"
 #include "harness/report.h"
 #include "harness/runner.h"
 #include "workload/generator.h"
 
 namespace {
 
-void report_run(const char* knob, double value, const rfh::Scenario& s) {
-  const rfh::PolicyRun run = rfh::run_policy(s, rfh::PolicyKind::kRfh);
+struct Variant {
+  const char* knob;
+  double value;
+};
+
+void report_run(const char* knob, double value, const rfh::PolicyRun& run) {
   const std::size_t tail = 50;
   double util = 0.0;
   double replicas = 0.0;
@@ -39,7 +46,8 @@ void report_run(const char* knob, double value, const rfh::Scenario& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = rfh::bench_jobs(argc, argv);
   rfh::Scenario base = rfh::Scenario::paper_random_query();
   base.epochs = 150;
 
@@ -49,32 +57,46 @@ int main() {
   std::printf("%-6s %6s   %11s %10s %10s %12s\n", "knob", "value",
               "utilization", "replicas", "unserved", "migrations");
 
-  report_run("base", 0.0, base);
+  // Build the whole knob grid as independent sweep cells, fan them out on
+  // the pool, and print rows in grid order — the table is bit-identical
+  // for every --jobs value.
+  std::vector<Variant> variants;
+  std::vector<rfh::SweepCell> cells;
+  auto add = [&](const char* knob, double value, const rfh::Scenario& s) {
+    variants.push_back(Variant{knob, value});
+    rfh::SweepCell cell;
+    cell.label = knob;
+    cell.scenario = s;
+    cell.policy = rfh::PolicyKind::kRfh;
+    cells.push_back(std::move(cell));
+  };
+
+  add("base", 0.0, base);
 
   for (const double beta : {1.2, 1.5, 3.0, 4.0}) {
     rfh::Scenario s = base;
     s.sim.beta = beta;
-    report_run("beta", beta, s);
+    add("beta", beta, s);
   }
   for (const double gamma : {1.1, 2.0, 3.0}) {
     rfh::Scenario s = base;
     s.sim.gamma = gamma;
-    report_run("gamma", gamma, s);
+    add("gamma", gamma, s);
   }
   for (const double delta : {0.05, 0.4, 0.8}) {
     rfh::Scenario s = base;
     s.sim.delta = delta;
-    report_run("delta", delta, s);
+    add("delta", delta, s);
   }
   for (const double mu : {0.25, 2.0, 4.0}) {
     rfh::Scenario s = base;
     s.sim.mu = mu;
-    report_run("mu", mu, s);
+    add("mu", mu, s);
   }
   for (const double alpha : {0.05, 0.5, 0.8}) {
     rfh::Scenario s = base;
     s.sim.alpha = alpha;
-    report_run("alpha", alpha, s);
+    add("alpha", alpha, s);
   }
   // Eq. 10 orientation ablation: as printed, alpha weights history
   // (0.2 -> fast adaptation); flipped, alpha weights the new sample
@@ -83,7 +105,15 @@ int main() {
     rfh::Scenario s = base;
     s.sim.alpha = alpha;
     s.sim.alpha_weights_history = false;
-    report_run("alphaN", alpha, s);
+    add("alphaN", alpha, s);
+  }
+
+  rfh::SweepOptions sweep_options;
+  sweep_options.jobs = jobs;
+  const std::vector<rfh::SweepCellResult> results =
+      rfh::SweepRunner(sweep_options).run(cells);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    report_run(variants[i].knob, variants[i].value, results[i].run);
   }
 
   // Slashdot-spike study: 10x one-epoch demand spikes every 40 epochs.

@@ -1,0 +1,27 @@
+// Shared argument handling for the bench_* drivers.
+//
+// Every bench accepts --jobs=N (worker threads for its sweep fan-out;
+// exec/sweep.h semantics: 0 = one per hardware thread, 1 = serial) or the
+// RFH_JOBS environment variable when the flag is absent. Parallelism is
+// purely a scheduling knob: every bench's figures and BENCH_*.json
+// metrics are bit-identical for every jobs value.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rfh {
+
+/// First --jobs=N among argv[1..], else $RFH_JOBS, else 0 (hardware).
+inline unsigned bench_jobs(int argc, char** argv) {
+  const char* text = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) text = argv[i] + 7;
+  }
+  if (text == nullptr) text = std::getenv("RFH_JOBS");
+  if (text == nullptr) return 0;
+  const long value = std::strtol(text, nullptr, 10);
+  return value > 0 ? static_cast<unsigned>(value) : 0;
+}
+
+}  // namespace rfh

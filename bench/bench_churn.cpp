@@ -10,7 +10,9 @@
 // to a churn-free control run.
 #include <cstdio>
 
+#include "bench_args.h"
 #include "bench_report.h"
+#include "exec/sweep.h"
 #include "fault/plan.h"
 #include "harness/runner.h"
 #include "harness/scenario.h"
@@ -47,7 +49,7 @@ ChurnResult summarize(const rfh::PolicyRun& run) {
   return result;
 }
 
-ChurnResult run(rfh::BenchReport& report, bool with_churn) {
+rfh::SweepCell make_cell(bool with_churn) {
   rfh::Scenario scenario = rfh::Scenario::paper_random_query();
   scenario.epochs = kSettle + kMeasured;
   if (with_churn) {
@@ -60,20 +62,32 @@ ChurnResult run(rfh::BenchReport& report, bool with_churn) {
     churn.recover = 1;
     scenario.fault_plan.add(churn);
   }
-  const auto stage = report.stage(with_churn ? "run_churn" : "run_control");
-  return summarize(rfh::run_policy(scenario, rfh::PolicyKind::kRfh));
+  rfh::SweepCell cell;
+  cell.label = with_churn ? "churn" : "control";
+  cell.scenario = scenario;
+  cell.policy = rfh::PolicyKind::kRfh;
+  return cell;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = rfh::bench_jobs(argc, argv);
   rfh::BenchReport report("churn");
   std::printf("# Membership churn: one server leaves and one rejoins every "
               "10 epochs, 300 epochs measured (RFH)\n");
   std::printf("%-10s %16s %10s %10s %12s\n", "mode", "actions/epoch",
               "replicas", "unserved", "utilization");
-  const ChurnResult control = run(report, false);
-  const ChurnResult churned = run(report, true);
+  const rfh::SweepCell cells[] = {make_cell(false), make_cell(true)};
+  rfh::SweepOptions sweep_options;
+  sweep_options.jobs = jobs;
+  std::vector<rfh::SweepCellResult> results;
+  {
+    const auto stage = report.stage("sweep_control_churn");
+    results = rfh::SweepRunner(sweep_options).run(cells);
+  }
+  const ChurnResult control = summarize(results[0].run);
+  const ChurnResult churned = summarize(results[1].run);
   std::printf("%-10s %16.2f %10.1f %10.3f %12.3f\n", "control",
               control.actions_per_epoch, control.replicas, control.unserved,
               control.utilization);

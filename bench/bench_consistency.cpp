@@ -13,14 +13,17 @@
 // the path between the two; random is geography-blind.
 #include <iostream>
 
+#include "bench_args.h"
+#include "exec/sweep.h"
 #include "harness/report.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = rfh::bench_jobs(argc, argv);
   rfh::Scenario scenario = rfh::Scenario::paper_random_query();
   scenario.write_fraction = 0.2;
 
   {
-    const rfh::ComparativeResult r = rfh::run_comparison(scenario);
+    const rfh::ComparativeResult r = rfh::run_comparison_pooled(scenario, {}, jobs);
     rfh::print_figure(std::cout,
                       "Consistency: mean replica lag (versions), 20% writes",
                       r, &rfh::EpochMetrics::mean_replica_lag);
@@ -35,7 +38,7 @@ int main() {
     failure.epoch = 150;
     failure.kill_random = 30;
     const rfh::ComparativeResult r =
-        rfh::run_comparison(scenario, {failure});
+        rfh::run_comparison_pooled(scenario, {failure}, jobs);
     rfh::print_figure(std::cout,
                       "Consistency: cumulative lost writes "
                       "(30 servers killed at epoch 150)",

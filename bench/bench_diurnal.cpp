@@ -11,10 +11,14 @@
 // with the load (high correlation between census and offered load);
 // grow-only schemes stay provisioned for the peak (flat census, near-zero
 // correlation) and waste the trough capacity.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <iterator>
 
+#include "bench_args.h"
+#include "exec/thread_pool.h"
 #include "harness/report.h"
 #include "harness/runner.h"
 #include "workload/generator.h"
@@ -50,7 +54,8 @@ double census_load_correlation(const rfh::PolicyRun& run,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = rfh::bench_jobs(argc, argv);
   // run_comparison builds workloads from the scenario; a diurnal scenario
   // is not one of the Table I settings, so drive run_policy directly with
   // custom simulations.
@@ -67,11 +72,14 @@ int main() {
 
   std::cout << "# Diurnal elasticity: lambda(t) = 300*(1 + 0.6*sin(2pi*t/"
             << period << ")), " << scenario.epochs << " epochs\n";
-  std::vector<rfh::NamedSeries> series;
-  std::printf("# census-load correlation (epochs 100+):");
-  for (const rfh::PolicyKind kind :
-       {rfh::PolicyKind::kRequest, rfh::PolicyKind::kOwner,
-        rfh::PolicyKind::kRandom, rfh::PolicyKind::kRfh}) {
+
+  // The four policy runs are independent (each builds its own world,
+  // workload and simulation), so fan them out on the pool and merge in
+  // policy order — output is bit-identical for every --jobs value.
+  const rfh::PolicyKind kinds[] = {
+      rfh::PolicyKind::kRequest, rfh::PolicyKind::kOwner,
+      rfh::PolicyKind::kRandom, rfh::PolicyKind::kRfh};
+  auto run_kind = [&](rfh::PolicyKind kind) {
     rfh::World world = rfh::build_paper_world(scenario.world);
     auto workload =
         std::make_unique<rfh::DiurnalWorkload>(params, period, amplitude);
@@ -83,10 +91,26 @@ int main() {
     for (rfh::Epoch e = 0; e < scenario.epochs; ++e) {
       run.series.push_back(collector.collect(sim, sim.step()));
     }
-    std::printf(" %s=%.3f", std::string(rfh::policy_name(kind)).c_str(),
+    return run;
+  };
+  rfh::ThreadPool pool(jobs == 1 ? 0
+                                 : std::min<unsigned>(
+                                       jobs == 0 ? rfh::ThreadPool::default_jobs()
+                                                 : jobs,
+                                       static_cast<unsigned>(std::size(kinds))));
+  std::vector<std::future<rfh::PolicyRun>> futures;
+  for (const rfh::PolicyKind kind : kinds) {
+    futures.push_back(pool.submit([&run_kind, kind] { return run_kind(kind); }));
+  }
+
+  std::vector<rfh::NamedSeries> series;
+  std::printf("# census-load correlation (epochs 100+):");
+  for (std::future<rfh::PolicyRun>& future : futures) {
+    const rfh::PolicyRun run = pool.wait(future);
+    std::printf(" %s=%.3f", std::string(rfh::policy_name(run.kind)).c_str(),
                 census_load_correlation(run, reference, 100));
     series.push_back(rfh::NamedSeries{
-        std::string(rfh::policy_name(kind)),
+        std::string(rfh::policy_name(run.kind)),
         rfh::extract_u32(run.series, &rfh::EpochMetrics::total_replicas)});
   }
   std::printf("\n");

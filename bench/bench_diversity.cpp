@@ -9,16 +9,19 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_args.h"
+#include "exec/sweep.h"
 #include "harness/report.h"
 #include "harness/runner.h"
 #include "metrics/diversity.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = rfh::bench_jobs(argc, argv);
   rfh::Scenario scenario = rfh::Scenario::paper_random_query();
   scenario.epochs = 200;
 
   {
-    const rfh::ComparativeResult r = rfh::run_comparison(scenario);
+    const rfh::ComparativeResult r = rfh::run_comparison_pooled(scenario, {}, jobs);
     rfh::print_figure(std::cout,
                       "Diversity: mean partition availability level", r,
                       &rfh::EpochMetrics::diversity_level);

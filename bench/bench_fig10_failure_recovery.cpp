@@ -7,11 +7,15 @@
 // recovers to the initial plateau as RFH re-replicates on the survivors.
 #include <iostream>
 
+#include "bench_args.h"
 #include "bench_report.h"
 #include "fault/plan.h"
 #include "harness/report.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Single-cell bench: --jobs is accepted for the uniform bench
+  // interface but there is nothing to fan out.
+  (void)rfh::bench_jobs(argc, argv);
   rfh::BenchReport report("fig10_failure_recovery");
   rfh::Scenario s = rfh::Scenario::paper_failure_recovery();
   rfh::FaultEvent failure;

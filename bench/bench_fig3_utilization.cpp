@@ -10,6 +10,8 @@
 #include <iostream>
 
 #include "bench_report.h"
+#include "bench_args.h"
+#include "exec/sweep.h"
 #include "harness/report.h"
 
 namespace {
@@ -27,14 +29,15 @@ double rfh_tail(const rfh::ComparativeResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = rfh::bench_jobs(argc, argv);
   rfh::BenchReport report("fig3_utilization");
   {
     const rfh::Scenario s = rfh::Scenario::paper_random_query();
     rfh::ComparativeResult r;
     {
       const auto stage = report.stage("random_query");
-      r = rfh::run_comparison(s);
+      r = rfh::run_comparison_pooled(s, {}, jobs);
     }
     rfh::print_figure(std::cout, "Fig 3(a): replica utilization, random query",
                       r, &rfh::EpochMetrics::utilization);
@@ -45,7 +48,7 @@ int main() {
     rfh::ComparativeResult r;
     {
       const auto stage = report.stage("flash_crowd");
-      r = rfh::run_comparison(s);
+      r = rfh::run_comparison_pooled(s, {}, jobs);
     }
     rfh::print_figure(std::cout, "Fig 3(b): replica utilization, flash crowd",
                       r, &rfh::EpochMetrics::utilization);

@@ -8,12 +8,15 @@
 // stays low.
 #include <iostream>
 
+#include "bench_args.h"
+#include "exec/sweep.h"
 #include "harness/report.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = rfh::bench_jobs(argc, argv);
   {
     const rfh::Scenario s = rfh::Scenario::paper_random_query();
-    const rfh::ComparativeResult r = rfh::run_comparison(s);
+    const rfh::ComparativeResult r = rfh::run_comparison_pooled(s, {}, jobs);
     rfh::print_figure_u32(std::cout,
                           "Fig 6(a): total migration times, random query", r,
                           &rfh::EpochMetrics::migrations_total);
@@ -23,7 +26,7 @@ int main() {
   }
   {
     const rfh::Scenario s = rfh::Scenario::paper_flash_crowd();
-    const rfh::ComparativeResult r = rfh::run_comparison(s);
+    const rfh::ComparativeResult r = rfh::run_comparison_pooled(s, {}, jobs);
     rfh::print_figure_u32(std::cout,
                           "Fig 6(c): total migration times, flash crowd", r,
                           &rfh::EpochMetrics::migrations_total);

@@ -8,6 +8,8 @@
 #include <iostream>
 
 #include "bench_report.h"
+#include "bench_args.h"
+#include "exec/sweep.h"
 #include "harness/report.h"
 
 namespace {
@@ -25,14 +27,15 @@ double rfh_tail(const rfh::ComparativeResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = rfh::bench_jobs(argc, argv);
   rfh::BenchReport report("fig8_load_imbalance");
   {
     const rfh::Scenario s = rfh::Scenario::paper_random_query();
     rfh::ComparativeResult r;
     {
       const auto stage = report.stage("random_query");
-      r = rfh::run_comparison(s);
+      r = rfh::run_comparison_pooled(s, {}, jobs);
     }
     rfh::print_figure(std::cout, "Fig 8(a): load imbalance, random query", r,
                       &rfh::EpochMetrics::load_imbalance);
@@ -43,7 +46,7 @@ int main() {
     rfh::ComparativeResult r;
     {
       const auto stage = report.stage("flash_crowd");
-      r = rfh::run_comparison(s);
+      r = rfh::run_comparison_pooled(s, {}, jobs);
     }
     rfh::print_figure(std::cout, "Fig 8(b): load imbalance, flash crowd", r,
                       &rfh::EpochMetrics::load_imbalance);

@@ -10,13 +10,17 @@
 #include <memory>
 #include <string>
 
+#include "bench_args.h"
 #include "bench_report.h"
 #include "core/rfh_policy.h"
 #include "metrics/collector.h"
 #include "topology/world.h"
 #include "workload/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Timing bench: ms/epoch is the measured output, so the world sweep
+  // stays serial; --jobs is accepted for the uniform bench interface.
+  (void)rfh::bench_jobs(argc, argv);
   rfh::BenchReport report("scalability");
   std::printf("# RFH scalability sweep (synthetic ring+chord worlds, "
               "demand 30 queries/epoch per datacenter)\n");

@@ -8,12 +8,15 @@
 // query settings.
 #include <iostream>
 
+#include "bench_args.h"
+#include "exec/sweep.h"
 #include "harness/report.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = rfh::bench_jobs(argc, argv);
   {
     const rfh::Scenario s = rfh::Scenario::paper_random_query();
-    const rfh::ComparativeResult r = rfh::run_comparison(s);
+    const rfh::ComparativeResult r = rfh::run_comparison_pooled(s, {}, jobs);
     rfh::print_figure(std::cout, "SLA: mean latency (ms), random query", r,
                       &rfh::EpochMetrics::latency_mean_ms);
     rfh::print_figure(std::cout, "SLA: p99.9 latency (ms), random query", r,
@@ -24,7 +27,7 @@ int main() {
   }
   {
     const rfh::Scenario s = rfh::Scenario::paper_flash_crowd();
-    const rfh::ComparativeResult r = rfh::run_comparison(s);
+    const rfh::ComparativeResult r = rfh::run_comparison_pooled(s, {}, jobs);
     rfh::print_figure(std::cout, "SLA: mean latency (ms), flash crowd", r,
                       &rfh::EpochMetrics::latency_mean_ms);
     rfh::print_figure(std::cout,

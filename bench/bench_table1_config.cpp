@@ -5,10 +5,14 @@
 // configuration structs (not re-typed), so drift is impossible.
 #include <cstdio>
 
+#include "bench_args.h"
 #include "harness/scenario.h"
 #include "topology/world.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // No simulation runs here; --jobs is accepted for the uniform bench
+  // interface.
+  (void)rfh::bench_jobs(argc, argv);
   const rfh::Scenario s = rfh::Scenario::paper_random_query();
   const rfh::WorldOptions& w = s.world;
   const rfh::SimConfig& c = s.sim;

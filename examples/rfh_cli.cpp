@@ -2,6 +2,7 @@
 //
 // Examples:
 //   ./rfh_cli --workload=flash --metric=utilization --compare
+//   ./rfh_cli --compare --jobs=4 --quiet
 //   ./rfh_cli --policy=rfh --kill=30@290 --epochs=500 --metric=replicas
 //   ./rfh_cli --write-fraction=0.2 --metric=stale --compare --quiet
 //   ./rfh_cli --kill=30@100 --trace-out=run.jsonl --quiet
@@ -16,6 +17,7 @@
 #include <iostream>
 #include <memory>
 
+#include "exec/sweep.h"
 #include "fault/invariants.h"
 #include "harness/cli.h"
 #include "harness/report.h"
@@ -111,7 +113,9 @@ int main(int argc, char** argv) {
 
   std::vector<rfh::PolicyRun> runs;
   if (options.compare) {
-    runs = rfh::run_comparison(options.scenario, options.failures).runs;
+    runs = rfh::run_comparison_pooled(options.scenario, options.failures,
+                                      options.jobs)
+               .runs;
   } else {
     runs.push_back(rfh::run_policy(options.scenario, options.policy,
                                    options.failures, rfh::RfhPolicy::Options{},

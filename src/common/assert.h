@@ -30,3 +30,11 @@ namespace rfh {
   do {                                                           \
     if (!(expr)) ::rfh::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+// For impossible code paths (e.g. after an exhaustive if/switch in a
+// non-void function). A bare RFH_ASSERT_MSG(false, ...) hides the
+// [[noreturn]] behind a branch, which GCC's -fsanitize=thread pass fails
+// to see through and then warns -Wreturn-type; the direct call keeps the
+// noreturn visible in every build mode.
+#define RFH_UNREACHABLE(msg) \
+  ::rfh::assert_fail("unreachable", __FILE__, __LINE__, (msg))

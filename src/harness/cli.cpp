@@ -123,6 +123,12 @@ CliParseResult parse_cli(std::span<const char* const> args) {
       event.kill_random = static_cast<std::uint32_t>(n);
       event.epoch = static_cast<Epoch>(epoch);
       options.failures.push_back(event);
+    } else if (consume(arg, "--jobs=", value)) {
+      std::uint64_t jobs = 0;
+      if (!parse_u64(value, jobs) || jobs > 1024) {
+        return fail("--jobs expects an integer in [0, 1024]");
+      }
+      options.jobs = static_cast<unsigned>(jobs);
     } else if (consume(arg, "--metric=", value)) {
       bool known = false;
       (void)metric_value(EpochMetrics{}, value, &known);

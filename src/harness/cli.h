@@ -11,6 +11,9 @@
 //   --kill=N@E                    (repeatable: kill N random servers at E)
 //   --metric=<name>               (see metric_names())
 //   --compare                     (all four policies)
+//   --jobs=N                      (worker threads for --compare: 0 = one
+//                                  per hardware thread, 1 = serial;
+//                                  results are bit-identical for every N)
 //   --quiet                       (summary line only)
 //   --trace-out=FILE              (write a structured event trace; single
 //                                  policy runs only)
@@ -46,6 +49,10 @@ enum class MetricsFormat { kProm, kJson };
 struct CliOptions {
   PolicyKind policy = PolicyKind::kRfh;
   bool compare = false;
+  /// Worker threads for --compare sweeps (exec/sweep.h semantics:
+  /// 0 = hardware, 1 = serial). Purely a scheduling knob — outputs are
+  /// bit-identical for every value.
+  unsigned jobs = 0;
   bool quiet = false;
   std::string metric = "utilization";
   Scenario scenario = Scenario::paper_random_query();

@@ -14,7 +14,7 @@ const PolicyRun& ComparativeResult::run(PolicyKind kind) const {
   for (const PolicyRun& r : runs) {
     if (r.kind == kind) return r;
   }
-  RFH_ASSERT_MSG(false, "no run for requested policy");
+  RFH_UNREACHABLE("no run for requested policy");
 }
 
 PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,

@@ -50,7 +50,7 @@ std::unique_ptr<ReplicationPolicy> make_policy(PolicyKind kind,
     case PolicyKind::kRfh:
       return std::make_unique<RfhPolicy>(rfh);
   }
-  RFH_ASSERT_MSG(false, "unknown policy kind");
+  RFH_UNREACHABLE("unknown policy kind");
 }
 
 std::unique_ptr<WorkloadGenerator> make_workload(const Scenario& scenario,
@@ -71,7 +71,7 @@ std::unique_ptr<WorkloadGenerator> make_workload(const Scenario& scenario,
       return std::make_unique<HotspotShiftWorkload>(
           params, /*phase_epochs=*/scenario.epochs / 4 + 1);
   }
-  RFH_ASSERT_MSG(false, "unknown workload kind");
+  RFH_UNREACHABLE("unknown workload kind");
 }
 
 std::unique_ptr<Simulation> make_simulation(const Scenario& scenario,

@@ -12,30 +12,57 @@ HashRing::HashRing(std::uint32_t tokens_per_server)
   RFH_ASSERT(tokens_per_server_ > 0);
 }
 
+std::size_t HashRing::successor_slot(std::uint64_t key) const {
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const Token& t, std::uint64_t k) { return t.position < k; });
+  if (it == ring_.end()) return 0;  // wrap around
+  return static_cast<std::size_t>(it - ring_.begin());
+}
+
+bool HashRing::has_token_at(std::uint64_t position) const {
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), position,
+      [](const Token& t, std::uint64_t k) { return t.position < k; });
+  return it != ring_.end() && it->position == position;
+}
+
 void HashRing::add_server(ServerId server) {
   RFH_ASSERT(server.valid());
   RFH_ASSERT_MSG(!contains(server), "server already on ring");
   std::vector<std::uint64_t>& tokens = server_tokens_[server];
   tokens.reserve(tokens_per_server_);
+  ring_.reserve(ring_.size() + tokens_per_server_);
   for (std::uint32_t i = 0; i < tokens_per_server_; ++i) {
     std::uint64_t pos = hash_combine(hash64(std::uint64_t{server.value()}),
                                      hash64(std::uint64_t{i}));
     // Token collisions across servers are astronomically unlikely but
     // would silently drop a token; probe linearly to keep the invariant
     // "every server owns exactly tokens_per_server_ positions".
-    while (ring_.contains(pos)) ++pos;
-    ring_.emplace(pos, server);
+    while (has_token_at(pos)) ++pos;
+    const auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), pos,
+        [](const Token& t, std::uint64_t k) { return t.position < k; });
+    ring_.insert(it, Token{pos, server});
     tokens.push_back(pos);
   }
+  ++membership_epoch_;
+  successor_cache_.clear();
 }
 
 void HashRing::remove_server(ServerId server) {
   const auto it = server_tokens_.find(server);
   RFH_ASSERT_MSG(it != server_tokens_.end(), "server not on ring");
   for (const std::uint64_t pos : it->second) {
-    ring_.erase(pos);
+    const auto slot = std::lower_bound(
+        ring_.begin(), ring_.end(), pos,
+        [](const Token& t, std::uint64_t k) { return t.position < k; });
+    RFH_ASSERT(slot != ring_.end() && slot->position == pos);
+    ring_.erase(slot);
   }
   server_tokens_.erase(it);
+  ++membership_epoch_;
+  successor_cache_.clear();
 }
 
 bool HashRing::contains(ServerId server) const {
@@ -44,27 +71,36 @@ bool HashRing::contains(ServerId server) const {
 
 ServerId HashRing::primary(std::uint64_t key) const {
   RFH_ASSERT_MSG(!ring_.empty(), "ring is empty");
-  auto it = ring_.lower_bound(key);
-  if (it == ring_.end()) it = ring_.begin();  // wrap around
-  return it->second;
+  return ring_[successor_slot(key)].owner;
+}
+
+const std::vector<ServerId>& HashRing::successors_of(std::size_t slot) const {
+  if (successor_cache_.size() != ring_.size()) {
+    successor_cache_.assign(ring_.size(), {});
+  }
+  std::vector<ServerId>& walk = successor_cache_[slot];
+  if (walk.empty()) {
+    // Full clockwise walk collecting each server once, in first-token
+    // order — exactly the order the map-based dedup walk produced.
+    walk.reserve(server_tokens_.size());
+    for (std::size_t step = 0; step < ring_.size(); ++step) {
+      const ServerId candidate = ring_[(slot + step) % ring_.size()].owner;
+      if (std::find(walk.begin(), walk.end(), candidate) == walk.end()) {
+        walk.push_back(candidate);
+      }
+      if (walk.size() == server_tokens_.size()) break;
+    }
+  }
+  return walk;
 }
 
 std::vector<ServerId> HashRing::preference_list(std::uint64_t key,
                                                 std::size_t n) const {
   RFH_ASSERT_MSG(!ring_.empty(), "ring is empty");
-  std::vector<ServerId> result;
-  result.reserve(std::min(n, server_tokens_.size()));
-  auto it = ring_.lower_bound(key);
-  for (std::size_t steps = 0;
-       result.size() < n && steps < ring_.size(); ++steps) {
-    if (it == ring_.end()) it = ring_.begin();
-    const ServerId candidate = it->second;
-    if (std::find(result.begin(), result.end(), candidate) == result.end()) {
-      result.push_back(candidate);
-    }
-    ++it;
-  }
-  return result;
+  const std::vector<ServerId>& walk = successors_of(successor_slot(key));
+  const std::size_t take = std::min(n, walk.size());
+  return std::vector<ServerId>(walk.begin(),
+                               walk.begin() + static_cast<std::ptrdiff_t>(take));
 }
 
 std::uint64_t HashRing::partition_key(PartitionId partition) {

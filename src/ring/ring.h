@@ -11,10 +11,21 @@
 // are the next distinct servers clockwise. Join and departure move only
 // the keyspace adjacent to the affected tokens, which the tests verify
 // quantitatively.
+//
+// Storage layout: the ring is a flat array of (position, owner) entries
+// kept sorted by position, so a lookup is one binary search over
+// contiguous memory instead of a std::map node walk (membership changes
+// are epoch-granular and rare; lookups are the hot path). Each token
+// additionally carries a lazily built successor list — the distinct
+// servers met walking clockwise from it — so preference_list is a slice
+// copy after the first query per token. Both caches are invalidated as a
+// whole whenever membership changes (the "membership epoch" bump); the
+// results are defined to be byte-identical to the map-walk seed
+// implementation, which tests/property_test.cpp checks against a
+// std::map reference under randomized add/remove interleavings.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -48,13 +59,38 @@ class HashRing {
   }
   [[nodiscard]] bool empty() const noexcept { return ring_.empty(); }
 
+  /// Bumped on every add_server/remove_server; consumers caching derived
+  /// placement (route memos, successor snapshots) compare epochs to know
+  /// when to rebuild.
+  [[nodiscard]] std::uint64_t membership_epoch() const noexcept {
+    return membership_epoch_;
+  }
+
   /// Hash position used for a partition (exposed for tests).
   [[nodiscard]] static std::uint64_t partition_key(PartitionId partition);
 
  private:
+  struct Token {
+    std::uint64_t position = 0;
+    ServerId owner;
+  };
+
+  /// Index of the first token at or after `key`, wrapping to 0 past the
+  /// end. Ring must be non-empty.
+  [[nodiscard]] std::size_t successor_slot(std::uint64_t key) const;
+  [[nodiscard]] bool has_token_at(std::uint64_t position) const;
+  /// The slot's distinct-server clockwise walk, built on first use after
+  /// a membership change.
+  [[nodiscard]] const std::vector<ServerId>& successors_of(
+      std::size_t slot) const;
+
   std::uint32_t tokens_per_server_;
-  std::map<std::uint64_t, ServerId> ring_;  // token position -> owner
+  std::vector<Token> ring_;  // sorted by position
   std::unordered_map<ServerId, std::vector<std::uint64_t>> server_tokens_;
+  std::uint64_t membership_epoch_ = 0;
+  /// successor_cache_[slot] is empty until queried (a ring with servers
+  /// always has at least one distinct successor, so empty == not built).
+  mutable std::vector<std::vector<ServerId>> successor_cache_;
 };
 
 }  // namespace rfh

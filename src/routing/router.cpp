@@ -18,6 +18,8 @@ void Router::set_telemetry(MetricRegistry* registry) {
     routes_ = nullptr;
     stages_ = nullptr;
     dead_skips_ = nullptr;
+    memo_hit_counter_ = nullptr;
+    memo_miss_counter_ = nullptr;
     return;
   }
   routes_ = &registry->counter("rfh_router_routes_total", {},
@@ -27,6 +29,29 @@ void Router::set_telemetry(MetricRegistry* registry) {
   dead_skips_ = &registry->counter(
       "rfh_router_dead_dc_skips_total", {},
       "Transit datacenters skipped because no server was alive");
+  memo_hit_counter_ = &registry->counter(
+      "rfh_router_memo_hits_total", {}, "route() calls served from the memo");
+  memo_miss_counter_ = &registry->counter(
+      "rfh_router_memo_misses_total", {},
+      "route() calls that recomputed (cold, invalidated or holder moved)");
+}
+
+void Router::set_memo_enabled(bool enabled) {
+  memo_enabled_ = enabled;
+  memo_.clear();
+}
+
+void Router::invalidate_routes() { memo_.clear(); }
+
+void Router::invalidate_routes_for(PartitionId partition) {
+  const std::uint64_t hi = std::uint64_t{partition.value()} << 32;
+  for (auto it = memo_.begin(); it != memo_.end();) {
+    if ((it->first & ~std::uint64_t{0xFFFFFFFF}) == hi) {
+      it = memo_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 ServerId Router::relay_for(PartitionId partition, DatacenterId dc,
@@ -36,15 +61,18 @@ ServerId Router::relay_for(PartitionId partition, DatacenterId dc,
   return rendezvous_pick(key, live_servers);
 }
 
-Route Router::route(PartitionId partition, DatacenterId requester,
-                    ServerId holder,
-                    std::span<const std::vector<ServerId>> live_by_dc) const {
-  RFH_ASSERT(holder.valid());
+void Router::compute(PartitionId partition, DatacenterId requester,
+                     ServerId holder,
+                     std::span<const std::vector<ServerId>> live_by_dc,
+                     MemoEntry& entry) const {
   const DatacenterId holder_dc = topology_->server(holder).datacenter;
   const std::vector<DatacenterId> dc_path =
       paths_->path(requester, holder_dc);
 
-  Route route;
+  entry.holder = holder;
+  entry.dead_skips = 0;
+  Route& route = entry.route;
+  route.stages.clear();
   route.holder = holder;
   route.stages.reserve(dc_path.size());
 
@@ -60,7 +88,7 @@ Route Router::route(PartitionId partition, DatacenterId requester,
     if (live.empty()) {
       // Dead datacenter: traffic passes through its backbone router but no
       // server can absorb or be a hub there.
-      if (dead_skips_ != nullptr) dead_skips_->inc();
+      ++entry.dead_skips;
       ++hops;
       continue;
     }
@@ -73,11 +101,44 @@ Route Router::route(PartitionId partition, DatacenterId requester,
   // Final descent from the holder datacenter's relay to the owning server.
   route.total_hops = hops;
   route.total_latency_ms = latency + kHopLatencyMs;
+}
+
+const Route& Router::route(
+    PartitionId partition, DatacenterId requester, ServerId holder,
+    std::span<const std::vector<ServerId>> live_by_dc) const {
+  RFH_ASSERT(holder.valid());
+
+  MemoEntry* entry = nullptr;
+  bool hit = false;
+  if (memo_enabled_) {
+    MemoEntry& slot = memo_[memo_key(partition, requester)];
+    // A populated entry is only trusted when the primary it was computed
+    // for still holds the partition; the owner flushes the memo on every
+    // liveness/link/placement change (DESIGN.md §11), so the holder check
+    // is the last line of defence rather than the invalidation mechanism.
+    hit = slot.holder == holder && !slot.route.stages.empty();
+    entry = &slot;
+  } else {
+    entry = &scratch_;
+  }
+  if (!hit) {
+    compute(partition, requester, holder, live_by_dc, *entry);
+    ++memo_misses_;
+    if (memo_miss_counter_ != nullptr) memo_miss_counter_->inc();
+  } else {
+    ++memo_hits_;
+    if (memo_hit_counter_ != nullptr) memo_hit_counter_->inc();
+  }
+  // Telemetry is replayed identically for hits and misses, so counter
+  // totals are bit-identical with the memo on or off.
+  if (dead_skips_ != nullptr && entry->dead_skips > 0) {
+    dead_skips_->inc(static_cast<double>(entry->dead_skips));
+  }
   if (routes_ != nullptr) {
     routes_->inc();
-    stages_->inc(static_cast<double>(route.stages.size()));
+    stages_->inc(static_cast<double>(entry->route.stages.size()));
   }
-  return route;
+  return entry->route;
 }
 
 }  // namespace rfh

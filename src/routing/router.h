@@ -8,9 +8,23 @@
 // paper's lookup-path-length metric: one hop to enter the requester
 // datacenter's relay, one hop per further datacenter, and one final hop
 // from the holder datacenter's relay down to the owning server.
+//
+// Route memo: a route is a pure function of (partition, requester,
+// holder, the per-DC live sets, the shortest paths). The engine's
+// placement mutates at epoch granularity, so the Router memoizes computed
+// routes keyed by (partition, requester) and the owner (Simulation)
+// flushes the memo whenever liveness, links or placement change — see
+// DESIGN.md §11 for the invalidation contract. Each memo entry records
+// the holder it was computed for; a lookup with a different holder
+// recomputes, so stale-primary hazards cannot serve a wrong route even if
+// an invalidation hook is missed. Telemetry counters (routes, stages,
+// dead-DC skips) are replayed identically on memo hits, so registry
+// totals never depend on the memo being on.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -57,7 +71,11 @@ class Router {
   /// `holder`. `live_by_dc[dc]` lists the currently-alive servers of each
   /// datacenter (relays are only chosen among live servers; a datacenter
   /// with no live servers is skipped as a stage).
-  [[nodiscard]] Route route(
+  ///
+  /// The returned reference stays valid until the next route() /
+  /// invalidate call on this Router. Callers needing to keep a route
+  /// across epochs must copy it.
+  [[nodiscard]] const Route& route(
       PartitionId partition, DatacenterId requester, ServerId holder,
       std::span<const std::vector<ServerId>> live_by_dc) const;
 
@@ -66,18 +84,61 @@ class Router {
       PartitionId partition, DatacenterId dc,
       std::span<const ServerId> live_servers);
 
-  /// Export route/stage/dead-skip counters into `registry`
+  // --- route memo -------------------------------------------------------
+  /// Memoization toggle (default on). Disabling also drops all entries;
+  /// with the memo off every route() recomputes, which tests use as the
+  /// differential baseline.
+  void set_memo_enabled(bool enabled);
+  [[nodiscard]] bool memo_enabled() const noexcept { return memo_enabled_; }
+  /// Drop every memoized route (liveness, link or path-table change).
+  void invalidate_routes();
+  /// Drop the memoized routes of one partition (placement mutation).
+  void invalidate_routes_for(PartitionId partition);
+  [[nodiscard]] std::uint64_t memo_hits() const noexcept { return memo_hits_; }
+  [[nodiscard]] std::uint64_t memo_misses() const noexcept {
+    return memo_misses_;
+  }
+
+  /// Export route/stage/dead-skip/memo counters into `registry`
   /// (rfh_router_*). nullptr detaches. Counting is observational only;
   /// route() stays deterministic either way.
   void set_telemetry(MetricRegistry* registry);
 
  private:
+  struct MemoEntry {
+    ServerId holder;  // the primary the route was computed for
+    /// Dead datacenters skipped while computing (replayed into telemetry
+    /// on hits so counter totals are memo-invariant).
+    std::uint32_t dead_skips = 0;
+    Route route;
+  };
+
+  /// Memo key: partition in the high word, requester in the low word.
+  [[nodiscard]] static std::uint64_t memo_key(PartitionId partition,
+                                              DatacenterId requester) {
+    return (std::uint64_t{partition.value()} << 32) |
+           std::uint64_t{requester.value()};
+  }
+
+  /// Compute a route from scratch into `entry`.
+  void compute(PartitionId partition, DatacenterId requester, ServerId holder,
+               std::span<const std::vector<ServerId>> live_by_dc,
+               MemoEntry& entry) const;
+
   const Topology* topology_;
   const ShortestPaths* paths_;
+  bool memo_enabled_ = true;
+  mutable std::unordered_map<std::uint64_t, MemoEntry> memo_;
+  /// route() result storage when the memo is off.
+  mutable MemoEntry scratch_;
+  mutable std::uint64_t memo_hits_ = 0;
+  mutable std::uint64_t memo_misses_ = 0;
   // Registry-owned counters (not ours); null when telemetry is detached.
   Counter* routes_ = nullptr;
   Counter* stages_ = nullptr;
   Counter* dead_skips_ = nullptr;
+  Counter* memo_hit_counter_ = nullptr;
+  Counter* memo_miss_counter_ = nullptr;
 };
 
 }  // namespace rfh

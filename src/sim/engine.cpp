@@ -31,6 +31,7 @@ Simulation::Simulation(World world, const SimConfig& config,
   RFH_ASSERT(workload_ != nullptr);
   RFH_ASSERT(policy_ != nullptr);
   RFH_ASSERT_MSG(graph_.connected(), "datacenter graph must be connected");
+  router_.set_memo_enabled(config_.route_memo);
   seed_primaries();
 }
 
@@ -82,7 +83,7 @@ void Simulation::propagate(const QueryBatch& batch) {
       continue;
     }
 
-    const Route route =
+    const Route& route =
         router_.route(flow.partition, flow.requester, holder, live_by_dc);
     double residual = flow.queries;
     for (const RouteStage& stage : route.stages) {
@@ -183,6 +184,7 @@ void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
     }
     replication_bytes_[src.value()] += config_.partition_size;
     cluster_.add_replica(a.partition, a.target);
+    router_.invalidate_routes_for(a.partition);
     const double cost = transfer_cost(
         world_.topology.server(src).datacenter,
         world_.topology.server(a.target).datacenter, config_.partition_size,
@@ -215,6 +217,7 @@ void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
     migration_bytes_[a.from.value()] += config_.partition_size;
     cluster_.remove_replica(a.partition, a.from);
     cluster_.add_replica(a.partition, a.to);
+    router_.invalidate_routes_for(a.partition);
     const double cost = transfer_cost(
         world_.topology.server(a.from).datacenter,
         world_.topology.server(a.to).datacenter, config_.partition_size,
@@ -232,6 +235,7 @@ void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
       continue;
     }
     cluster_.remove_replica(a.partition, a.server);
+    router_.invalidate_routes_for(a.partition);
     report.suicides += 1;
     events_.emit(Suicide{epoch_, a.partition, a.server, a.why});
   }
@@ -427,6 +431,9 @@ void Simulation::fail_servers(std::span<const ServerId> servers) {
     all_lost.insert(all_lost.end(), lost.begin(), lost.end());
     events_.emit(ServerFailed{epoch_, s});
   }
+  // Liveness changed: relays and dead-DC skips may differ everywhere, and
+  // handle_lost_copies below can move primaries.
+  router_.invalidate_routes();
   handle_lost_copies(all_lost);
 }
 
@@ -454,11 +461,14 @@ std::vector<ServerId> Simulation::fail_datacenter(DatacenterId dc) {
 }
 
 void Simulation::recover_servers(std::span<const ServerId> servers) {
+  bool any = false;
   for (const ServerId s : servers) {
     if (cluster_.alive(s)) continue;
     cluster_.revive_server(s);
     events_.emit(ServerRecovered{epoch_, s});
+    any = true;
   }
+  if (any) router_.invalidate_routes();
 }
 
 namespace {
@@ -487,7 +497,9 @@ void Simulation::rebuild_network() {
                  "link failure would partition the network");
   paths_ = ShortestPaths(graph_);
   // router_ holds pointers to world_.topology and paths_, both of which
-  // keep their addresses across the reassignment above.
+  // keep their addresses across the reassignment above — but every
+  // memoized route was computed against the old path table.
+  router_.invalidate_routes();
 }
 
 bool Simulation::link_failure_would_partition(DatacenterId a,

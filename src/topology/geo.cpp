@@ -32,7 +32,7 @@ Continent parse_continent(std::string_view code) {
   if (code == "AS") return Continent::kAsia;
   if (code == "AF") return Continent::kAfrica;
   if (code == "OC") return Continent::kOceania;
-  RFH_ASSERT_MSG(false, "unknown continent code");
+  RFH_UNREACHABLE("unknown continent code");
 }
 
 double great_circle_km(const GeoPoint& a, const GeoPoint& b) noexcept {

@@ -1,0 +1,203 @@
+// ThreadPool and SweepRunner unit tests (src/exec/): task ordering,
+// exception propagation, nested submit-and-wait, inline-pool equivalence
+// and sweep plumbing. The byte-level parallel-vs-serial differential
+// suite lives in tests/determinism_test.cpp.
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/sweep.h"
+#include "telemetry/registry.h"
+
+namespace rfh {
+namespace {
+
+TEST(ThreadPoolTest, SingleWorkerRunsExternalTasksInSubmissionOrder) {
+  // External submissions land in the FIFO injector; one worker must
+  // consume them in order.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::mutex mutex;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&, i] {
+      const std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(i);
+    }));
+  }
+  for (auto& f : futures) pool.wait(f);
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, AllTasksExecuteAcrossManyWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&done] {
+      done.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& f : futures) pool.wait(f);
+  EXPECT_EQ(done.load(), 500);
+  EXPECT_EQ(pool.stats().executed, 500u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFutureNotWorker) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int {
+    throw std::runtime_error("cell exploded");
+  });
+  EXPECT_THROW((void)pool.wait(bad), std::runtime_error);
+  // The worker survived the throw and keeps executing tasks.
+  auto good = pool.submit([] { return 7; });
+  EXPECT_EQ(pool.wait(good), 7);
+}
+
+TEST(ThreadPoolTest, NestedSubmitAndWaitDoesNotDeadlock) {
+  // A task that submits a subtask and waits on it would deadlock a
+  // naive 1-thread pool; wait() executes pending tasks while waiting.
+  ThreadPool pool(1);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { return 21; });
+    return 2 * pool.wait(inner);
+  });
+  EXPECT_EQ(pool.wait(outer), 42);
+}
+
+TEST(ThreadPoolTest, DeeplyNestedSubmitsComplete) {
+  ThreadPool pool(2);
+  std::function<int(int)> spawn = [&](int depth) -> int {
+    if (depth == 0) return 1;
+    auto child = pool.submit([&spawn, depth] { return spawn(depth - 1); });
+    return 1 + pool.wait(child);
+  };
+  auto root = pool.submit([&spawn] { return spawn(16); });
+  EXPECT_EQ(pool.wait(root), 17);
+}
+
+TEST(ThreadPoolTest, InlinePoolRunsOnTheCallingThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  const std::thread::id caller = std::this_thread::get_id();
+  auto future = pool.submit([caller] {
+    return std::this_thread::get_id() == caller;
+  });
+  EXPECT_TRUE(pool.wait(future));
+  EXPECT_EQ(pool.stats().executed, 1u);
+}
+
+TEST(ThreadPoolTest, InlinePoolPropagatesExceptions) {
+  ThreadPool pool(0);
+  auto future = pool.submit([]() -> int { throw std::logic_error("boom"); });
+  EXPECT_THROW((void)future.get(), std::logic_error);
+}
+
+TEST(ThreadPoolTest, WaitIdleDrainsEverything) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    (void)pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&done] { done.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after draining
+  EXPECT_EQ(done.load(), 50);
+}
+
+// ---------------------------------------------------------------------
+// SweepRunner plumbing (cell identity, collection, telemetry). The
+// bit-identity guarantees are covered in determinism_test.cpp.
+
+std::vector<SweepCell> small_grid() {
+  std::vector<SweepCell> cells;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    for (const PolicyKind kind : {PolicyKind::kOwner, PolicyKind::kRfh}) {
+      SweepCell cell;
+      cell.label = "seed" + std::to_string(seed);
+      cell.scenario = Scenario::paper_random_query();
+      cell.scenario.epochs = 10;
+      cell.scenario.sim.seed = seed;
+      cell.scenario.world.seed = seed;
+      cell.policy = kind;
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+TEST(SweepRunnerTest, ResultsArriveInCellIndexOrderWithIdentity) {
+  SweepOptions options;
+  options.jobs = 4;
+  const std::vector<SweepCell> cells = small_grid();
+  const std::vector<SweepCellResult> results = SweepRunner(options).run(cells);
+  ASSERT_EQ(results.size(), cells.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_EQ(results[i].label, cells[i].label);
+    EXPECT_EQ(results[i].policy, cells[i].policy);
+    EXPECT_EQ(results[i].seed, cells[i].scenario.sim.seed);
+    EXPECT_EQ(results[i].run.series.size(), cells[i].scenario.epochs);
+  }
+}
+
+TEST(SweepRunnerTest, CollectionTogglesMetricsAndTraces) {
+  std::vector<SweepCell> cells = small_grid();
+  cells.resize(2);
+
+  SweepOptions off;
+  for (const SweepCellResult& r : SweepRunner(off).run(cells)) {
+    EXPECT_TRUE(r.metrics_json.empty());
+    EXPECT_TRUE(r.trace_jsonl.empty());
+  }
+
+  SweepOptions on;
+  on.jobs = 2;
+  on.collect_metrics = true;
+  on.collect_traces = true;
+  for (const SweepCellResult& r : SweepRunner(on).run(cells)) {
+    EXPECT_NE(r.metrics_json.find("rfh-metrics/1"), std::string::npos);
+    EXPECT_FALSE(r.trace_jsonl.empty());
+  }
+}
+
+TEST(SweepRunnerTest, SweepTelemetryCountsCellsAndPoolWork) {
+  MetricRegistry registry;
+  SweepOptions options;
+  options.jobs = 3;
+  options.registry = &registry;
+  const std::vector<SweepCell> cells = small_grid();
+  (void)SweepRunner(options).run(cells);
+  EXPECT_EQ(registry.counter("rfh_sweep_cells_total").value(),
+            static_cast<double>(cells.size()));
+  EXPECT_EQ(registry.counter("rfh_pool_tasks_executed_total").value(),
+            static_cast<double>(cells.size()));
+  EXPECT_EQ(registry.gauge("rfh_sweep_jobs").value(), 3.0);
+}
+
+TEST(SweepRunnerTest, EffectiveJobsResolvesZeroToHardware) {
+  SweepOptions zero;
+  zero.jobs = 0;
+  EXPECT_GE(SweepRunner(zero).effective_jobs(), 1u);
+  SweepOptions eight;
+  eight.jobs = 8;
+  EXPECT_EQ(SweepRunner(eight).effective_jobs(), 8u);
+}
+
+}  // namespace
+}  // namespace rfh

@@ -2,13 +2,18 @@
 // for any seed, size, or threshold configuration.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <memory>
+#include <random>
+#include <unordered_map>
 
 #include "common/availability.h"
 #include "core/rfh_policy.h"
 #include "harness/report.h"
 #include "harness/runner.h"
 #include "net/graph.h"
+#include "ring/hash.h"
 #include "ring/ring.h"
 #include "test_util.h"
 
@@ -316,6 +321,172 @@ TEST(ChaosPropertyTest, SamePlanSameSeedKillsIdentically) {
   EXPECT_EQ(a.killed, b.killed);
   EXPECT_EQ(a.faults_injected, b.faults_injected);
 }
+
+// --------------------------------------------------------------------------
+// Flat-ring reference check (promised by ring.h): the sorted-array +
+// successor-cache HashRing is defined to be byte-identical to the seed's
+// std::map walk. A reference implementation with the same token hashing
+// and collision probe is driven through randomized add/remove
+// interleavings, and both structures are compared on every lookup path
+// after every mutation.
+
+/// The seed implementation: token positions in a std::map, every
+/// preference_list a fresh clockwise distinct-server walk.
+class MapRingReference {
+ public:
+  explicit MapRingReference(std::uint32_t tokens_per_server)
+      : tokens_per_server_(tokens_per_server) {}
+
+  void add_server(ServerId server) {
+    auto& positions = server_tokens_[server];
+    for (std::uint32_t i = 0; i < tokens_per_server_; ++i) {
+      std::uint64_t pos = hash_combine(hash64(std::uint64_t{server.value()}),
+                                       hash64(std::uint64_t{i}));
+      while (ring_.contains(pos)) ++pos;  // same probe as HashRing
+      ring_.emplace(pos, server);
+      positions.push_back(pos);
+    }
+  }
+
+  void remove_server(ServerId server) {
+    const auto it = server_tokens_.find(server);
+    if (it == server_tokens_.end()) return;
+    for (const std::uint64_t pos : it->second) ring_.erase(pos);
+    server_tokens_.erase(it);
+  }
+
+  [[nodiscard]] ServerId primary(std::uint64_t key) const {
+    auto it = ring_.lower_bound(key);
+    if (it == ring_.end()) it = ring_.begin();
+    return it->second;
+  }
+
+  [[nodiscard]] std::vector<ServerId> preference_list(std::uint64_t key,
+                                                      std::size_t n) const {
+    std::vector<ServerId> out;
+    out.reserve(n);
+    auto it = ring_.lower_bound(key);
+    if (it == ring_.end()) it = ring_.begin();
+    for (std::size_t step = 0;
+         step < ring_.size() && out.size() < n &&
+         out.size() < server_tokens_.size();
+         ++step) {
+      if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+        out.push_back(it->second);
+      }
+      ++it;
+      if (it == ring_.end()) it = ring_.begin();
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return server_tokens_.size();
+  }
+
+ private:
+  std::uint32_t tokens_per_server_;
+  std::map<std::uint64_t, ServerId> ring_;
+  std::unordered_map<ServerId, std::vector<std::uint64_t>> server_tokens_;
+};
+
+class RingReferenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RingReferenceTest, FlatLookupMatchesMapWalkUnderRandomInterleavings) {
+  constexpr std::uint32_t kTokens = 8;
+  HashRing flat(kTokens);
+  MapRingReference reference(kTokens);
+  std::mt19937_64 rng(GetParam());
+
+  std::vector<ServerId> members;
+  std::uint32_t next_id = 1;
+  const auto check_agreement = [&] {
+    if (members.empty()) return;
+    // A fixed key set plus fresh random keys each round: the fixed keys
+    // re-query cached successor slots across invalidations, the random
+    // keys probe cold slots.
+    for (int k = 0; k < 24; ++k) {
+      const std::uint64_t key =
+          k < 8 ? hash64(static_cast<std::uint64_t>(k)) : rng();
+      ASSERT_EQ(flat.primary(key), reference.primary(key)) << "key " << key;
+      for (const std::size_t n :
+           {std::size_t{1}, std::size_t{3}, members.size(),
+            members.size() + 5}) {
+        ASSERT_EQ(flat.preference_list(key, n),
+                  reference.preference_list(key, n))
+            << "key " << key << " n " << n;
+      }
+    }
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    const bool remove = !members.empty() &&
+                        (members.size() > 40 || rng() % 3 == 0);
+    if (remove) {
+      const std::size_t victim = rng() % members.size();
+      const ServerId gone = members[victim];
+      members.erase(members.begin() + static_cast<std::ptrdiff_t>(victim));
+      flat.remove_server(gone);
+      reference.remove_server(gone);
+      EXPECT_FALSE(flat.contains(gone));
+    } else {
+      const ServerId fresh{next_id++};
+      members.push_back(fresh);
+      flat.add_server(fresh);
+      reference.add_server(fresh);
+      EXPECT_TRUE(flat.contains(fresh));
+    }
+    ASSERT_EQ(flat.server_count(), reference.server_count());
+    check_agreement();
+  }
+}
+
+TEST_P(RingReferenceTest, SuccessorCacheNeverServesARemovedServer) {
+  // The per-token successor lists are built lazily and invalidated on
+  // membership epochs; a stale cache would keep serving a departed
+  // server. Warm the cache, remove servers, and assert no lookup path
+  // ever returns a dead one.
+  constexpr std::uint32_t kTokens = 16;
+  HashRing ring(kTokens);
+  std::mt19937_64 rng(GetParam() ^ 0x9e3779b97f4a7c15ull);
+
+  std::vector<ServerId> members;
+  for (std::uint32_t s = 1; s <= 32; ++s) {
+    members.push_back(ServerId{s});
+    ring.add_server(ServerId{s});
+  }
+  std::vector<std::uint64_t> keys(64);
+  for (std::uint64_t& key : keys) key = rng();
+
+  std::vector<ServerId> dead;
+  while (members.size() > 1) {
+    // Warm every sampled slot's successor cache at the current epoch.
+    for (const std::uint64_t key : keys) {
+      (void)ring.preference_list(key, members.size());
+    }
+    const std::uint64_t epoch_before = ring.membership_epoch();
+    const std::size_t victim = rng() % members.size();
+    dead.push_back(members[victim]);
+    ring.remove_server(members[victim]);
+    members.erase(members.begin() + static_cast<std::ptrdiff_t>(victim));
+    EXPECT_GT(ring.membership_epoch(), epoch_before);
+
+    for (const std::uint64_t key : keys) {
+      const std::vector<ServerId> pref =
+          ring.preference_list(key, members.size() + dead.size());
+      EXPECT_EQ(pref.size(), members.size());
+      for (const ServerId s : pref) {
+        EXPECT_EQ(std::find(dead.begin(), dead.end(), s), dead.end())
+            << "dead server " << s.value() << " served from successor cache";
+      }
+      EXPECT_EQ(std::find(dead.begin(), dead.end(), ring.primary(key)),
+                dead.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingReferenceTest,
+                         ::testing::Values<std::uint64_t>(3, 17, 404, 90210));
 
 }  // namespace
 }  // namespace rfh

@@ -98,6 +98,9 @@ TEST_F(RouterTest, DeadDatacenterIsSkippedButCostsAHop) {
                                      holder, live_by_dc_);
   auto live = live_by_dc_;
   live[world_.by_letter('I').value()].clear();
+  // Liveness changed: the owner of a Router must flush its route memo
+  // (the engine does this in fail_servers / recover_servers).
+  router_.invalidate_routes();
   const Route after = router_.route(PartitionId{0}, world_.by_letter('J'),
                                     holder, live);
   EXPECT_EQ(after.stages.size(), before.stages.size() - 1);
