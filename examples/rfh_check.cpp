@@ -1,0 +1,230 @@
+// rfh_check: the differential-oracle & fuzzing driver (src/check/).
+//
+// Modes (mutually exclusive):
+//   --seeds=N            fuzz N cases from --seed-start (default 0)
+//   --budget-seconds=S   fuzz from --seed-start until the wall-clock
+//                        budget is spent (CI smoke mode)
+//   --replay=FILE        re-run one committed case JSON
+//   --replay-dir=DIR     re-run every *.json case in a directory
+//
+// Other flags:
+//   --seed-start=N       first fuzz seed (default 0)
+//   --out-dir=DIR        where to write the minimized case on divergence
+//                        (default "."); the file is <name>.json with a
+//                        one-line report on stdout
+//   --quiet              only print the final summary / failure report
+//
+// Exit codes: 0 = all runs matched; 1 = divergence or invariant
+// violation (minimized case written in fuzz modes); 2 = usage or I/O
+// error.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/case.h"
+#include "check/diff.h"
+#include "check/fuzzer.h"
+#include "check/shrink.h"
+
+namespace {
+
+struct Options {
+  std::uint64_t seeds = 0;
+  std::uint64_t seed_start = 0;
+  double budget_seconds = 0.0;
+  std::string replay;
+  std::string replay_dir;
+  std::string out_dir = ".";
+  bool quiet = false;
+};
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  out = value;
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Options& opt, std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg.rfind("--seeds=", 0) == 0) {
+      if (!parse_u64(value("--seeds="), opt.seeds) || opt.seeds == 0) {
+        error = "--seeds wants a positive integer: " + arg;
+        return false;
+      }
+    } else if (arg.rfind("--seed-start=", 0) == 0) {
+      if (!parse_u64(value("--seed-start="), opt.seed_start)) {
+        error = "--seed-start wants a non-negative integer: " + arg;
+        return false;
+      }
+    } else if (arg.rfind("--budget-seconds=", 0) == 0) {
+      std::uint64_t seconds = 0;
+      if (!parse_u64(value("--budget-seconds="), seconds) || seconds == 0) {
+        error = "--budget-seconds wants a positive integer: " + arg;
+        return false;
+      }
+      opt.budget_seconds = static_cast<double>(seconds);
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      opt.replay = value("--replay=");
+    } else if (arg.rfind("--replay-dir=", 0) == 0) {
+      opt.replay_dir = value("--replay-dir=");
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      opt.out_dir = value("--out-dir=");
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else {
+      error = "unknown flag: " + arg;
+      return false;
+    }
+  }
+  const int modes = (opt.seeds > 0 ? 1 : 0) +
+                    (opt.budget_seconds > 0.0 ? 1 : 0) +
+                    (opt.replay.empty() ? 0 : 1) +
+                    (opt.replay_dir.empty() ? 0 : 1);
+  if (modes != 1) {
+    error =
+        "pick exactly one mode: --seeds=N, --budget-seconds=S, "
+        "--replay=FILE or --replay-dir=DIR";
+    return false;
+  }
+  return true;
+}
+
+int replay_one(const std::string& path, bool quiet) {
+  const rfh::CheckCase::ParseResult parsed = rfh::CheckCase::load(path);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "rfh_check: %s: %s\n", path.c_str(),
+                 parsed.error.c_str());
+    return 2;
+  }
+  const rfh::DiffOutcome outcome = rfh::run_check_case(parsed.value);
+  if (!outcome.ok) {
+    std::printf("FAIL %s: %s\n", path.c_str(), outcome.to_string().c_str());
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("ok   %s: %s\n", path.c_str(), outcome.to_string().c_str());
+  }
+  return 0;
+}
+
+int replay_dir(const std::string& dir, bool quiet) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "rfh_check: cannot read %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "rfh_check: no *.json cases in %s\n", dir.c_str());
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+  int worst = 0;
+  for (const std::string& file : files) {
+    worst = std::max(worst, replay_one(file, quiet));
+  }
+  if (worst == 0 && !quiet) {
+    std::printf("rfh_check: %zu corpus cases green\n", files.size());
+  }
+  return worst;
+}
+
+/// Shrink the diverging case and write it under out_dir. Returns the
+/// written path (empty when the write failed).
+std::string minimize_and_save(const rfh::CheckCase& failing,
+                              const Options& opt) {
+  // Truncating the horizon to just past the first divergence makes every
+  // shrink probe cheap.
+  rfh::CheckCase seed_case = failing;
+  const rfh::DiffOutcome first = rfh::run_check_case(seed_case);
+  if (!first.ok && !first.invariant_failure) {
+    seed_case.epochs = std::min(seed_case.epochs, first.epoch + 1);
+  }
+  const rfh::ShrinkResult shrunk = rfh::shrink_case(
+      seed_case,
+      [](const rfh::CheckCase& c) { return !rfh::run_check_case(c).ok; });
+
+  std::error_code ec;
+  std::filesystem::create_directories(opt.out_dir, ec);
+  const std::string path = opt.out_dir + "/case_seed_" +
+                           std::to_string(failing.seed) + ".json";
+  if (!shrunk.smallest.save(path)) {
+    std::fprintf(stderr, "rfh_check: failed to write %s\n", path.c_str());
+    return {};
+  }
+  return path;
+}
+
+int fuzz(const Options& opt) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto budget_spent = [&] {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count() >= opt.budget_seconds;
+  };
+
+  std::uint64_t ran = 0;
+  for (std::uint64_t seed = opt.seed_start;; ++seed) {
+    if (opt.seeds > 0 && ran >= opt.seeds) break;
+    if (opt.budget_seconds > 0.0 && ran > 0 && budget_spent()) break;
+
+    const rfh::CheckCase c = rfh::make_fuzz_case(seed);
+    const rfh::DiffOutcome outcome = rfh::run_check_case(c);
+    ++ran;
+    if (outcome.ok) {
+      if (!opt.quiet) {
+        std::printf("ok   seed=%llu: %s\n",
+                    static_cast<unsigned long long>(seed),
+                    outcome.to_string().c_str());
+      }
+      continue;
+    }
+    std::printf("FAIL seed=%llu: %s\n", static_cast<unsigned long long>(seed),
+                outcome.to_string().c_str());
+    const std::string path = minimize_and_save(c, opt);
+    if (!path.empty()) {
+      std::printf("minimized case written to %s\n", path.c_str());
+    }
+    return 1;
+  }
+  std::printf("rfh_check: %llu seeds divergence-free\n",
+              static_cast<unsigned long long>(ran));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::string error;
+  if (!parse_args(argc, argv, opt, error)) {
+    std::fprintf(stderr, "rfh_check: %s\n", error.c_str());
+    std::fprintf(stderr,
+                 "usage: rfh_check (--seeds=N | --budget-seconds=S | "
+                 "--replay=FILE | --replay-dir=DIR) [--seed-start=N] "
+                 "[--out-dir=DIR] [--quiet]\n");
+    return 2;
+  }
+  if (!opt.replay.empty()) return replay_one(opt.replay, opt.quiet);
+  if (!opt.replay_dir.empty()) return replay_dir(opt.replay_dir, opt.quiet);
+  return fuzz(opt);
+}

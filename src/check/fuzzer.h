@@ -1,0 +1,25 @@
+// Scenario fuzzing: derive randomized CheckCases — topology shape,
+// Table I coefficient ranges, workload kinds and fault plans — from a
+// single fuzz seed, so `rfh_check --seeds=N` explores N deterministic,
+// independently reproducible engine-vs-reference runs.
+#pragma once
+
+#include <cstdint>
+
+#include "check/case.h"
+
+namespace rfh {
+
+/// The fuzzer's dedicated RNG stream tag ("fuzz"), forked from the fuzz
+/// seed like the engine's kWorkloadStreamTag is from the scenario seed.
+inline constexpr std::uint64_t kFuzzStreamTag = 0x66757A7A;
+
+/// Deterministically expand one fuzz seed into a CheckCase. The same
+/// seed always yields the same case; the case's own `seed` field is set
+/// to `seed` too, so a diverging case is reproducible from its JSON form
+/// alone. Generated parameters stay inside the documented validity
+/// ranges (0 < alpha < 1, 0 < phi <= 1, well-formed fault events), so
+/// every generated case round-trips through CheckCase::from_json.
+[[nodiscard]] CheckCase make_fuzz_case(std::uint64_t seed);
+
+}  // namespace rfh

@@ -1,0 +1,96 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+
+namespace rfh {
+
+ShrinkResult shrink_case(const CheckCase& failing,
+                         const FailurePredicate& still_fails,
+                         std::size_t max_attempts) {
+  ShrinkResult r;
+  r.smallest = failing;
+
+  // Accept `candidate` as the new smallest if it still fails.
+  const auto try_case = [&](const CheckCase& candidate) {
+    if (r.attempts >= max_attempts) return false;
+    ++r.attempts;
+    if (!still_fails(candidate)) return false;
+    r.smallest = candidate;
+    ++r.accepted;
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && r.attempts < max_attempts) {
+    progress = false;
+
+    // 1. Fewer epochs — the strongest reduction: halve, then decrement.
+    if (r.smallest.epochs > 1) {
+      CheckCase cand = r.smallest;
+      cand.epochs = std::max<Epoch>(1, cand.epochs / 2);
+      if (cand.epochs != r.smallest.epochs && try_case(cand)) {
+        progress = true;
+        continue;
+      }
+      cand = r.smallest;
+      cand.epochs -= 1;
+      if (try_case(cand)) {
+        progress = true;
+        continue;
+      }
+    }
+
+    // 2. Fewer servers (per rack, then racks per room).
+    if (r.smallest.servers_per_rack > 1) {
+      CheckCase cand = r.smallest;
+      cand.servers_per_rack -= 1;
+      if (try_case(cand)) {
+        progress = true;
+        continue;
+      }
+    }
+    if (r.smallest.racks_per_room > 1) {
+      CheckCase cand = r.smallest;
+      cand.racks_per_room -= 1;
+      if (try_case(cand)) {
+        progress = true;
+        continue;
+      }
+    }
+
+    // 3. Fewer partitions: halve, then decrement.
+    if (r.smallest.partitions > 1) {
+      CheckCase cand = r.smallest;
+      cand.partitions = std::max<std::uint32_t>(1, cand.partitions / 2);
+      if (cand.partitions != r.smallest.partitions && try_case(cand)) {
+        progress = true;
+        continue;
+      }
+      cand = r.smallest;
+      cand.partitions -= 1;
+      if (try_case(cand)) {
+        progress = true;
+        continue;
+      }
+    }
+
+    // 4. Drop fault events one at a time (last first, so scheduled
+    // recoveries go before the faults they pair with).
+    const auto& events = r.smallest.fault_plan.events();
+    for (std::size_t drop = events.size(); drop-- > 0;) {
+      CheckCase cand = r.smallest;
+      FaultPlan plan;
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i != drop) plan.add(events[i]);
+      }
+      cand.fault_plan = plan;
+      if (try_case(cand)) {
+        progress = true;
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace rfh

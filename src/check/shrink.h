@@ -1,0 +1,39 @@
+// Greedy failing-case minimization.
+//
+// Given a CheckCase known to fail (diverge or break an invariant) and a
+// predicate that re-runs the check, shrink_case() repeatedly tries
+// smaller variants — fewer epochs, fewer servers, fewer partitions,
+// fewer fault events — keeping a variant whenever it still fails, until
+// a fixpoint or the attempt budget is reached. The result is the small
+// reproducer committed under tests/data/corpus/.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "check/case.h"
+
+namespace rfh {
+
+/// Returns true when the candidate case still exhibits the failure.
+using FailurePredicate = std::function<bool(const CheckCase&)>;
+
+struct ShrinkResult {
+  /// The smallest still-failing case found (== the input when nothing
+  /// could be removed).
+  CheckCase smallest;
+  /// Predicate evaluations performed.
+  std::size_t attempts = 0;
+  /// Reductions that kept the failure alive.
+  std::size_t accepted = 0;
+};
+
+/// Minimize `failing`. The predicate must return true for `failing`
+/// itself (the caller established the failure); shrink_case never
+/// re-checks the input, only candidates. `max_attempts` bounds the
+/// total predicate evaluations, so shrinking a slow case stays cheap.
+[[nodiscard]] ShrinkResult shrink_case(const CheckCase& failing,
+                                       const FailurePredicate& still_fails,
+                                       std::size_t max_attempts = 150);
+
+}  // namespace rfh

@@ -42,6 +42,12 @@ double erlang_c(double offered, std::uint32_t channels) noexcept {
 }
 
 double erlang_c_mean_wait(double offered, std::uint32_t channels) noexcept {
+  RFH_ASSERT(offered >= 0.0);
+  // Zero offered traffic means nothing ever arrives, so nothing ever
+  // waits — even with zero channels. This mirrors erlang_c's convention
+  // and must be checked before the stability test, which would otherwise
+  // report an infinite wait for the empty (0, 0) system.
+  if (offered == 0.0) return 0.0;
   if (offered >= static_cast<double>(channels)) {
     return std::numeric_limits<double>::infinity();
   }

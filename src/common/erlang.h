@@ -31,10 +31,18 @@ std::uint32_t erlang_b_channels_for(double offered, double target) noexcept;
 /// model). Requires offered < channels for a stable queue; returns 1.0
 /// when offered >= channels (every arrival waits, the queue diverges).
 /// Computed from Erlang-B via C = B / (1 - rho * (1 - B)).
+///
+/// Zero-offered-traffic convention (shared by all functions here): when
+/// offered == 0 nothing ever arrives, so blocking probability, waiting
+/// probability and mean wait are all exactly 0 — *including* the
+/// degenerate channels == 0 system. The zero check is evaluated before
+/// any stability test.
 double erlang_c(double offered, std::uint32_t channels) noexcept;
 
 /// Mean waiting time in the same M/M/c queue, in units of one service
-/// time: W = C(a, c) / (c - a). Infinity when offered >= channels.
+/// time: W = C(a, c) / (c - a). Infinity when 0 < offered and
+/// offered >= channels; exactly 0 when offered == 0 (see the
+/// zero-offered-traffic convention above).
 double erlang_c_mean_wait(double offered, std::uint32_t channels) noexcept;
 
 }  // namespace rfh

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstring>
+#include <map>
 
 namespace rfh {
 
@@ -62,7 +63,23 @@ CliParseResult parse_cli(std::span<const char* const> args) {
     return result;
   };
 
+  // Last-one-wins between *conflicting* duplicates silently discards the
+  // user's earlier intent; repeating the identical value is harmless.
+  // --kill is the one legitimately repeatable value flag.
+  std::map<std::string, std::string> seen;
   for (const char* arg : args) {
+    if (std::strncmp(arg, "--", 2) == 0) {
+      if (const char* eq = std::strchr(arg, '=')) {
+        std::string name(arg, eq);
+        if (name != "--kill") {
+          const auto [it, inserted] = seen.emplace(name, eq + 1);
+          if (!inserted && it->second != eq + 1) {
+            return fail("conflicting duplicate " + name + "=" + (eq + 1) +
+                        " (already set to '" + it->second + "')");
+          }
+        }
+      }
+    }
     std::string value;
     if (consume(arg, "--policy=", value)) {
       if (value == "rfh") options.policy = PolicyKind::kRfh;
@@ -124,11 +141,58 @@ CliParseResult parse_cli(std::span<const char* const> args) {
       event.epoch = static_cast<Epoch>(epoch);
       options.failures.push_back(event);
     } else if (consume(arg, "--jobs=", value)) {
-      std::uint64_t jobs = 0;
-      if (!parse_u64(value, jobs) || jobs > 1024) {
-        return fail("--jobs expects an integer in [0, 1024]");
+      if (value == "auto") {
+        options.jobs = 0;  // exec/sweep.h: 0 = one worker per hardware thread
+      } else {
+        std::uint64_t jobs = 0;
+        if (!parse_u64(value, jobs) || jobs == 0 || jobs > 1024) {
+          return fail("--jobs expects an integer in [1, 1024] or 'auto' "
+                      "(one worker per hardware thread)");
+        }
+        options.jobs = static_cast<unsigned>(jobs);
       }
-      options.jobs = static_cast<unsigned>(jobs);
+    } else if (consume(arg, "--alpha=", value)) {
+      double v = 0.0;
+      if (!parse_double(value, v) || !(v > 0.0 && v < 1.0)) {
+        return fail("--alpha expects a smoothing factor in (0, 1), got '" +
+                    value + "'");
+      }
+      options.scenario.sim.alpha = v;
+    } else if (consume(arg, "--beta=", value)) {
+      double v = 0.0;
+      if (!parse_double(value, v) || !(v > 0.0)) {
+        return fail("--beta expects a positive overload threshold, got '" +
+                    value + "'");
+      }
+      options.scenario.sim.beta = v;
+    } else if (consume(arg, "--gamma=", value)) {
+      double v = 0.0;
+      if (!parse_double(value, v) || !(v > 0.0)) {
+        return fail("--gamma expects a positive hub threshold, got '" +
+                    value + "'");
+      }
+      options.scenario.sim.gamma = v;
+    } else if (consume(arg, "--delta=", value)) {
+      double v = 0.0;
+      if (!parse_double(value, v) || !(v >= 0.0)) {
+        return fail("--delta expects a non-negative suicide threshold, "
+                    "got '" + value + "'");
+      }
+      options.scenario.sim.delta = v;
+    } else if (consume(arg, "--mu=", value)) {
+      double v = 0.0;
+      if (!parse_double(value, v) || !(v >= 0.0)) {
+        return fail("--mu expects a non-negative migration-benefit "
+                    "threshold, got '" + value + "'");
+      }
+      options.scenario.sim.mu = v;
+    } else if (consume(arg, "--phi=", value)) {
+      double v = 0.0;
+      if (!parse_double(value, v) || !(v > 0.0 && v <= 1.0)) {
+        return fail("--phi expects a storage-limit fraction in (0, 1], "
+                    "got '" + value + "'");
+      }
+      options.scenario.sim.storage_limit = v;
     } else if (consume(arg, "--metric=", value)) {
       bool known = false;
       (void)metric_value(EpochMetrics{}, value, &known);

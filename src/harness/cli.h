@@ -7,13 +7,21 @@
 //   --policy=rfh|random|owner|request
 //   --workload=uniform|flash|hotspot
 //   --epochs=N --seed=N --partitions=N
+//   --alpha=F --beta=F --gamma=F --delta=F --mu=F --phi=F
+//                                 (Table I thresholds; range-checked:
+//                                  0 < alpha < 1, beta > 0, gamma > 0,
+//                                  delta >= 0, mu >= 0, 0 < phi <= 1)
 //   --write-fraction=F            (enables consistency tracking)
 //   --kill=N@E                    (repeatable: kill N random servers at E)
 //   --metric=<name>               (see metric_names())
 //   --compare                     (all four policies)
-//   --jobs=N                      (worker threads for --compare: 0 = one
-//                                  per hardware thread, 1 = serial;
+//   --jobs=N|auto                 (worker threads for --compare: auto =
+//                                  one per hardware thread, 1 = serial;
 //                                  results are bit-identical for every N)
+//
+// Malformed input never asserts or silently clamps: out-of-range values
+// and *conflicting* duplicate flags (same flag, different value) yield a
+// parse error; --kill stays repeatable by design.
 //   --quiet                       (summary line only)
 //   --trace-out=FILE              (write a structured event trace; single
 //                                  policy runs only)

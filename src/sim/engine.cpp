@@ -23,9 +23,9 @@ Simulation::Simulation(World world, const SimConfig& config,
                world_.topology.datacenter_count()),
       workload_(std::move(workload)),
       policy_(std::move(policy)),
-      rng_workload_(Rng(config_.seed).fork(0x776B6C64 /* "wkld" */)),
-      rng_policy_(Rng(config_.seed).fork(0x706F6C69 /* "poli" */)),
-      rng_failures_(Rng(config_.seed).fork(0x6661696C /* "fail" */)),
+      rng_workload_(Rng(config_.seed).fork(kWorkloadStreamTag)),
+      rng_policy_(Rng(config_.seed).fork(kPolicyStreamTag)),
+      rng_failures_(Rng(config_.seed).fork(kFailureStreamTag)),
       replication_bytes_(world_.topology.server_count(), 0),
       migration_bytes_(world_.topology.server_count(), 0) {
   RFH_ASSERT(workload_ != nullptr);
@@ -429,6 +429,10 @@ void Simulation::fail_servers(std::span<const ServerId> servers) {
                    "refusing to kill the last live server");
     auto lost = cluster_.kill_server(s);
     all_lost.insert(all_lost.end(), lost.begin(), lost.end());
+    // Drop the victim's smoothed traffic so Eq. 17's mean (over *live*
+    // servers) no longer carries the ghost of its decaying tr_bar —
+    // before the promotion pass below, which reads survivors' stats only.
+    stats_.clear_server(s);
     events_.emit(ServerFailed{epoch_, s});
   }
   // Liveness changed: relays and dead-DC skips may differ everywhere, and

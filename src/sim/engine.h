@@ -41,6 +41,14 @@
 
 namespace rfh {
 
+/// RNG stream fork tags. The engine forks one independent stream per
+/// concern from the scenario seed; the differential oracle
+/// (src/check/reference.cpp) forks the same tags so its workload stream
+/// is bit-identical to the engine's.
+inline constexpr std::uint64_t kWorkloadStreamTag = 0x776B6C64;  // "wkld"
+inline constexpr std::uint64_t kPolicyStreamTag = 0x706F6C69;    // "poli"
+inline constexpr std::uint64_t kFailureStreamTag = 0x6661696C;   // "fail"
+
 /// Everything observable about one epoch, for metrics collection.
 struct EpochReport {
   Epoch epoch = 0;

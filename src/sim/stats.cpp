@@ -55,6 +55,24 @@ void TrafficStats::update(const EpochTraffic& traffic) {
   }
 }
 
+void TrafficStats::clear_server(ServerId s) {
+  RFH_ASSERT(s.value() < servers_);
+  server_arrival_[s.value()] = 0.0;
+  for (std::uint32_t p = 0; p < partitions_; ++p) {
+    double& v = node_traffic_[p * servers_ + s.value()];
+    if (v == 0.0) continue;
+    v = 0.0;
+    // Recompute the Eq. 17 numerator from scratch rather than
+    // subtracting: the next update() does the same full re-sum, so this
+    // keeps the two code paths bit-identical for the oracle.
+    double sum = 0.0;
+    for (std::uint32_t k = 0; k < servers_; ++k) {
+      sum += node_traffic_[p * servers_ + k];
+    }
+    node_traffic_sum_[p] = sum;
+  }
+}
+
 double TrafficStats::avg_query(PartitionId p) const {
   RFH_ASSERT(p.value() < partitions_);
   return avg_query_[p.value()];

@@ -29,6 +29,13 @@ class TrafficStats {
   /// Fold in one epoch of raw observations.
   void update(const EpochTraffic& traffic);
 
+  /// Forget everything about a failed server. Without this, the
+  /// exponentially decaying tr_bar entries of dead servers keep inflating
+  /// Eq. 17's numerator while mean_node_traffic() divides by the *live*
+  /// server count, skewing the migration-benefit test (Eq. 16) for many
+  /// epochs after a failure. Called by the engine when a server dies.
+  void clear_server(ServerId s);
+
   /// q_bar_i: smoothed system average query for partition p — the paper
   /// divides the partition's total demand by the number of requesters N.
   [[nodiscard]] double avg_query(PartitionId p) const;

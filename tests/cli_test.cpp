@@ -64,6 +64,78 @@ TEST(Cli, RejectsMalformedNumbers) {
   EXPECT_FALSE(parse({"--write-fraction=-0.1"}).ok);
 }
 
+TEST(Cli, JobsAcceptsAutoAndExplicitCounts) {
+  EXPECT_EQ(parse({"--jobs=auto"}).options.jobs, 0u);
+  EXPECT_EQ(parse({"--jobs=1"}).options.jobs, 1u);
+  EXPECT_EQ(parse({"--jobs=16"}).options.jobs, 16u);
+  EXPECT_EQ(parse({"--jobs=1024"}).options.jobs, 1024u);
+}
+
+TEST(Cli, JobsRejectsZeroNegativeAndGarbage) {
+  // 0 is not a valid worker count — 'auto' is the explicit spelling for
+  // "one worker per hardware thread", so a literal 0 is most likely a
+  // script bug and must not silently mean something else.
+  EXPECT_FALSE(parse({"--jobs=0"}).ok);
+  EXPECT_FALSE(parse({"--jobs=-4"}).ok);
+  EXPECT_FALSE(parse({"--jobs=four"}).ok);
+  EXPECT_FALSE(parse({"--jobs="}).ok);
+  EXPECT_FALSE(parse({"--jobs=2x"}).ok);
+  EXPECT_FALSE(parse({"--jobs=1025"}).ok);  // above the sanity cap
+}
+
+TEST(Cli, TableOneThresholdsAreRangeChecked) {
+  // In-range values parse and land in the scenario.
+  const CliParseResult r =
+      parse({"--alpha=0.3", "--beta=1.5", "--gamma=2.5", "--delta=0.1",
+             "--mu=0.5", "--phi=1"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.options.scenario.sim.alpha, 0.3);
+  EXPECT_DOUBLE_EQ(r.options.scenario.sim.beta, 1.5);
+  EXPECT_DOUBLE_EQ(r.options.scenario.sim.gamma, 2.5);
+  EXPECT_DOUBLE_EQ(r.options.scenario.sim.delta, 0.1);
+  EXPECT_DOUBLE_EQ(r.options.scenario.sim.mu, 0.5);
+  EXPECT_DOUBLE_EQ(r.options.scenario.sim.storage_limit, 1.0);
+
+  // alpha is an EWMA weight: the open interval (0, 1).
+  EXPECT_FALSE(parse({"--alpha=0"}).ok);
+  EXPECT_FALSE(parse({"--alpha=1"}).ok);
+  EXPECT_FALSE(parse({"--alpha=-0.2"}).ok);
+  EXPECT_FALSE(parse({"--alpha=nope"}).ok);
+  // beta / gamma must be positive, delta / mu non-negative.
+  EXPECT_FALSE(parse({"--beta=0"}).ok);
+  EXPECT_FALSE(parse({"--beta=-1"}).ok);
+  EXPECT_FALSE(parse({"--gamma=0"}).ok);
+  EXPECT_FALSE(parse({"--delta=-0.1"}).ok);
+  EXPECT_FALSE(parse({"--mu=-1"}).ok);
+  // phi is a storage fraction: the half-open interval (0, 1].
+  EXPECT_FALSE(parse({"--phi=0"}).ok);
+  EXPECT_FALSE(parse({"--phi=1.2"}).ok);
+  EXPECT_FALSE(parse({"--phi=-0.5"}).ok);
+}
+
+TEST(Cli, ConflictingDuplicateFlagsAreErrors) {
+  // Last-one-wins would silently discard the user's earlier intent.
+  EXPECT_FALSE(parse({"--epochs=10", "--epochs=20"}).ok);
+  EXPECT_FALSE(parse({"--seed=1", "--seed=2"}).ok);
+  EXPECT_FALSE(parse({"--policy=rfh", "--policy=random"}).ok);
+  EXPECT_FALSE(parse({"--jobs=2", "--jobs=4"}).ok);
+  const CliParseResult r = parse({"--alpha=0.2", "--alpha=0.9"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("conflicting duplicate"), std::string::npos);
+}
+
+TEST(Cli, IdenticalDuplicateFlagsAreHarmless) {
+  const CliParseResult r = parse({"--epochs=10", "--epochs=10"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.scenario.epochs, 10u);
+}
+
+TEST(Cli, KillStaysRepeatableWithDifferentValues) {
+  const CliParseResult r = parse({"--kill=3@5", "--kill=2@9"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.failures.size(), 2u);
+}
+
 TEST(Cli, KillEventsAreRepeatable) {
   const CliParseResult r = parse({"--kill=30@290", "--kill=5@10"});
   ASSERT_TRUE(r.ok) << r.error;

@@ -1,0 +1,70 @@
+// Replays every minimized case committed under tests/data/corpus/
+// through the differential harness. Each file is a previously
+// interesting scenario (shrunk by src/check/shrink.h) that must stay
+// divergence-free: a red run here means a behavioural change reached one
+// of the regression scenarios the corpus pins down.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/case.h"
+#include "check/diff.h"
+
+namespace rfh {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  const std::filesystem::path dir =
+      std::filesystem::path(RFH_TEST_DATA_DIR) / "corpus";
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Corpus, HoldsTheSeedScenarios) {
+  const std::vector<std::string> files = corpus_files();
+  EXPECT_GE(files.size(), 5u);
+  // The two scenarios the harness was built to pin down must stay in the
+  // corpus: route-memo invalidation under datacenter death, and the
+  // Eq. 15-vs-Eq. 14 suicide/availability boundary.
+  const auto holds = [&](const char* name) {
+    return std::any_of(files.begin(), files.end(), [&](const std::string& f) {
+      return f.find(name) != std::string::npos;
+    });
+  };
+  EXPECT_TRUE(holds("route_memo_dc_outage"));
+  EXPECT_TRUE(holds("suicide_availability_boundary"));
+}
+
+TEST(Corpus, EveryCaseReplaysDivergenceFree) {
+  for (const std::string& file : corpus_files()) {
+    const CheckCase::ParseResult parsed = CheckCase::load(file);
+    ASSERT_TRUE(parsed.ok) << file << ": " << parsed.error;
+    const DiffOutcome outcome = run_check_case(parsed.value);
+    EXPECT_TRUE(outcome.ok) << file << ": " << outcome.to_string();
+  }
+}
+
+TEST(Corpus, FilesAreCanonicalSerializations) {
+  // Committed corpus files round-trip bit-exactly, so regenerating a
+  // case never produces spurious diffs.
+  for (const std::string& file : corpus_files()) {
+    const CheckCase::ParseResult parsed = CheckCase::load(file);
+    ASSERT_TRUE(parsed.ok) << file << ": " << parsed.error;
+    const CheckCase::ParseResult again =
+        CheckCase::from_json(parsed.value.to_json());
+    ASSERT_TRUE(again.ok) << file;
+    EXPECT_EQ(again.value, parsed.value) << file;
+  }
+}
+
+}  // namespace
+}  // namespace rfh

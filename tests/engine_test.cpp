@@ -230,6 +230,39 @@ TEST(Engine, TotalLossReseedsAndCounts) {
   sim->cluster().check_invariants();
 }
 
+TEST(Engine, FailureClearsDeadServerStatistics) {
+  // Regression: the engine must forget a dead server's smoothed series.
+  // Without TrafficStats::clear_server on failure, the victim's
+  // exponentially decaying tr-bar entries keep inflating Eq. 17's
+  // numerator while mean_node_traffic() divides by the *live* server
+  // count, skewing the Eq. 16 migration-benefit bar for many epochs.
+  const PartitionId p{0};
+  auto sim = test::make_fixed_sim({QueryFlow{p, DatacenterId{4}, 50.0}},
+                                  std::make_unique<test::NullPolicy>());
+  sim->step();
+  sim->step();
+  const ServerId holder = sim->cluster().primary_of(p);
+  ASSERT_GT(sim->stats().node_traffic(p, holder), 0.0);
+  ASSERT_GT(sim->stats().server_arrival(holder), 0.0);
+
+  const ServerId victims[] = {holder};
+  sim->fail_servers(victims);
+  EXPECT_DOUBLE_EQ(sim->stats().node_traffic(p, holder), 0.0);
+  EXPECT_DOUBLE_EQ(sim->stats().server_arrival(holder), 0.0);
+
+  // Eq. 17's mean now reconciles exactly with a manual sum over the
+  // live servers — no stale dead-server traffic left in the numerator.
+  const std::uint32_t live = sim->cluster().live_server_count();
+  double live_sum = 0.0;
+  for (const Server& s : sim->topology().servers()) {
+    if (sim->cluster().alive(s.id)) {
+      live_sum += sim->stats().node_traffic(p, s.id);
+    }
+  }
+  EXPECT_DOUBLE_EQ(sim->stats().mean_node_traffic(p, live),
+                   live_sum / static_cast<double>(live));
+}
+
 TEST(Engine, FailRandomServersKillsExactlyN) {
   auto sim = test::make_fixed_sim({}, std::make_unique<test::NullPolicy>());
   const auto victims = sim->fail_random_servers(30);

@@ -26,6 +26,13 @@ TEST(ErlangB, ZeroOfferedLoadNeverBlocks) {
   EXPECT_DOUBLE_EQ(erlang_b(0.0, 5), 0.0);
 }
 
+TEST(ErlangB, ZeroOfferedLoadDominatesZeroChannels) {
+  // Nothing arrives, so nothing blocks — even with no channels at all.
+  // The recursion's B(0) = 1 base case must not leak out for the empty
+  // (0, 0) system.
+  EXPECT_DOUBLE_EQ(erlang_b(0.0, 0), 0.0);
+}
+
 TEST(ErlangB, ZeroChannelsAlwaysBlocks) {
   EXPECT_DOUBLE_EQ(erlang_b(1.0, 0), 1.0);
   EXPECT_DOUBLE_EQ(erlang_b(100.0, 0), 1.0);
@@ -118,6 +125,24 @@ TEST(ErlangC, AlwaysAtLeastErlangB) {
       EXPECT_GE(erlang_c(a, c), erlang_b(a, c) - 1e-12);
     }
   }
+}
+
+TEST(ErlangC, ZeroOfferedLoadDominatesZeroChannels) {
+  EXPECT_DOUBLE_EQ(erlang_c(0.0, 0), 0.0);
+}
+
+TEST(ErlangCMeanWait, ZeroOfferedLoadNeverWaits) {
+  // The empty system: zero offered traffic waits zero service times,
+  // regardless of the channel count — including the degenerate (0, 0)
+  // system, where the stability test alone would claim an infinite wait.
+  EXPECT_DOUBLE_EQ(erlang_c_mean_wait(0.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(erlang_c_mean_wait(0.0, 4), 0.0);
+}
+
+TEST(ErlangCMeanWait, SaturationBoundaryIsInfinite) {
+  // offered == channels is the first unstable point (rho = 1).
+  EXPECT_TRUE(std::isinf(erlang_c_mean_wait(4.0, 4)));
+  EXPECT_TRUE(std::isinf(erlang_c_mean_wait(1.0, 0)));
 }
 
 TEST(ErlangCMeanWait, MatchesMm1AndDiverges) {

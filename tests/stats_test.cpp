@@ -95,6 +95,40 @@ TEST(TrafficStats, ConvergesToSteadyInput) {
   EXPECT_NEAR(stats.avg_query(PartitionId{3}), 7.0, 1e-9);
 }
 
+TEST(TrafficStats, ClearServerForgetsAllSeries) {
+  TrafficStats stats(kPartitions, kServers, kDatacenters, 0.2);
+  EpochTraffic traffic = make_traffic();
+  traffic.node_traffic_mut(PartitionId{0}, ServerId{2}) = 12.0;
+  traffic.node_traffic_mut(PartitionId{1}, ServerId{2}) = 4.0;
+  traffic.node_traffic_mut(PartitionId{0}, ServerId{3}) = 6.0;
+  traffic.server_work_mut(ServerId{2}) = 16.0;
+  stats.update(traffic);
+
+  stats.clear_server(ServerId{2});
+  EXPECT_DOUBLE_EQ(stats.node_traffic(PartitionId{0}, ServerId{2}), 0.0);
+  EXPECT_DOUBLE_EQ(stats.node_traffic(PartitionId{1}, ServerId{2}), 0.0);
+  EXPECT_DOUBLE_EQ(stats.server_arrival(ServerId{2}), 0.0);
+  // Other servers' series are untouched.
+  EXPECT_DOUBLE_EQ(stats.node_traffic(PartitionId{0}, ServerId{3}), 6.0);
+}
+
+TEST(TrafficStats, ClearServerRebalancesEq17Mean) {
+  // The dead server's tr-bar must leave the Eq. 17 numerator at the same
+  // time the live count leaves its denominator — otherwise stale traffic
+  // inflates the mean for many epochs after a failure.
+  TrafficStats stats(kPartitions, kServers, kDatacenters, 0.2);
+  EpochTraffic traffic = make_traffic();
+  traffic.node_traffic_mut(PartitionId{0}, ServerId{1}) = 30.0;
+  traffic.node_traffic_mut(PartitionId{0}, ServerId{4}) = 10.0;
+  stats.update(traffic);
+  EXPECT_DOUBLE_EQ(stats.mean_node_traffic(PartitionId{0}, kServers),
+                   40.0 / kServers);
+
+  stats.clear_server(ServerId{1});
+  EXPECT_DOUBLE_EQ(stats.mean_node_traffic(PartitionId{0}, kServers - 1),
+                   10.0 / (kServers - 1));
+}
+
 TEST(EpochTraffic, ResetClearsEverything) {
   EpochTraffic traffic = make_traffic();
   traffic.node_traffic_mut(PartitionId{0}, ServerId{0}) = 1.0;
