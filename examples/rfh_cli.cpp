@@ -12,6 +12,9 @@
 //   ./rfh_cli --metrics-out=metrics.json --metrics-format=json
 //   ./rfh_cli --profile --quiet
 //   ./rfh_cli --fault-plan=chaos.plan --check-invariants --quiet
+//   ./rfh_cli --workload=stream --metrics-out=- --quiet
+//   ./rfh_cli --workload=stream --arrival-rate=600 --queue-cap=16
+//             --service-cv=2 --metric=qp99 --check-invariants
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -132,18 +135,24 @@ int main(int argc, char** argv) {
   }
 
   if (registry != nullptr) {
-    std::ofstream metrics_file(options.metrics_out);
-    if (!metrics_file) {
-      std::fprintf(stderr, "rfh_cli: cannot open '%s' for writing\n",
-                   options.metrics_out.c_str());
-      return 2;
+    // --metrics-out=- dumps to stdout (after the CSV/summary lines).
+    std::ofstream metrics_file;
+    if (options.metrics_out != "-") {
+      metrics_file.open(options.metrics_out);
+      if (!metrics_file) {
+        std::fprintf(stderr, "rfh_cli: cannot open '%s' for writing\n",
+                     options.metrics_out.c_str());
+        return 2;
+      }
     }
+    std::ostream& out =
+        options.metrics_out == "-" ? std::cout : metrics_file;
     if (options.metrics_format == rfh::MetricsFormat::kJson) {
-      registry->write_json(metrics_file);
+      registry->write_json(out);
     } else {
-      registry->write_prometheus(metrics_file);
+      registry->write_prometheus(out);
     }
-    if (!options.quiet) {
+    if (!options.quiet && options.metrics_out != "-") {
       std::fprintf(stderr, "# metrics written to %s\n",
                    options.metrics_out.c_str());
     }

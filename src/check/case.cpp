@@ -166,6 +166,7 @@ const char* workload_kind_name(WorkloadKind kind) noexcept {
     case WorkloadKind::kUniform: return "uniform";
     case WorkloadKind::kFlashCrowd: return "flash";
     case WorkloadKind::kHotspotShift: return "hotspot";
+    case WorkloadKind::kStream: return "stream";
   }
   return "?";
 }
@@ -320,6 +321,8 @@ CheckCase::ParseResult CheckCase::from_json(std::string_view text) {
         c.workload = WorkloadKind::kFlashCrowd;
       } else if (raw == "hotspot") {
         c.workload = WorkloadKind::kHotspotShift;
+      } else if (raw == "stream") {
+        c.workload = WorkloadKind::kStream;
       } else {
         err = "unknown workload '" + raw + "'";
       }

@@ -55,4 +55,15 @@ double erlang_c_mean_wait(double offered, std::uint32_t channels) noexcept {
          (static_cast<double>(channels) - offered);
 }
 
+double erlang_mgc_mean_wait(double offered, std::uint32_t channels,
+                            double cv) noexcept {
+  RFH_ASSERT(cv >= 0.0);
+  // The Allen-Cunneen factor scales the M/M/c wait, so the zero-load and
+  // saturation sentinels propagate unchanged (0 * k == 0, inf * k == inf
+  // for k > 0; cv == 0 with an infinite wait still diverges, so the
+  // factor is applied after the sentinel cases inside erlang_c_mean_wait
+  // — inf * 0.5 stays inf).
+  return erlang_c_mean_wait(offered, channels) * (1.0 + cv * cv) / 2.0;
+}
+
 }  // namespace rfh

@@ -40,9 +40,29 @@ std::uint32_t erlang_b_channels_for(double offered, double target) noexcept;
 double erlang_c(double offered, std::uint32_t channels) noexcept;
 
 /// Mean waiting time in the same M/M/c queue, in units of one service
-/// time: W = C(a, c) / (c - a). Infinity when 0 < offered and
-/// offered >= channels; exactly 0 when offered == 0 (see the
-/// zero-offered-traffic convention above).
+/// time: W = C(a, c) / (c - a).
+///
+/// Saturation sentinel: when 0 < offered and offered >= channels the
+/// queue has no stationary distribution, so the function returns
+/// +infinity (std::numeric_limits<double>::infinity()) rather than a
+/// negative or NaN value from the divergent formula. Callers gate on
+/// std::isinf() to detect the unstable regime; exactly 0 when
+/// offered == 0 (see the zero-offered-traffic convention above).
 double erlang_c_mean_wait(double offered, std::uint32_t channels) noexcept;
+
+/// Mean waiting time in an M/G/c queue via the Allen-Cunneen
+/// approximation, in units of one mean service time:
+///
+///   W(M/G/c) ~= W(M/M/c) * (1 + cv^2) / 2
+///
+/// where cv is the coefficient of variation of the service-time
+/// distribution (cv = 1 recovers M/M/c exactly; cv = 0 gives the M/D/c
+/// half-wait). This is the queueing companion to Eq. 18's M/G/c/c loss
+/// model: blocking is insensitive to the service distribution, waiting is
+/// not, and cv^2 is the first-order correction. Shares
+/// erlang_c_mean_wait's conventions: exactly 0 at offered == 0, +infinity
+/// at saturation (offered >= channels).
+double erlang_mgc_mean_wait(double offered, std::uint32_t channels,
+                            double cv) noexcept;
 
 }  // namespace rfh

@@ -104,6 +104,15 @@ std::uint64_t series_digest(std::span<const EpochMetrics> series) {
     digest_u64(hash, m.dropped_node_cap);
     digest_u64(hash, m.dropped_dead_target);
     digest_u64(hash, m.dropped_invalid);
+    digest_double(hash, m.stream_arrivals);
+    digest_double(hash, m.stream_served);
+    digest_double(hash, m.stream_blocked);
+    digest_double(hash, m.stream_dropped);
+    digest_u64(hash, m.stream_max_queue_depth);
+    digest_double(hash, m.stream_wait_mean_ms);
+    digest_double(hash, m.stream_p50_ms);
+    digest_double(hash, m.stream_p99_ms);
+    digest_double(hash, m.stream_p999_ms);
   }
   return hash;
 }

@@ -42,6 +42,8 @@ const char* invariant_name(InvariantId id) noexcept {
     case InvariantId::kAccounting: return "accounting";
     case InvariantId::kTraffic: return "traffic";
     case InvariantId::kTelemetry: return "telemetry";
+    case InvariantId::kQueueDepth: return "queue_depth";
+    case InvariantId::kStreamAccounting: return "stream_accounting";
   }
   return "?";
 }
@@ -77,6 +79,48 @@ std::size_t InvariantChecker::check_epoch(const Simulation& sim,
   if (mode_ == Mode::kFailFast && violations_this_epoch_ > 0) {
     std::fprintf(stderr,
                  "invariant check failed at epoch %u (%zu violations):\n",
+                 epoch, violations_this_epoch_);
+    const std::size_t first = violations_.size() - violations_this_epoch_;
+    for (std::size_t i = first; i < violations_.size(); ++i) {
+      std::fprintf(stderr, "  [%s] %s\n", invariant_name(violations_[i].id),
+                   violations_[i].detail.c_str());
+    }
+    std::abort();
+  }
+  return violations_this_epoch_;
+}
+
+std::size_t InvariantChecker::check_stream(const StreamEpochStats& stats,
+                                           const StreamConfig& config,
+                                           double batch_total_queries) {
+  violations_this_epoch_ = 0;
+  const Epoch epoch = stats.epoch;
+
+  if (stats.max_queue_depth > config.queue_cap) {
+    report_violation(
+        epoch, InvariantId::kQueueDepth,
+        format("max queue depth %u exceeds --queue-cap %u",
+               stats.max_queue_depth, config.queue_cap));
+  }
+  const double accounted = stats.served + stats.blocked + stats.dropped;
+  if (!close(stats.arrivals, accounted)) {
+    report_violation(
+        epoch, InvariantId::kStreamAccounting,
+        format("arrivals %.6f != served %.6f + blocked %.6f + dropped %.6f",
+               stats.arrivals, stats.served, stats.blocked, stats.dropped));
+  }
+  if (!close(stats.arrivals, batch_total_queries)) {
+    report_violation(
+        epoch, InvariantId::kStreamAccounting,
+        format("stream arrivals %.6f disagree with batch total %.6f "
+               "(batch equivalence broke)",
+               stats.arrivals, batch_total_queries));
+  }
+
+  if (mode_ == Mode::kFailFast && violations_this_epoch_ > 0) {
+    std::fprintf(stderr,
+                 "stream invariant check failed at epoch %u "
+                 "(%zu violations):\n",
                  epoch, violations_this_epoch_);
     const std::size_t first = violations_.size() - violations_this_epoch_;
     for (std::size_t i = first; i < violations_.size(); ++i) {

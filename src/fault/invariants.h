@@ -36,6 +36,8 @@
 #include <vector>
 
 #include "sim/engine.h"
+#include "stream/config.h"
+#include "stream/stream_sim.h"
 
 namespace rfh {
 
@@ -47,8 +49,13 @@ enum class InvariantId : std::uint8_t {
   kAccounting,
   kTraffic,
   kTelemetry,
+  /// Stream layer: no server's waiting room ever exceeds --queue-cap.
+  kQueueDepth,
+  /// Stream layer: arrivals == served + blocked + dropped per epoch, and
+  /// arrivals match the batch engine's total queries.
+  kStreamAccounting,
 };
-inline constexpr std::size_t kInvariantCount = 7;
+inline constexpr std::size_t kInvariantCount = 9;
 
 /// Stable snake_case name ("replica_floor", ...).
 [[nodiscard]] const char* invariant_name(InvariantId id) noexcept;
@@ -72,6 +79,16 @@ class InvariantChecker {
   /// number of violations found this epoch (always 0 in fail-fast mode —
   /// it aborts instead of returning nonzero).
   std::size_t check_epoch(const Simulation& sim, const EpochReport& report);
+
+  /// Verify the stream layer's queue invariants for one processed epoch:
+  /// kQueueDepth (max waiting-room occupancy <= config.queue_cap) and
+  /// kStreamAccounting (arrivals == served + blocked + dropped, and
+  /// arrivals == the batch engine's total queries
+  /// `batch_total_queries`). Call after StreamSimulator::process_epoch;
+  /// same return/abort semantics as check_epoch.
+  std::size_t check_stream(const StreamEpochStats& stats,
+                           const StreamConfig& config,
+                           double batch_total_queries);
 
   [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
     return violations_;

@@ -32,7 +32,8 @@ bool parse_double(const std::string& text, double& out) {
 std::vector<std::string> metric_names() {
   return {"utilization", "replicas", "path",   "imbalance", "latency",
           "sla",         "cost",     "migrations", "lag",   "stale",
-          "diversity",   "dropped"};
+          "diversity",   "dropped",  "qdepth", "qdrop",     "qwait",
+          "qp99"};
 }
 
 double metric_value(const EpochMetrics& m, const std::string& metric,
@@ -50,6 +51,10 @@ double metric_value(const EpochMetrics& m, const std::string& metric,
   if (metric == "stale") return m.stale_read_fraction;
   if (metric == "diversity") return m.diversity_level;
   if (metric == "dropped") return m.dropped_this_epoch;
+  if (metric == "qdepth") return m.stream_max_queue_depth;
+  if (metric == "qdrop") return m.stream_dropped;
+  if (metric == "qwait") return m.stream_wait_mean_ms;
+  if (metric == "qp99") return m.stream_p99_ms;
   *ok = false;
   return 0.0;
 }
@@ -67,6 +72,8 @@ CliParseResult parse_cli(std::span<const char* const> args) {
   // user's earlier intent; repeating the identical value is harmless.
   // --kill is the one legitimately repeatable value flag.
   std::map<std::string, std::string> seen;
+  // Last stream-layer flag encountered, for the workload=stream check.
+  const char* stream_flag = nullptr;
   for (const char* arg : args) {
     if (std::strncmp(arg, "--", 2) == 0) {
       if (const char* eq = std::strchr(arg, '=')) {
@@ -99,6 +106,8 @@ CliParseResult parse_cli(std::span<const char* const> args) {
                 : epochs;
       } else if (value == "hotspot") {
         options.scenario.workload = WorkloadKind::kHotspotShift;
+      } else if (value == "stream") {
+        options.scenario.workload = WorkloadKind::kStream;
       } else {
         return fail("unknown workload '" + value + "'");
       }
@@ -193,6 +202,30 @@ CliParseResult parse_cli(std::span<const char* const> args) {
                     "got '" + value + "'");
       }
       options.scenario.sim.storage_limit = v;
+    } else if (consume(arg, "--arrival-rate=", value)) {
+      double v = 0.0;
+      if (!parse_double(value, v) || !(v > 0.0)) {
+        return fail("--arrival-rate expects a positive mean arrivals per "
+                    "epoch, got '" + value + "'");
+      }
+      options.scenario.stream.arrival_rate = v;
+      stream_flag = "--arrival-rate";
+    } else if (consume(arg, "--queue-cap=", value)) {
+      std::uint64_t v = 0;
+      if (!parse_u64(value, v) || v == 0 || v > 1000000) {
+        return fail("--queue-cap expects an integer in [1, 1000000], "
+                    "got '" + value + "'");
+      }
+      options.scenario.stream.queue_cap = static_cast<std::uint32_t>(v);
+      stream_flag = "--queue-cap";
+    } else if (consume(arg, "--service-cv=", value)) {
+      double v = 0.0;
+      if (!parse_double(value, v) || !(v >= 0.0)) {
+        return fail("--service-cv expects a non-negative coefficient of "
+                    "variation, got '" + value + "'");
+      }
+      options.scenario.stream.service_cv = v;
+      stream_flag = "--service-cv";
     } else if (consume(arg, "--metric=", value)) {
       bool known = false;
       (void)metric_value(EpochMetrics{}, value, &known);
@@ -249,6 +282,11 @@ CliParseResult parse_cli(std::span<const char* const> args) {
   if (options.check_invariants && options.compare) {
     return fail("--check-invariants checks a single policy run; drop "
                 "--compare");
+  }
+  if (stream_flag != nullptr &&
+      options.scenario.workload != WorkloadKind::kStream) {
+    return fail(std::string(stream_flag) +
+                " only applies to --workload=stream");
   }
   result.ok = true;
   return result;

@@ -5,13 +5,20 @@
 //
 // Grammar:
 //   --policy=rfh|random|owner|request
-//   --workload=uniform|flash|hotspot
+//   --workload=uniform|flash|hotspot|stream
 //   --epochs=N --seed=N --partitions=N
 //   --alpha=F --beta=F --gamma=F --delta=F --mu=F --phi=F
 //                                 (Table I thresholds; range-checked:
 //                                  0 < alpha < 1, beta > 0, gamma > 0,
 //                                  delta >= 0, mu >= 0, 0 < phi <= 1)
 //   --write-fraction=F            (enables consistency tracking)
+//   --arrival-rate=F              (stream only: Poisson mean arrivals per
+//                                  epoch; F > 0, default Table I's 300)
+//   --queue-cap=N                 (stream only: per-server queue-depth cap
+//                                  before backpressure drops; 1..1000000)
+//   --service-cv=F                (stream only: service-time coefficient
+//                                  of variation for the M/G/c wait
+//                                  correction; F >= 0, 1 = exponential)
 //   --kill=N@E                    (repeatable: kill N random servers at E)
 //   --metric=<name>               (see metric_names())
 //   --compare                     (all four policies)

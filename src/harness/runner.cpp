@@ -7,6 +7,7 @@
 #include "common/assert.h"
 #include "consistency/tracker.h"
 #include "fault/chaos.h"
+#include "stream/stream_sim.h"
 
 namespace rfh {
 
@@ -33,6 +34,17 @@ PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
     sim->set_profiler(profiler);
   }
   MetricsCollector collector;
+
+  // Streaming-load layer: attach the flow log so propagate() records its
+  // absorption decisions, then queue the epoch's arrivals after each
+  // step. Observational — batch-side results are byte-identical with or
+  // without it (tests/stream_test.cpp).
+  std::optional<StreamSimulator> stream;
+  if (scenario.workload == WorkloadKind::kStream) {
+    stream.emplace(sim->world(), registry, scenario.stream,
+                   scenario.sim.seed);
+    sim->set_flow_log(&stream->flow_log());
+  }
 
   std::optional<ConsistencyTracker> tracker;
   if (scenario.write_fraction > 0.0) {
@@ -79,8 +91,28 @@ PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
     }
     const EpochReport report = sim->step();
     if (checker != nullptr) checker->check_epoch(*sim, report);
+    std::optional<StreamEpochStats> stream_stats;
+    if (stream) {
+      const ScopedTimer stream_timer(profiler, Phase::kStreamAssign);
+      stream_stats = stream->process_epoch(*sim, report);
+      if (checker != nullptr) {
+        checker->check_stream(*stream_stats, scenario.stream,
+                              report.total_queries);
+      }
+    }
     const ScopedTimer collect_timer(profiler, Phase::kMetricsCollect);
     EpochMetrics metrics = collector.collect(*sim, report);
+    if (stream_stats) {
+      metrics.stream_arrivals = stream_stats->arrivals;
+      metrics.stream_served = stream_stats->served;
+      metrics.stream_blocked = stream_stats->blocked;
+      metrics.stream_dropped = stream_stats->dropped;
+      metrics.stream_max_queue_depth = stream_stats->max_queue_depth;
+      metrics.stream_wait_mean_ms = stream_stats->mean_wait_ms;
+      metrics.stream_p50_ms = stream_stats->p50_ms;
+      metrics.stream_p99_ms = stream_stats->p99_ms;
+      metrics.stream_p999_ms = stream_stats->p999_ms;
+    }
     if (tracker) {
       std::vector<double> writes(scenario.sim.partitions, 0.0);
       for (std::uint32_t p = 0; p < scenario.sim.partitions; ++p) {

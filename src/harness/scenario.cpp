@@ -70,6 +70,20 @@ std::unique_ptr<WorkloadGenerator> make_workload(const Scenario& scenario,
     case WorkloadKind::kHotspotShift:
       return std::make_unique<HotspotShiftWorkload>(
           params, /*phase_epochs=*/scenario.epochs / 4 + 1);
+    case WorkloadKind::kStream:
+      // Batch equivalence by construction: the stream workload *is* the
+      // uniform generator (same RNG stream, mean = arrival_rate, which
+      // defaults to the Table I lambda), so stream and uniform runs at
+      // the same seed produce identical batches and the queueing layer
+      // only decides arrival times. Popularity drift opts into the
+      // hotspot-shift generator instead.
+      params.mean_queries_per_epoch = scenario.stream.arrival_rate;
+      if (scenario.stream.drift_period > 0) {
+        return std::make_unique<HotspotShiftWorkload>(
+            params, scenario.stream.drift_period,
+            scenario.stream.hotspot_drift);
+      }
+      return std::make_unique<UniformWorkload>(params);
   }
   RFH_UNREACHABLE("unknown workload kind");
 }

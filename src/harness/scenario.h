@@ -8,13 +8,17 @@
 #include "core/rfh_policy.h"
 #include "fault/plan.h"
 #include "sim/engine.h"
+#include "stream/config.h"
 #include "topology/world.h"
 #include "workload/generator.h"
 
 namespace rfh {
 
 enum class PolicyKind { kRequest, kOwner, kRandom, kRfh };
-enum class WorkloadKind { kUniform, kFlashCrowd, kHotspotShift };
+/// kStream generates the same per-epoch batches as kUniform (identical
+/// RNG consumption, mean = stream.arrival_rate) and additionally runs
+/// the src/stream/ queueing layer over them in the runner.
+enum class WorkloadKind { kUniform, kFlashCrowd, kHotspotShift, kStream };
 
 std::string_view policy_name(PolicyKind kind) noexcept;
 
@@ -35,6 +39,9 @@ struct Scenario {
   /// ChaosController seeded from `sim.seed`, so the same scenario injects
   /// the same faults into every compared policy's run.
   FaultPlan fault_plan;
+  /// Streaming-load knobs; only consulted when workload == kStream
+  /// (--arrival-rate / --queue-cap / --service-cv in the CLI).
+  StreamConfig stream;
 
   /// Table I defaults with the paper's horizons per workload kind.
   static Scenario paper_random_query();

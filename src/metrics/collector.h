@@ -65,6 +65,19 @@ struct EpochMetrics {
   std::uint32_t dropped_node_cap = 0;
   std::uint32_t dropped_dead_target = 0;
   std::uint32_t dropped_invalid = 0;
+
+  // Streaming-load layer (src/stream/; filled by the runner when the
+  // scenario's workload is kStream, otherwise zero). Arrival accounting:
+  // stream_arrivals == stream_served + stream_blocked + stream_dropped.
+  double stream_arrivals = 0.0;
+  double stream_served = 0.0;
+  double stream_blocked = 0.0;
+  double stream_dropped = 0.0;
+  std::uint32_t stream_max_queue_depth = 0;
+  double stream_wait_mean_ms = 0.0;
+  double stream_p50_ms = 0.0;
+  double stream_p99_ms = 0.0;
+  double stream_p999_ms = 0.0;
 };
 
 class MetricsCollector {

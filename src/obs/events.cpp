@@ -82,6 +82,12 @@ struct NameVisitor {
     return "EpochCompleted";
   }
   const char* operator()(const PhaseSpan&) const { return "PhaseSpan"; }
+  const char* operator()(const StreamEpochSummary&) const {
+    return "StreamEpochSummary";
+  }
+  const char* operator()(const QueueSaturated&) const {
+    return "QueueSaturated";
+  }
 };
 
 }  // namespace

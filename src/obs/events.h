@@ -237,11 +237,38 @@ struct PhaseSpan {
   double wall_ms = 0.0;
 };
 
+/// Per-epoch streaming-load summary (src/stream/): the queueing layer's
+/// counterpart to EpochCompleted. Arrival accounting satisfies
+/// arrivals == served + blocked + dropped (the kStreamAccounting
+/// invariant); mean_wait_ms is the weighted mean queueing delay of
+/// accepted queries after the M/G/c variance correction.
+struct StreamEpochSummary {
+  Epoch epoch = 0;
+  double arrivals = 0.0;
+  double served = 0.0;
+  double blocked = 0.0;
+  double dropped = 0.0;
+  std::uint32_t max_queue_depth = 0;
+  double mean_wait_ms = 0.0;
+};
+
+/// A server's waiting room hit its --queue-cap and shed load this epoch
+/// (one event per saturated server per epoch, emitted at epoch end).
+struct QueueSaturated {
+  Epoch epoch = 0;
+  ServerId server;
+  DatacenterId dc;
+  std::uint32_t max_depth = 0;
+  std::uint32_t cap = 0;
+  double dropped = 0.0;
+};
+
 using Event =
     std::variant<QueryRoutedSummary, ReplicaAdded, MigrationExecuted, Suicide,
                  ActionDropped, ServerFailed, ServerRecovered, PrimaryPromoted,
                  Reseeded, LinkFailed, LinkRestored, FaultInjected,
-                 EpochCompleted, PhaseSpan>;
+                 EpochCompleted, PhaseSpan, StreamEpochSummary,
+                 QueueSaturated>;
 
 /// Stable PascalCase type name ("ReplicaAdded", ...), used by sinks and
 /// the CLI's --trace-filter grammar.

@@ -155,6 +155,21 @@ void append_fields(JsonWriter& w, const EpochCompleted& e) {
   w.num("replication_cost", e.replication_cost);
   w.num("migration_cost", e.migration_cost);
 }
+void append_fields(JsonWriter& w, const StreamEpochSummary& e) {
+  w.num("arrivals", e.arrivals);
+  w.num("served", e.served);
+  w.num("blocked", e.blocked);
+  w.num("dropped", e.dropped);
+  w.num("max_queue_depth", std::uint64_t{e.max_queue_depth});
+  w.num("mean_wait_ms", e.mean_wait_ms);
+}
+void append_fields(JsonWriter& w, const QueueSaturated& e) {
+  w.id("server", e.server);
+  w.id("dc", e.dc);
+  w.num("max_depth", std::uint64_t{e.max_depth});
+  w.num("cap", std::uint64_t{e.cap});
+  w.num("dropped", e.dropped);
+}
 
 void append_event_json(std::string& out, const Event& event) {
   JsonWriter w(out);
@@ -275,6 +290,8 @@ std::uint32_t chrome_tid(const Event& event) {
     std::uint32_t operator()(const LinkRestored&) const { return 3; }
     std::uint32_t operator()(const FaultInjected&) const { return 3; }
     std::uint32_t operator()(const PhaseSpan&) const { return 1; }
+    std::uint32_t operator()(const StreamEpochSummary&) const { return 1; }
+    std::uint32_t operator()(const QueueSaturated&) const { return 3; }
   };
   return std::visit(Visitor{}, event);
 }

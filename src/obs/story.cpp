@@ -95,6 +95,18 @@ struct DescribeVisitor {
   std::string operator()(const PhaseSpan& e) const {
     return format("phase %s took %.3f ms", e.phase, e.wall_ms);
   }
+  std::string operator()(const StreamEpochSummary& e) const {
+    return format("stream: %.0f arrivals = %.0f served + %.0f blocked + "
+                  "%.0f dropped (max depth %u, mean wait %.1f ms)",
+                  e.arrivals, e.served, e.blocked, e.dropped,
+                  e.max_queue_depth, e.mean_wait_ms);
+  }
+  std::string operator()(const QueueSaturated& e) const {
+    return format("server %u (dc %u) queue saturated: depth %u/%u, "
+                  "%.0f queries dropped by backpressure",
+                  e.server.value(), e.dc.value(), e.max_depth, e.cap,
+                  e.dropped);
+  }
 };
 
 }  // namespace

@@ -68,6 +68,7 @@ double Simulation::transfer_cost(DatacenterId from, DatacenterId to,
 
 void Simulation::propagate(const QueryBatch& batch) {
   traffic_.reset();
+  if (flow_log_ != nullptr) flow_log_->clear();
   const auto live_by_dc = cluster_.live_by_dc();
 
   for (const QueryFlow& flow : batch) {
@@ -80,6 +81,12 @@ void Simulation::propagate(const QueryBatch& batch) {
     if (!holder.valid()) {
       // Data currently unavailable (lost primary not yet reseeded).
       traffic_.unserved_mut(flow.partition) += flow.queries;
+      if (flow_log_ != nullptr) {
+        // No latency sample in batch mode either: -1 marks "lost".
+        flow_log_->add(FlowSegment{flow.partition, flow.requester,
+                                   ServerId::invalid(), flow.requester,
+                                   flow.queries, -1.0});
+      }
       continue;
     }
 
@@ -111,6 +118,10 @@ void Simulation::propagate(const QueryBatch& batch) {
         }
         traffic_.add_path_sample(take, stage.hops_at_entry);
         traffic_.add_latency(take, stage.latency_ms);
+        if (flow_log_ != nullptr) {
+          flow_log_->add(FlowSegment{flow.partition, flow.requester, host,
+                                     stage.dc, take, stage.latency_ms});
+        }
         residual -= take;
       }
     }
@@ -120,6 +131,12 @@ void Simulation::propagate(const QueryBatch& batch) {
       traffic_.add_path_sample(residual, route.total_hops);
       traffic_.add_latency(residual, route.total_latency_ms +
                                          config_.blocked_penalty_ms);
+      if (flow_log_ != nullptr) {
+        flow_log_->add(FlowSegment{
+            flow.partition, flow.requester, ServerId::invalid(),
+            flow.requester, residual,
+            route.total_latency_ms + config_.blocked_penalty_ms});
+      }
     }
   }
 }

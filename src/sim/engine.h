@@ -33,6 +33,7 @@
 #include "routing/router.h"
 #include "sim/cluster.h"
 #include "sim/config.h"
+#include "sim/flow_log.h"
 #include "sim/policy.h"
 #include "sim/stats.h"
 #include "sim/traffic.h"
@@ -48,6 +49,10 @@ namespace rfh {
 inline constexpr std::uint64_t kWorkloadStreamTag = 0x776B6C64;  // "wkld"
 inline constexpr std::uint64_t kPolicyStreamTag = 0x706F6C69;    // "poli"
 inline constexpr std::uint64_t kFailureStreamTag = 0x6661696C;   // "fail"
+/// Arrival-timestamp stream for src/stream/: forked per (epoch, DC) so
+/// parallel sweeps and the batch engine never contend for the same
+/// stream (see stream/arrival.cpp).
+inline constexpr std::uint64_t kStreamStreamTag = 0x7374726D;  // "strm"
 
 /// Everything observable about one epoch, for metrics collection.
 struct EpochReport {
@@ -152,6 +157,13 @@ class Simulation {
     return profiler_;
   }
 
+  /// Attach a per-flow segment log (sim/flow_log.h): propagate() clears
+  /// it each epoch and records every absorption/blocking decision into
+  /// it for the stream subsystem. Observational only — attaching a log
+  /// never changes simulation state or RNG streams. nullptr detaches.
+  void set_flow_log(FlowLog* flow_log) noexcept { flow_log_ = flow_log; }
+  [[nodiscard]] FlowLog* flow_log() const noexcept { return flow_log_; }
+
   /// Attach a metric registry: the engine resolves its counter/gauge
   /// handles once (see DESIGN.md for the metric names) and bumps them at
   /// the end of every step; the router and policy receive the registry
@@ -238,6 +250,7 @@ class Simulation {
   EventBus events_;
   PhaseProfiler* profiler_ = nullptr;
   MetricRegistry* telemetry_ = nullptr;
+  FlowLog* flow_log_ = nullptr;
   TelemetryHandles tel_;
   DcGraph graph_;
   ShortestPaths paths_;

@@ -1,0 +1,56 @@
+// Observational per-flow segment log for the streaming load subsystem.
+//
+// The engine's propagate() (engine.cpp) absorbs each (partition,
+// requester) flow into replicas along its route as aggregate per-epoch
+// query counts. The stream subsystem (src/stream/) needs to know *where*
+// each slice of a flow landed — which server, in which datacenter, with
+// what one-way routing latency — so it can disaggregate the batch into
+// timestamped arrivals and queue them at the serving server.
+//
+// When a FlowLog is attached (Simulation::set_flow_log) the engine
+// records one FlowSegment per absorption decision, in the exact
+// deterministic order propagate() makes them. Recording is purely
+// observational: it never touches simulation state or any RNG stream, so
+// attaching a log cannot change a single byte of a run (locked down by
+// tests/stream_test.cpp).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+
+namespace rfh {
+
+/// One absorption (or rejection) decision for a slice of a query flow.
+struct FlowSegment {
+  PartitionId partition;
+  DatacenterId requester;
+  /// Serving server; invalid() means the slice was not served (blocked
+  /// residual or lost-primary flow).
+  ServerId server;
+  /// Datacenter of `server`, or the requester DC for unserved slices.
+  DatacenterId dc;
+  double queries = 0.0;
+  /// One-way routing latency for this slice, in ms. Blocked residuals
+  /// carry route latency + blocked_penalty_ms (the same sample batch mode
+  /// feeds its latency histogram). Negative means "no latency sample":
+  /// lost-primary flows, which batch mode counts as unserved without
+  /// sampling latency at all.
+  double latency_ms = 0.0;
+};
+
+/// Append-only segment buffer, cleared by the engine at the start of each
+/// propagate() so it always holds exactly the current epoch's segments.
+class FlowLog {
+ public:
+  void clear() noexcept { segments_.clear(); }
+  void add(const FlowSegment& segment) { segments_.push_back(segment); }
+  [[nodiscard]] const std::vector<FlowSegment>& segments() const noexcept {
+    return segments_;
+  }
+
+ private:
+  std::vector<FlowSegment> segments_;
+};
+
+}  // namespace rfh

@@ -1,0 +1,46 @@
+#include "stream/queue_model.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace rfh {
+
+ServerQueue::Outcome ServerQueue::offer(double t) {
+  // Retire channels that finished by t, then waiters whose service has
+  // started by t (their start times were fixed when they were admitted).
+  while (!busy_.empty() && busy_.top() <= t) busy_.pop();
+  while (!pending_.empty() && pending_.front() <= t) pending_.pop_front();
+
+  Outcome outcome;
+  outcome.depth = static_cast<std::uint32_t>(pending_.size());
+
+  if (channels_ == 0 || outcome.depth >= queue_cap_) {
+    // Backpressure: the waiting room is full (or the server has no
+    // service channels at all). The query is dropped, not queued.
+    ++dropped_;
+    return outcome;
+  }
+
+  double start = t;
+  if (busy_.size() >= channels_) {
+    // All channels busy: this arrival starts when the earliest in-flight
+    // query completes (FIFO — every earlier waiter already claimed an
+    // earlier completion slot).
+    start = std::max(t, busy_.top());
+    busy_.pop();
+  }
+  RFH_ASSERT(start >= t);
+  if (start > t) {
+    pending_.push_back(start);
+    max_depth_ = std::max(
+        max_depth_, static_cast<std::uint32_t>(pending_.size()));
+  }
+  busy_.push(start + service_ms_);
+  ++accepted_;
+  outcome.accepted = true;
+  outcome.wait_ms = start - t;
+  return outcome;
+}
+
+}  // namespace rfh

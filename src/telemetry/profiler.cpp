@@ -15,6 +15,7 @@ const char* phase_name(Phase phase) noexcept {
     case Phase::kStatsUpdate: return "stats_update";
     case Phase::kPolicyDecide: return "policy_decide";
     case Phase::kActionApply: return "action_apply";
+    case Phase::kStreamAssign: return "stream_assign";
     case Phase::kMetricsCollect: return "metrics_collect";
   }
   return "?";

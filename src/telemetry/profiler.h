@@ -46,9 +46,10 @@ enum class Phase : std::uint8_t {
   kStatsUpdate,      // TrafficStats::update + routing summary
   kPolicyDecide,     // ReplicationPolicy::decide
   kActionApply,      // apply_actions + epoch bookkeeping
+  kStreamAssign,     // StreamSimulator::process_epoch (runner side)
   kMetricsCollect,   // MetricsCollector::collect (runner side)
 };
-inline constexpr std::size_t kPhaseCount = 6;
+inline constexpr std::size_t kPhaseCount = 7;
 
 [[nodiscard]] const char* phase_name(Phase phase) noexcept;
 

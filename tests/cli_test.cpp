@@ -189,6 +189,10 @@ TEST(Cli, MetricValueExtractsEveryKnownName) {
   m.stale_read_fraction = 0.2;
   m.diversity_level = 4.5;
   m.dropped_this_epoch = 6;
+  m.stream_max_queue_depth = 9;
+  m.stream_dropped = 11.0;
+  m.stream_wait_mean_ms = 12.5;
+  m.stream_p99_ms = 250.0;
   bool ok = false;
   EXPECT_DOUBLE_EQ(metric_value(m, "utilization", &ok), 0.5);
   EXPECT_DOUBLE_EQ(metric_value(m, "replicas", &ok), 7.0);
@@ -202,6 +206,10 @@ TEST(Cli, MetricValueExtractsEveryKnownName) {
   EXPECT_DOUBLE_EQ(metric_value(m, "stale", &ok), 0.2);
   EXPECT_DOUBLE_EQ(metric_value(m, "diversity", &ok), 4.5);
   EXPECT_DOUBLE_EQ(metric_value(m, "dropped", &ok), 6.0);
+  EXPECT_DOUBLE_EQ(metric_value(m, "qdepth", &ok), 9.0);
+  EXPECT_DOUBLE_EQ(metric_value(m, "qdrop", &ok), 11.0);
+  EXPECT_DOUBLE_EQ(metric_value(m, "qwait", &ok), 12.5);
+  EXPECT_DOUBLE_EQ(metric_value(m, "qp99", &ok), 250.0);
   EXPECT_TRUE(ok);
   (void)metric_value(m, "bogus", &ok);
   EXPECT_FALSE(ok);
@@ -267,6 +275,50 @@ TEST(Cli, TelemetryRejectsBadInputAndCompare) {
   EXPECT_FALSE(parse({"--metrics-format=xml"}).ok);
   EXPECT_FALSE(parse({"--metrics-out=m.prom", "--compare"}).ok);
   EXPECT_FALSE(parse({"--profile", "--compare"}).ok);
+}
+
+TEST(Cli, MetricsOutDashMeansStdout) {
+  const CliParseResult r = parse({"--metrics-out=-"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.metrics_out, "-");
+}
+
+TEST(Cli, StreamWorkloadAndFlags) {
+  const CliParseResult r =
+      parse({"--workload=stream", "--arrival-rate=600", "--queue-cap=16",
+             "--service-cv=2"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.scenario.workload, WorkloadKind::kStream);
+  EXPECT_DOUBLE_EQ(r.options.scenario.stream.arrival_rate, 600.0);
+  EXPECT_EQ(r.options.scenario.stream.queue_cap, 16u);
+  EXPECT_DOUBLE_EQ(r.options.scenario.stream.service_cv, 2.0);
+}
+
+TEST(Cli, StreamDefaultsMatchTableOne) {
+  const CliParseResult r = parse({"--workload=stream"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.options.scenario.stream.arrival_rate, 300.0);
+  EXPECT_EQ(r.options.scenario.stream.queue_cap, 32u);
+  EXPECT_DOUBLE_EQ(r.options.scenario.stream.service_cv, 1.0);
+}
+
+TEST(Cli, StreamFlagsRequireStreamWorkload) {
+  // Flag order must not matter: the check runs after the whole parse.
+  EXPECT_FALSE(parse({"--arrival-rate=600"}).ok);
+  EXPECT_FALSE(parse({"--queue-cap=16", "--workload=flash"}).ok);
+  EXPECT_FALSE(parse({"--service-cv=2", "--workload=uniform"}).ok);
+  EXPECT_TRUE(parse({"--arrival-rate=600", "--workload=stream"}).ok);
+}
+
+TEST(Cli, StreamFlagsAreRangeChecked) {
+  EXPECT_FALSE(parse({"--workload=stream", "--arrival-rate=0"}).ok);
+  EXPECT_FALSE(parse({"--workload=stream", "--arrival-rate=-5"}).ok);
+  EXPECT_FALSE(parse({"--workload=stream", "--arrival-rate=lots"}).ok);
+  EXPECT_FALSE(parse({"--workload=stream", "--queue-cap=0"}).ok);
+  EXPECT_FALSE(parse({"--workload=stream", "--queue-cap=1000001"}).ok);
+  EXPECT_FALSE(parse({"--workload=stream", "--service-cv=-1"}).ok);
+  // cv = 0 (deterministic service) is legal.
+  EXPECT_TRUE(parse({"--workload=stream", "--service-cv=0"}).ok);
 }
 
 }  // namespace

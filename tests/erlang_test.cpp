@@ -153,6 +153,57 @@ TEST(ErlangCMeanWait, MatchesMm1AndDiverges) {
   EXPECT_LT(erlang_c_mean_wait(1.8, 4), erlang_c_mean_wait(1.8, 2));
 }
 
+TEST(ErlangCMeanWait, StrictlyIncreasingBelowSaturation) {
+  // Approaching the boundary from below the wait blows up monotonically;
+  // the sentinel at the boundary is the limit of that growth, not a
+  // discontinuous special case.
+  double prev = 0.0;
+  for (const double a : {1.0, 2.0, 3.0, 3.5, 3.9, 3.99}) {
+    const double w = erlang_c_mean_wait(a, 4);
+    EXPECT_GT(w, prev);
+    EXPECT_FALSE(std::isinf(w));
+    EXPECT_FALSE(std::isnan(w));
+    prev = w;
+  }
+  EXPECT_GT(erlang_c_mean_wait(3.999999, 4), 1e4);
+  EXPECT_TRUE(std::isinf(erlang_c_mean_wait(4.0, 4)));
+}
+
+TEST(ErlangMgcMeanWait, CvOneRecoversMm1) {
+  // Exponential service (cv = 1) makes Allen-Cunneen exact: M/M/c.
+  for (const double a : {0.3, 0.9, 1.7}) {
+    for (const std::uint32_t c : {1u, 2u, 4u}) {
+      if (a >= static_cast<double>(c)) continue;
+      EXPECT_DOUBLE_EQ(erlang_mgc_mean_wait(a, c, 1.0),
+                       erlang_c_mean_wait(a, c));
+    }
+  }
+}
+
+TEST(ErlangMgcMeanWait, DeterministicServiceHalvesTheWait) {
+  // M/D/c (cv = 0) waits exactly half the M/M/c time under the
+  // approximation.
+  EXPECT_DOUBLE_EQ(erlang_mgc_mean_wait(0.5, 1, 0.0),
+                   erlang_c_mean_wait(0.5, 1) / 2.0);
+}
+
+TEST(ErlangMgcMeanWait, HighVarianceInflatesTheWait) {
+  // cv = 2 -> factor (1 + 4) / 2 = 2.5.
+  EXPECT_NEAR(erlang_mgc_mean_wait(1.0, 2, 2.0),
+              erlang_c_mean_wait(1.0, 2) * 2.5, 1e-12);
+}
+
+TEST(ErlangMgcMeanWait, SharesSentinelConventions) {
+  // Zero offered load waits zero regardless of cv; saturation is
+  // infinite for every cv, including the deterministic-service case
+  // where the naive factor would be tempted to halve infinity.
+  EXPECT_DOUBLE_EQ(erlang_mgc_mean_wait(0.0, 0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(erlang_mgc_mean_wait(0.0, 4, 3.0), 0.0);
+  EXPECT_TRUE(std::isinf(erlang_mgc_mean_wait(4.0, 4, 0.0)));
+  EXPECT_TRUE(std::isinf(erlang_mgc_mean_wait(4.0, 4, 1.0)));
+  EXPECT_TRUE(std::isinf(erlang_mgc_mean_wait(1.0, 0, 2.0)));
+}
+
 TEST(ErlangBDeath, RejectsNegativeLoadAndBadTarget) {
   EXPECT_DEATH(erlang_b(-1.0, 3), "");
   EXPECT_DEATH(erlang_b_channels_for(1.0, 0.0), "");
