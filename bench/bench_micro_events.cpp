@@ -1,24 +1,32 @@
 // Event-emission overhead (google-benchmark): guards the observability
 // subsystem's zero-cost-when-disabled claim.
 //
-//  * BM_SimStep/{off,counter,jsonl}: a full Simulation::step with no sink,
-//    an aggregating CounterSink, and a JSONL sink writing to a discarded
-//    stream. The "off" and "counter" variants must be within noise of each
-//    other; acceptance requires instrumentation overhead < 1% when no sink
-//    is installed.
-//  * BM_EmitDisabled / BM_EmitRingBuffer: the raw cost of one emit()
-//    through an empty vs. populated bus.
+//  * BM_SimStep/{off,counter,jsonl,recorder}: a full Simulation::step with
+//    no sink, an aggregating CounterSink, a JSONL sink writing to a
+//    discarded stream, and the causal flight recorder (TimelineStore).
+//    The "off" and "counter" variants must be within noise of each other;
+//    acceptance requires instrumentation overhead < 1% when no sink is
+//    installed and <= 5% with the recorder attached.
+//  * BM_EmitDisabled / BM_EmitRingBuffer / BM_EmitTimelineStore: the raw
+//    cost of one emit() through an empty bus (the disabled path is a
+//    single sinks-empty branch), a ring sink, and the flight recorder's
+//    condense-and-index path.
+//
+// scripts/obs_overhead.py consumes this bench's --benchmark_format=json
+// output and fails CI when the recorder/disabled overhead *ratio*
+// regresses >25% against bench/results/obs_overhead_baseline.json.
 #include <benchmark/benchmark.h>
 
 #include <sstream>
 
 #include "harness/scenario.h"
 #include "obs/sinks.h"
+#include "obs/timeline.h"
 #include "sim/engine.h"
 
 namespace {
 
-enum class SinkMode { kOff, kCounter, kJsonl };
+enum class SinkMode { kOff, kCounter, kJsonl, kRecorder };
 
 void run_sim_steps(benchmark::State& state, SinkMode mode) {
   rfh::Scenario scenario = rfh::Scenario::paper_random_query();
@@ -27,8 +35,10 @@ void run_sim_steps(benchmark::State& state, SinkMode mode) {
   rfh::CounterSink counters;
   std::ostringstream discard;
   rfh::JsonlSink jsonl(discard);
+  rfh::TimelineStore recorder(scenario.sim.partitions);
   if (mode == SinkMode::kCounter) sim->events().add_sink(&counters);
   if (mode == SinkMode::kJsonl) sim->events().add_sink(&jsonl);
+  if (mode == SinkMode::kRecorder) sim->events().add_sink(&recorder);
 
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim->step());
@@ -54,6 +64,14 @@ void BM_SimStep_JsonlSink(benchmark::State& state) {
 }
 BENCHMARK(BM_SimStep_JsonlSink)->Unit(benchmark::kMicrosecond);
 
+void BM_SimStep_Recorder(benchmark::State& state) {
+  run_sim_steps(state, SinkMode::kRecorder);
+}
+BENCHMARK(BM_SimStep_Recorder)->Unit(benchmark::kMicrosecond);
+
+// The fully-disabled path: no sink installed, so emit() must reduce to
+// the single sinks-empty pointer test. scripts/obs_overhead.py ratios
+// every other emit variant against this one.
 void BM_EmitDisabled(benchmark::State& state) {
   rfh::EventBus bus;
   std::uint32_t epoch = 0;
@@ -75,6 +93,25 @@ void BM_EmitRingBuffer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EmitRingBuffer);
+
+// One emit() into the flight recorder: condense to a 64-byte record,
+// append to the partition ring, maintain the indexes, maybe feed the
+// eviction reservoir.
+void BM_EmitTimelineStore(benchmark::State& state) {
+  rfh::EventBus bus;
+  rfh::TimelineStore recorder(/*partitions=*/64);
+  bus.add_sink(&recorder);
+  std::uint32_t epoch = 0;
+  rfh::ReplicaAdded event{0, rfh::PartitionId{5}, rfh::ServerId{1},
+                          rfh::ServerId{9}, 3.25, {}};
+  event.why.rule = rfh::DecisionRule::kOverloadHub;
+  for (auto _ : state) {
+    event.epoch = epoch++;
+    bus.emit(event);
+    benchmark::DoNotOptimize(bus);
+  }
+}
+BENCHMARK(BM_EmitTimelineStore);
 
 void BM_EventToJson(benchmark::State& state) {
   rfh::ReplicaAdded event{12, rfh::PartitionId{5}, rfh::ServerId{1},

@@ -12,6 +12,7 @@
 // Output: one CSV block per load factor (rows = requester DC + merged,
 // columns = policy x percentile), plus BENCH_sla_latency.json with the
 // merged tail metrics per (policy, load) for scripts/bench_diff.py.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -37,8 +38,18 @@ struct PolicyTails {
   // Cumulative per-requester-DC latency distributions plus the merge.
   std::vector<rfh::Histogram> by_dc;
   rfh::Histogram merged;
-  double dropped = 0.0;
+  // The nine per-epoch stream fields, accumulated over the run: counter
+  // sums, the run-max queue depth, the served-weighted wait mean, and
+  // arrival-weighted means of the per-epoch latency percentiles.
   double arrivals = 0.0;
+  double served = 0.0;
+  double blocked = 0.0;
+  double dropped = 0.0;
+  std::uint32_t max_queue_depth = 0;
+  double wait_mean_ms = 0.0;
+  double epoch_p50_ms = 0.0;
+  double epoch_p99_ms = 0.0;
+  double epoch_p999_ms = 0.0;
 };
 
 /// Drive one policy through the stream scenario and keep the cumulative
@@ -51,11 +62,28 @@ PolicyTails run_stream(const rfh::Scenario& scenario, rfh::PolicyKind kind) {
   rfh::StreamSimulator stream(sim->world(), nullptr, scenario.stream,
                               scenario.sim.seed);
   sim->set_flow_log(&stream.flow_log());
+  double wait_weight = 0.0;
+  double tail_weight = 0.0;
   for (rfh::Epoch e = 0; e < scenario.epochs; ++e) {
     const rfh::EpochReport report = sim->step();
     const rfh::StreamEpochStats stats = stream.process_epoch(*sim, report);
-    out.dropped += stats.dropped;
     out.arrivals += stats.arrivals;
+    out.served += stats.served;
+    out.blocked += stats.blocked;
+    out.dropped += stats.dropped;
+    out.max_queue_depth = std::max(out.max_queue_depth, stats.max_queue_depth);
+    out.wait_mean_ms += stats.mean_wait_ms * stats.served;
+    wait_weight += stats.served;
+    out.epoch_p50_ms += stats.p50_ms * stats.arrivals;
+    out.epoch_p99_ms += stats.p99_ms * stats.arrivals;
+    out.epoch_p999_ms += stats.p999_ms * stats.arrivals;
+    tail_weight += stats.arrivals;
+  }
+  if (wait_weight > 0.0) out.wait_mean_ms /= wait_weight;
+  if (tail_weight > 0.0) {
+    out.epoch_p50_ms /= tail_weight;
+    out.epoch_p99_ms /= tail_weight;
+    out.epoch_p999_ms /= tail_weight;
   }
   const std::size_t dcs = sim->topology().datacenter_count();
   out.by_dc.reserve(dcs);
@@ -135,6 +163,23 @@ int main(int argc, char** argv) {
       report.add_metric(prefix + "_p999_ms", t.merged.percentile(0.999));
       report.add_metric(prefix + "_drop_fraction",
                         t.arrivals > 0.0 ? t.dropped / t.arrivals : 0.0);
+      // The nine stream fields, so bench_diff can compare stream runs.
+      report.add_metric(prefix + "_stream_arrivals", t.arrivals);
+      report.add_metric(prefix + "_stream_served", t.served);
+      report.add_metric(prefix + "_stream_blocked", t.blocked);
+      report.add_metric(prefix + "_stream_dropped", t.dropped);
+      report.add_metric(prefix + "_stream_max_queue_depth",
+                        static_cast<double>(t.max_queue_depth));
+      report.add_metric(prefix + "_stream_wait_mean_ms", t.wait_mean_ms);
+      report.add_metric(prefix + "_stream_p50_ms", t.epoch_p50_ms);
+      report.add_metric(prefix + "_stream_p99_ms", t.epoch_p99_ms);
+      report.add_metric(prefix + "_stream_p999_ms", t.epoch_p999_ms);
+      // Per-requester-DC tail summaries (bench_diff collapses these into
+      // one worst-DC row per group).
+      for (std::size_t d = 0; d < t.by_dc.size(); ++d) {
+        report.add_metric(prefix + "_dc_" + dc_names[d] + "_p99_ms",
+                          t.by_dc[d].percentile(0.99));
+      }
     }
   }
 

@@ -15,6 +15,8 @@
 //   ./rfh_cli --workload=stream --metrics-out=- --quiet
 //   ./rfh_cli --workload=stream --arrival-rate=600 --queue-cap=16
 //             --service-cv=2 --metric=qp99 --check-invariants
+//   ./rfh_cli --slo=avail=0.99,migrations=40 --kill=30@100 --quiet
+//   ./rfh_cli --fault-plan=chaos.plan --blackbox-out=flight.jsonl --quiet
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -25,6 +27,7 @@
 #include "harness/cli.h"
 #include "harness/report.h"
 #include "obs/sinks.h"
+#include "obs/timeline.h"
 #include "telemetry/profiler.h"
 #include "telemetry/registry.h"
 
@@ -113,6 +116,12 @@ int main(int argc, char** argv) {
     checker = std::make_unique<rfh::InvariantChecker>(
         rfh::InvariantChecker::Mode::kRecord);
   }
+  // Causal flight recorder (single-policy mode, guaranteed by parse_cli).
+  std::unique_ptr<rfh::TimelineStore> recorder;
+  if (!options.blackbox_out.empty()) {
+    recorder = std::make_unique<rfh::TimelineStore>(
+        options.scenario.sim.partitions);
+  }
 
   std::vector<rfh::PolicyRun> runs;
   if (options.compare) {
@@ -123,15 +132,41 @@ int main(int argc, char** argv) {
     runs.push_back(rfh::run_policy(options.scenario, options.policy,
                                    options.failures, rfh::RfhPolicy::Options{},
                                    sink, registry.get(), profiler.get(),
-                                   checker.get()));
+                                   checker.get(), recorder.get()));
   }
   emit(options, runs);
   if (!options.scenario.fault_plan.empty()) {
     std::printf("# faults injected: %llu\n",
                 static_cast<unsigned long long>(runs.front().faults_injected));
   }
+  if (options.scenario.slo.enabled()) {
+    const auto& breaches = runs.front().slo_breaches;
+    std::printf("# slo breaches: %zu\n", breaches.size());
+    for (const rfh::SloBreachRecord& b : breaches) {
+      std::printf("#   epoch %u %s observed=%.4g target=%.4g "
+                  "burn=%.2f/%.2f\n",
+                  b.epoch, rfh::slo_objective_name(b.objective),
+                  b.observed, b.target, b.burn_short, b.burn_long);
+    }
+  }
   if (sink != nullptr && !options.quiet) {
     std::fprintf(stderr, "# trace written to %s\n", options.trace_out.c_str());
+  }
+  if (recorder != nullptr) {
+    std::ofstream blackbox_file(options.blackbox_out);
+    if (!blackbox_file) {
+      std::fprintf(stderr, "rfh_cli: cannot open '%s' for writing\n",
+                   options.blackbox_out.c_str());
+      return 2;
+    }
+    recorder->dump_jsonl(blackbox_file);
+    if (!options.quiet) {
+      std::fprintf(stderr, "# flight record written to %s (%llu events, "
+                   "%llu sampled)\n",
+                   options.blackbox_out.c_str(),
+                   static_cast<unsigned long long>(recorder->total_recorded()),
+                   static_cast<unsigned long long>(recorder->sampled()));
+    }
   }
 
   if (registry != nullptr) {

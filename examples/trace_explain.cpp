@@ -4,6 +4,11 @@
 // inequality of Eqs. 12-17 justified it), every failover promotion, every
 // action the engine refused and why.
 //
+// The story ends with the partition's *cause chain* (obs/timeline.h):
+// the linked why-tree behind its latest state change. Traces recorded
+// without cause ids (pre-causal JSONL, bare on_event sinks) degrade
+// gracefully — the flat story above is then all there is to show.
+//
 //   $ ./trace_explain            # story of the busiest partition
 //   $ ./trace_explain 7          # story of partition 7
 #include <cstdio>
@@ -12,6 +17,7 @@
 #include "harness/scenario.h"
 #include "obs/sinks.h"
 #include "obs/story.h"
+#include "obs/timeline.h"
 
 int main(int argc, char** argv) {
   rfh::Scenario scenario = rfh::Scenario::paper_random_query();
@@ -21,8 +27,10 @@ int main(int argc, char** argv) {
 
   rfh::RingBufferSink ring(1 << 16);
   rfh::CounterSink counters;
+  rfh::TimelineStore timeline(scenario.sim.partitions);
   sim->events().add_sink(&ring);
   sim->events().add_sink(&counters);
+  sim->events().add_sink(&timeline);
 
   // The drill: a mass kill at epoch 60, recovery at 110, and a link cut
   // in between — the paper's failure taxonomy in miniature.
@@ -81,5 +89,23 @@ int main(int argc, char** argv) {
   for (const std::string& line : story) {
     std::printf("%s\n", line.c_str());
   }
+
+  std::printf("\n=== cause chain behind partition %u's last state change "
+              "===\n", chosen.value());
+  if (!timeline.has_cause_ids()) {
+    // Flat fallback: nothing to link without a causal envelope.
+    std::printf("(trace carries no cause ids — the flat story above is all "
+                "we know)\n");
+    return 0;
+  }
+  const rfh::TimelineQuery query(timeline);
+  const std::vector<rfh::TimelineRecord> chain = query.why(chosen);
+  if (chain.empty()) {
+    std::printf("(no recorded history for this partition)\n");
+    return 0;
+  }
+  const bool truncated = chain.front().parent != 0 &&
+                         query.find(chain.front().parent) == nullptr;
+  std::fputs(rfh::render_chain(chain, truncated).c_str(), stdout);
   return 0;
 }

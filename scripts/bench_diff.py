@@ -5,6 +5,7 @@ Usage:
   scripts/bench_diff.py OLD.json NEW.json [--time-threshold 0.10]
                                           [--metric-threshold 0.05]
                                           [--fail-on-metric-drift]
+                                          [--per-dc]
 
 A *time regression* is a stage (or the total) whose wall clock grew by
 more than --time-threshold (relative) AND by more than 1 ms (absolute —
@@ -12,6 +13,13 @@ micro-stages jitter). A *metric drift* is a summary metric that moved by
 more than --metric-threshold relative to the old value; drifts are always
 printed but only fail the run with --fail-on-metric-drift, because
 deliberate algorithm changes move metrics legitimately.
+
+Stream-aware comparison: latency metrics (*_ms), queue depth and the
+drop/block counters are one-sided — only an *increase* counts as drift
+(getting faster or dropping less is never flagged). Per-requester-DC
+summaries (the *_dc_<name>_* metrics bench_sla_latency emits) are
+collapsed into one worst-DC row per metric group; pass --per-dc for the
+full expansion.
 
 Exit status: 0 clean, 1 regression detected, 2 bad input.
 """
@@ -45,6 +53,38 @@ def rel_change(old, new):
     return (new - old) / abs(old)
 
 
+# Metrics where only growth is bad: tail/mean latencies, queueing depth,
+# and the loss counters. Everything else drifts symmetrically.
+ONE_SIDED_MARKERS = ("_ms", "max_queue_depth", "stream_dropped",
+                     "stream_blocked", "drop_fraction")
+
+
+def higher_is_worse(name):
+    return any(name.endswith(m) or m + "_" in name for m in ONE_SIDED_MARKERS)
+
+
+def is_drift(name, change, threshold):
+    if change == float("inf"):
+        return True
+    if higher_is_worse(name):
+        return change > threshold
+    return abs(change) > threshold
+
+
+def dc_group(name):
+    """'rfh_load_1.0x_dc_us-east_p99_ms' -> ('rfh_load_1.0x_dc_*_p99_ms',
+    'us-east'); None for metrics without a per-DC component."""
+    if "_dc_" not in name:
+        return None
+    prefix, rest = name.split("_dc_", 1)
+    if "_" not in rest:
+        return None
+    # The metric suffix is the trailing known-shaped tail (e.g. p99_ms);
+    # DC names themselves never contain "_p" percentile tails.
+    dc, suffix = rest.split("_p", 1)
+    return (f"{prefix}_dc_*_p{suffix}", dc)
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Compare two rfh-bench-report JSON files.")
@@ -59,6 +99,9 @@ def main():
     parser.add_argument("--fail-on-metric-drift", action="store_true",
                         help="exit 1 on metric drift, not just time "
                              "regressions")
+    parser.add_argument("--per-dc", action="store_true",
+                        help="print every per-DC metric row instead of "
+                             "collapsing each group to its worst DC")
     args = parser.parse_args()
 
     old = load_report(args.old)
@@ -95,19 +138,48 @@ def main():
     print()
     print(f"{'metric':<40} {'old':>14} {'new':>14} {'change':>9}")
     names = dict.fromkeys(list(old["metrics"]) + list(new["metrics"]))
-    for name in names:
+
+    def compare_row(name, label=None):
         before = old["metrics"].get(name)
         after = new["metrics"].get(name)
+        label = label or name
         if before is None or after is None:
             side = "added" if before is None else "removed"
-            print(f"{name:<40} {'-':>14} {'-':>14}   ({side})")
-            continue
+            print(f"{label:<40} {'-':>14} {'-':>14}   ({side})")
+            return
         change = rel_change(before, after)
         flag = ""
-        if abs(change) > args.metric_threshold:
+        if is_drift(name, change, args.metric_threshold):
             flag = "  << METRIC DRIFT"
-            drifts.append(name)
-        print(f"{name:<40} {before:14.6g} {after:14.6g} {change:+8.1%}{flag}")
+            drifts.append(label)
+        print(f"{label:<40} {before:14.6g} {after:14.6g} "
+              f"{change:+8.1%}{flag}")
+
+    # Collapse per-DC summary metrics to one worst-DC row per group
+    # (their drift direction is one-sided, so "worst" = largest growth).
+    groups = {}
+    for name in names:
+        parsed = dc_group(name)
+        if parsed is None or args.per_dc:
+            compare_row(name)
+            continue
+        groups.setdefault(parsed[0], []).append((name, parsed[1]))
+    for pattern, members in groups.items():
+        worst = None
+        for name, dc in members:
+            before = old["metrics"].get(name)
+            after = new["metrics"].get(name)
+            if before is None or after is None:
+                continue
+            change = rel_change(before, after)
+            if worst is None or change > worst[1]:
+                worst = (name, change, dc)
+        if worst is None:
+            print(f"{pattern:<40} {'-':>14} {'-':>14}   "
+                  f"({len(members)} DCs, set changed)")
+            continue
+        compare_row(worst[0],
+                    label=f"{pattern} [worst={worst[2]}/{len(members)}]")
 
     failed = bool(regressions) or (args.fail_on_metric_drift and bool(drifts))
     print()

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "exec/thread_pool.h"
 #include "harness/report.h"
 #include "obs/sinks.h"
+#include "obs/timeline.h"
 #include "telemetry/registry.h"
 
 namespace rfh {
@@ -134,9 +136,15 @@ SweepCellResult SweepRunner::run_cell(const SweepCell& cell,
   MetricRegistry registry;
   std::ostringstream trace;
   JsonlSink sink(trace);
+  std::optional<TimelineStore> timeline;
+  if (options_.collect_timeline) {
+    timeline.emplace(cell.scenario.sim.partitions);
+  }
   result.run = run_policy(cell.scenario, cell.policy, cell.failures, cell.rfh,
                           options_.collect_traces ? &sink : nullptr,
-                          options_.collect_metrics ? &registry : nullptr);
+                          options_.collect_metrics ? &registry : nullptr,
+                          /*profiler=*/nullptr, /*checker=*/nullptr,
+                          timeline ? &*timeline : nullptr);
   if (options_.collect_metrics) {
     std::ostringstream metrics;
     registry.write_json(metrics);
@@ -144,6 +152,12 @@ SweepCellResult SweepRunner::run_cell(const SweepCell& cell,
   }
   if (options_.collect_traces) {
     result.trace_jsonl = std::move(trace).str();
+  }
+  if (timeline) {
+    result.timeline_digest = timeline->digest();
+    std::ostringstream dump;
+    timeline->dump_jsonl(dump);
+    result.timeline_jsonl = std::move(dump).str();
   }
   return result;
 }
@@ -224,6 +238,7 @@ std::string sweep_results_json(std::span<const SweepCellResult> results) {
     out += ",\"epochs\":" + std::to_string(r.run.series.size());
     out += ",\"faults_injected\":" + std::to_string(r.run.faults_injected);
     out += ",\"killed\":" + std::to_string(r.run.killed.size());
+    out += ",\"slo_breaches\":" + std::to_string(r.run.slo_breaches.size());
     out += ",\"utilization_tail50\":";
     append_double(out, tail_mean(r.run, &EpochMetrics::utilization, 50));
     out += ",\"path_length_tail50\":";
@@ -240,6 +255,21 @@ std::string sweep_results_json(std::span<const SweepCellResult> results) {
     }
     for (const std::uint64_t count : r.run.faults_by_kind) {
       digest_u64(digest, count);
+    }
+    // SLO breach episodes and the causal flight record fold into the same
+    // fingerprint; runs without either keep their prior digests (no bytes
+    // are folded for empty breach lists or a zero timeline digest).
+    for (const SloBreachRecord& b : r.run.slo_breaches) {
+      digest_u64(digest, b.epoch);
+      digest_u64(digest, static_cast<std::uint64_t>(b.objective));
+      digest_double(digest, b.observed);
+      digest_double(digest, b.target);
+      digest_double(digest, b.burn_short);
+      digest_double(digest, b.burn_long);
+      digest_u64(digest, b.cause_id);
+    }
+    if (r.timeline_digest != 0) {
+      digest_u64(digest, r.timeline_digest);
     }
     char buf[24];
     std::snprintf(buf, sizeof buf, "%016llx",

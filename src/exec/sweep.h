@@ -54,6 +54,11 @@ struct SweepCellResult {
   /// JSONL event trace from the cell's own sink (empty unless
   /// SweepOptions::collect_traces).
   std::string trace_jsonl;
+  /// Causal flight record (obs/timeline.h) of the cell's run: the
+  /// store's FNV-1a digest and its JSONL dump (zero/empty unless
+  /// SweepOptions::collect_timeline). Byte-identical across --jobs.
+  std::uint64_t timeline_digest = 0;
+  std::string timeline_jsonl;
 };
 
 struct SweepOptions {
@@ -65,6 +70,9 @@ struct SweepOptions {
   bool collect_metrics = false;
   /// Give each cell its own JsonlSink and keep the trace text.
   bool collect_traces = false;
+  /// Give each cell its own TimelineStore recorder and keep its digest
+  /// and JSONL dump (bounded memory, unlike collect_traces).
+  bool collect_timeline = false;
   /// Sweep-level telemetry (rfh_sweep_* / rfh_pool_*); optional, bumped
   /// after the fan-out completes so it never races cell execution.
   MetricRegistry* registry = nullptr;

@@ -70,23 +70,33 @@ std::vector<ServerId> ChaosController::pop_dead(const Simulation& sim,
 void ChaosController::kill_batch(Simulation& sim,
                                  std::vector<ServerId> victims,
                                  FaultKind kind, Applied& applied,
-                                 const KillCallback& on_kill) {
+                                 const KillCallback& on_kill,
+                                 std::uint64_t cause) {
   (void)kind;
   if (victims.empty()) return;
-  sim.fail_servers(victims);
+  {
+    // Parent every ServerFailed (and the promotions/reseeds they force)
+    // to the FaultInjected event that ordered the kills.
+    const CauseScope scope(sim.events(), cause);
+    sim.fail_servers(victims);
+  }
   if (on_kill) on_kill(victims);
   dead_pool_.insert(dead_pool_.end(), victims.begin(), victims.end());
   applied.killed.insert(applied.killed.end(), victims.begin(), victims.end());
 }
 
-void ChaosController::record(Simulation& sim, Epoch epoch, FaultKind kind,
-                             Applied& applied, std::uint32_t servers,
-                             DatacenterId dc, DatacenterId a, DatacenterId b,
-                             double magnitude) {
+std::uint64_t ChaosController::record(Simulation& sim, Epoch epoch,
+                                      FaultKind kind, Applied& applied,
+                                      std::uint32_t servers, DatacenterId dc,
+                                      DatacenterId a, DatacenterId b,
+                                      double magnitude) {
   ++applied.faults;
   ++injected_by_kind_[static_cast<std::size_t>(kind)];
-  sim.events().emit(FaultInjected{epoch, fault_kind_name(kind), servers, dc,
-                                  a, b, magnitude});
+  const std::uint64_t id = sim.events().emit(FaultInjected{
+      epoch, fault_kind_name(kind), servers, dc, a, b, magnitude});
+  // The injection is the new root disturbance: statistical echoes with no
+  // tighter cause (TrafficShift, SloBreach) chain here.
+  if (id != 0) sim.events().set_ambient_cause(id);
   if (sim.telemetry() != nullptr) {
     sim.telemetry()
         ->counter("rfh_faults_injected_total",
@@ -94,6 +104,7 @@ void ChaosController::record(Simulation& sim, Epoch epoch, FaultKind kind,
                   "Chaos faults injected by the fault plan, by kind.")
         .inc(1.0);
   }
+  return id;
 }
 
 ChaosController::Applied ChaosController::before_epoch(
@@ -132,9 +143,11 @@ ChaosController::Applied ChaosController::before_epoch(
             }
           }
         }
+        // The FaultInjected event precedes its side effects so the kill
+        // wave (and everything it forces) chains to it.
         const auto n = static_cast<std::uint32_t>(victims.size());
-        kill_batch(sim, std::move(victims), ev.kind, applied, on_kill);
-        record(sim, epoch, ev.kind, applied, n);
+        const std::uint64_t cause = record(sim, epoch, ev.kind, applied, n);
+        kill_batch(sim, std::move(victims), ev.kind, applied, on_kill, cause);
         break;
       }
       case FaultKind::kRecover: {
@@ -147,11 +160,15 @@ ChaosController::Applied ChaosController::before_epoch(
             if (!sim.cluster().alive(s)) revived.push_back(s);
           }
         }
-        sim.recover_servers(revived);
+        const std::uint64_t cause =
+            record(sim, epoch, ev.kind, applied,
+                   static_cast<std::uint32_t>(revived.size()));
+        {
+          const CauseScope scope(sim.events(), cause);
+          sim.recover_servers(revived);
+        }
         applied.recovered.insert(applied.recovered.end(), revived.begin(),
                                  revived.end());
-        record(sim, epoch, ev.kind, applied,
-               static_cast<std::uint32_t>(revived.size()));
         break;
       }
       case FaultKind::kDatacenterOutage: {
@@ -159,13 +176,25 @@ ChaosController::Applied ChaosController::before_epoch(
         // A plan file can name a datacenter the world doesn't have; a
         // non-event beats an out-of-bounds abort mid-run.
         if (ev.dc.value() >= sim.topology().datacenter_count()) break;
-        const auto& in_dc = sim.cluster().live_by_dc()[ev.dc.value()];
+        // Enumerate the victims up front (the same liveness filter
+        // fail_datacenter applies) so FaultInjected can be emitted — with
+        // its final server count — before the kills it causes.
+        std::vector<ServerId> victims;
+        for (const ServerId s : sim.topology().servers_in(ev.dc)) {
+          if (sim.cluster().alive(s)) victims.push_back(s);
+        }
         // Never take down the only datacenter still standing.
-        if (in_dc.empty() ||
-            sim.cluster().live_server_count() <= in_dc.size()) {
+        if (victims.empty() ||
+            sim.cluster().live_server_count() <= victims.size()) {
           break;
         }
-        const std::vector<ServerId> victims = sim.fail_datacenter(ev.dc);
+        const std::uint64_t cause =
+            record(sim, epoch, ev.kind, applied,
+                   static_cast<std::uint32_t>(victims.size()), ev.dc);
+        {
+          const CauseScope scope(sim.events(), cause);
+          sim.fail_servers(victims);
+        }
         if (on_kill) on_kill(victims);
         applied.killed.insert(applied.killed.end(), victims.begin(),
                               victims.end());
@@ -174,8 +203,6 @@ ChaosController::Applied ChaosController::before_epoch(
         } else {
           dead_pool_.insert(dead_pool_.end(), victims.begin(), victims.end());
         }
-        record(sim, epoch, ev.kind, applied,
-               static_cast<std::uint32_t>(victims.size()), ev.dc);
         break;
       }
       case FaultKind::kLinkDown: {
@@ -185,10 +212,11 @@ ChaosController::Applied ChaosController::before_epoch(
         }
         if (epoch == ev.at && link_down_[i] == 0) {
           if (!sim.link_failure_would_partition(ev.link_a, ev.link_b)) {
+            const std::uint64_t cause = record(sim, epoch, ev.kind, applied,
+                                               0, {}, ev.link_a, ev.link_b);
+            const CauseScope scope(sim.events(), cause);
             sim.fail_link(ev.link_a, ev.link_b);
             link_down_[i] = 1;
-            record(sim, epoch, ev.kind, applied, 0, {}, ev.link_a,
-                   ev.link_b);
           }
         }
         if (ev.restore_at > 0 && epoch == ev.restore_at &&
@@ -208,10 +236,11 @@ ChaosController::Applied ChaosController::before_epoch(
             in_window && (epoch - ev.at) % ev.period < ev.down;
         if (want_down && link_down_[i] == 0) {
           if (!sim.link_failure_would_partition(ev.link_a, ev.link_b)) {
+            const std::uint64_t cause = record(sim, epoch, ev.kind, applied,
+                                               0, {}, ev.link_a, ev.link_b);
+            const CauseScope scope(sim.events(), cause);
             sim.fail_link(ev.link_a, ev.link_b);
             link_down_[i] = 1;
-            record(sim, epoch, ev.kind, applied, 0, {}, ev.link_a,
-                   ev.link_b);
           }
         } else if (!want_down && link_down_[i] != 0) {
           sim.restore_link(ev.link_a, ev.link_b);
@@ -232,8 +261,8 @@ ChaosController::Applied ChaosController::before_epoch(
                                  revived.end());
         std::vector<ServerId> victims = pick_live(sim, ev.kill);
         const auto n = static_cast<std::uint32_t>(victims.size());
-        kill_batch(sim, std::move(victims), ev.kind, applied, on_kill);
-        record(sim, epoch, ev.kind, applied, n);
+        const std::uint64_t cause = record(sim, epoch, ev.kind, applied, n);
+        kill_batch(sim, std::move(victims), ev.kind, applied, on_kill, cause);
         break;
       }
       case FaultKind::kFlashCrowd: {

@@ -70,17 +70,23 @@ class ChaosController {
   }
 
  private:
-  /// Kill `victims` (already validated live), notify, record, emit.
+  /// Kill `victims` (already validated live) inside a CauseScope rooted
+  /// at `cause` (the FaultInjected id), then notify and account.
   void kill_batch(Simulation& sim, std::vector<ServerId> victims,
                   FaultKind kind, Applied& applied,
-                  const KillCallback& on_kill);
+                  const KillCallback& on_kill, std::uint64_t cause);
   /// Pick `n` seeded-random live servers, capped at live_count - 1.
   std::vector<ServerId> pick_live(const Simulation& sim, std::uint32_t n);
   /// Pop up to `n` longest-dead chaos victims that are still dead.
   std::vector<ServerId> pop_dead(const Simulation& sim, std::uint32_t n);
-  void record(Simulation& sim, Epoch epoch, FaultKind kind, Applied& applied,
-              std::uint32_t servers, DatacenterId dc = {}, DatacenterId a = {},
-              DatacenterId b = {}, double magnitude = 0.0);
+  /// Emit the FaultInjected event (the root of the injection's cause
+  /// chain — call *before* applying the side effects, scoped to the
+  /// returned id), set it as the ambient cause, and bump the counters.
+  /// Returns the event's cause id (0 with no sinks installed).
+  std::uint64_t record(Simulation& sim, Epoch epoch, FaultKind kind,
+                       Applied& applied, std::uint32_t servers,
+                       DatacenterId dc = {}, DatacenterId a = {},
+                       DatacenterId b = {}, double magnitude = 0.0);
 
   FaultPlan plan_;
   Rng rng_;

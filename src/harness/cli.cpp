@@ -255,6 +255,15 @@ CliParseResult parse_cli(std::span<const char* const> args) {
       }
       options.fault_plan_path = value;
       options.scenario.fault_plan = std::move(parsed.plan);
+    } else if (consume(arg, "--slo=", value)) {
+      SloParseResult parsed = parse_slo(value);
+      if (!parsed.ok) {
+        return fail("--slo: " + parsed.error);
+      }
+      options.scenario.slo = parsed.spec;
+    } else if (consume(arg, "--blackbox-out=", value)) {
+      if (value.empty()) return fail("--blackbox-out expects a file path");
+      options.blackbox_out = value;
     } else if (std::strcmp(arg, "--check-invariants") == 0) {
       options.check_invariants = true;
     } else if (std::strcmp(arg, "--profile") == 0) {
@@ -282,6 +291,9 @@ CliParseResult parse_cli(std::span<const char* const> args) {
   if (options.check_invariants && options.compare) {
     return fail("--check-invariants checks a single policy run; drop "
                 "--compare");
+  }
+  if (!options.blackbox_out.empty() && options.compare) {
+    return fail("--blackbox-out records a single policy run; drop --compare");
   }
   if (stream_flag != nullptr &&
       options.scenario.workload != WorkloadKind::kStream) {

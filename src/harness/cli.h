@@ -48,6 +48,16 @@
 //   --check-invariants            (verify the invariant catalogue after
 //                                  every epoch and report violations;
 //                                  single policy runs only)
+//   --slo=SPEC                    (service-level objectives, e.g.
+//                                  "avail=0.999,p99=250,burn=2"; see
+//                                  telemetry/slo.h for the grammar. The
+//                                  runner prints breach episodes after the
+//                                  run)
+//   --blackbox-out=FILE           (dump the causal flight recorder
+//                                  (obs/timeline.h) as JSONL after the
+//                                  run; single policy runs only. Feed the
+//                                  file to rfh_blackbox for forensic
+//                                  queries)
 #pragma once
 
 #include <span>
@@ -87,6 +97,9 @@ struct CliOptions {
   std::string fault_plan_path;
   /// Run the InvariantChecker (record mode) over every epoch.
   bool check_invariants = false;
+  /// Causal flight-record dump destination; empty disables the recorder.
+  /// (The parsed --slo spec itself lands in scenario.slo.)
+  std::string blackbox_out;
 };
 
 struct CliParseResult {

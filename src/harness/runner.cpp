@@ -22,11 +22,12 @@ PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
                      const std::vector<FailureEvent>& failures,
                      const RfhPolicy::Options& rfh, EventSink* trace_sink,
                      MetricRegistry* registry, PhaseProfiler* profiler,
-                     InvariantChecker* checker) {
+                     InvariantChecker* checker, EventSink* recorder) {
   PolicyRun run;
   run.kind = kind;
   auto sim = make_simulation(scenario, kind, rfh);
   if (trace_sink != nullptr) sim->events().add_sink(trace_sink);
+  if (recorder != nullptr) sim->events().add_sink(recorder);
   if (registry != nullptr) sim->set_telemetry(registry);
   if (profiler != nullptr) {
     profiler->set_trace(&sim->events());
@@ -55,6 +56,11 @@ PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
   std::optional<ChaosController> chaos;
   if (!scenario.fault_plan.empty()) {
     chaos.emplace(scenario.fault_plan, scenario.sim.seed);
+  }
+
+  std::optional<SloWatchdog> watchdog;
+  if (scenario.slo.enabled()) {
+    watchdog.emplace(scenario.slo, &sim->events(), registry);
   }
 
   auto note_failures = [&](std::span<const ServerId> victims) {
@@ -125,8 +131,25 @@ PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
           tracker->stale_read_fraction(sim->traffic(), sim->cluster());
       metrics.lost_writes_total = tracker->lost_writes();
     }
+    if (watchdog) {
+      // Objective signals come from the same EpochMetrics the figures
+      // plot, so breach epochs reconcile with the published series.
+      // Stream scenarios measure latency/drops at the queueing layer;
+      // batch scenarios fall back to the routing-side equivalents.
+      SloSample sample;
+      sample.availability = 1.0 - metrics.unserved_fraction;
+      sample.stream_p99_ms =
+          stream_stats ? metrics.stream_p99_ms : metrics.latency_p99_ms;
+      sample.migrations =
+          static_cast<double>(metrics.migrations_this_epoch);
+      sample.drop_rate = stream_stats && metrics.stream_arrivals > 0.0
+                             ? metrics.stream_dropped / metrics.stream_arrivals
+                             : metrics.unserved_fraction;
+      watchdog->observe(e, sample);
+    }
     run.series.push_back(metrics);
   }
+  if (watchdog) run.slo_breaches = watchdog->breaches();
   if (chaos) {
     run.faults_injected = chaos->injected_total();
     run.faults_by_kind = chaos->injected_by_kind();

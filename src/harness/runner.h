@@ -35,6 +35,9 @@ struct PolicyRun {
   /// one), total and per FaultKind.
   std::uint64_t faults_injected = 0;
   std::array<std::uint64_t, kFaultKindCount> faults_by_kind{};
+  /// SLO breach episodes flagged by the watchdog, in epoch order (empty
+  /// unless the scenario enables objectives via Scenario::slo).
+  std::vector<SloBreachRecord> slo_breaches;
 };
 
 struct ComparativeResult {
@@ -60,13 +63,20 @@ struct ComparativeResult {
 /// When the scenario carries a FaultPlan, a ChaosController applies it
 /// before each epoch's step. `checker`, when non-null, verifies the
 /// cross-cutting invariants (fault/invariants.h) after every step.
+///
+/// `recorder`, when non-null, is attached as a second sink — typically a
+/// TimelineStore (obs/timeline.h), so the run leaves a bounded causal
+/// flight record next to (or instead of) the full trace. When the
+/// scenario enables SLO objectives, an SloWatchdog observes every epoch
+/// and its breach episodes land in PolicyRun::slo_breaches.
 PolicyRun run_policy(const Scenario& scenario, PolicyKind kind,
                      const std::vector<FailureEvent>& failures = {},
                      const RfhPolicy::Options& rfh = {},
                      EventSink* trace_sink = nullptr,
                      MetricRegistry* metrics = nullptr,
                      PhaseProfiler* profiler = nullptr,
-                     InvariantChecker* checker = nullptr);
+                     InvariantChecker* checker = nullptr,
+                     EventSink* recorder = nullptr);
 
 /// The paper's standard comparison: Request, Owner, Random, RFH. The four
 /// runs are fully independent (each has its own world, generators and

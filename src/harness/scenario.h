@@ -9,6 +9,7 @@
 #include "fault/plan.h"
 #include "sim/engine.h"
 #include "stream/config.h"
+#include "telemetry/slo.h"
 #include "topology/world.h"
 #include "workload/generator.h"
 
@@ -42,6 +43,11 @@ struct Scenario {
   /// Streaming-load knobs; only consulted when workload == kStream
   /// (--arrival-rate / --queue-cap / --service-cv in the CLI).
   StreamConfig stream;
+  /// Service-level objectives (--slo=<spec> in the CLI). When any
+  /// objective is enabled the runner drives an SloWatchdog over the
+  /// per-epoch metrics and collects its breach episodes. Observational
+  /// only: placement decisions are unaffected.
+  SloSpec slo;
 
   /// Table I defaults with the paper's horizons per workload kind.
   static Scenario paper_random_query();

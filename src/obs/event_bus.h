@@ -9,11 +9,22 @@
 // when they happen and a crashing run still has its trace up to the
 // crash point.
 //
+// Causal envelope: every dispatched event is assigned a sequential,
+// bus-local `cause id` (1-based; 0 means "no event was recorded"), and
+// carries the id of the event that caused it — explicitly via
+// emit_caused(), or implicitly from the ambient CauseScope the producer
+// established (the chaos controller wraps each injection's side effects
+// in one). Sinks that care receive the (id, parent) pair through
+// on_record(); sinks that don't override it keep working unchanged.
+// Because a bus belongs to one single-threaded Simulation, ids depend
+// only on the emission sequence — byte-identical across --jobs values.
+//
 // Threading: a bus belongs to one Simulation, which is single-threaded;
 // the comparative runner gives each policy its own Simulation (and bus),
 // so no locking is needed anywhere.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -22,11 +33,26 @@
 
 namespace rfh {
 
+/// The causal envelope of one dispatched event. `id` is 1-based and
+/// strictly increasing per bus; `parent` is the id of the causing event,
+/// or 0 for a root (no known cause).
+struct TraceMeta {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+};
+
 /// Interface every trace consumer implements.
 class EventSink {
  public:
   virtual ~EventSink() = default;
   virtual void on_event(const Event& event) = 0;
+  /// Dispatch with the causal envelope. The default forwards to
+  /// on_event(), so existing sinks ignore cause ids transparently; sinks
+  /// that record causality (JsonlSink, TimelineStore) override this.
+  virtual void on_record(const Event& event, const TraceMeta& meta) {
+    (void)meta;
+    on_event(event);
+  }
   /// Called when the producer is done (end of run / bus teardown). Sinks
   /// writing framed formats (e.g. the Chrome JSON array) finalize here;
   /// flush() must be idempotent.
@@ -63,13 +89,37 @@ class EventBus {
     return sinks_.size();
   }
 
-  /// Publish one event to every sink. Accepts any Event alternative by
+  /// Publish one event to every sink, parented to the current CauseScope
+  /// (or root when none is active). Accepts any Event alternative by
   /// value; the variant is only materialized when a sink is listening.
+  /// Returns the assigned cause id, 0 when no sink is installed.
   template <typename E>
-  void emit(E&& event) {
-    if (sinks_.empty()) return;
-    dispatch(Event(std::forward<E>(event)));
+  std::uint64_t emit(E&& event) {
+    if (sinks_.empty()) return 0;
+    return dispatch(Event(std::forward<E>(event)), scope_parent_);
   }
+
+  /// Publish with an explicit parent id (0 = root). Used by producers
+  /// that track finer-grained causes than a scope can express — e.g. the
+  /// engine parenting each action outcome to its RuleFired event.
+  template <typename E>
+  std::uint64_t emit_caused(std::uint64_t parent, E&& event) {
+    if (sinks_.empty()) return 0;
+    return dispatch(Event(std::forward<E>(event)), parent);
+  }
+
+  /// Id assigned to the most recent dispatch (0 before the first).
+  [[nodiscard]] std::uint64_t last_id() const noexcept { return seq_; }
+
+  /// The most recent *root disturbance* — the injection/perturbation id
+  /// that statistical echoes (TrafficShift, SloBreach) should chain to
+  /// when no per-partition cause is tighter. Set by the chaos controller
+  /// and the engine's ad-hoc failure-injection entry points; persists
+  /// until the next disturbance.
+  [[nodiscard]] std::uint64_t ambient_cause() const noexcept {
+    return ambient_;
+  }
+  void set_ambient_cause(std::uint64_t id) noexcept { ambient_ = id; }
 
   /// Flush every sink (idempotent). Call before tearing down non-owning
   /// sinks; the destructor only flushes sinks the bus owns, because a
@@ -79,12 +129,38 @@ class EventBus {
   }
 
  private:
-  void dispatch(const Event& event) {
-    for (EventSink* sink : sinks_) sink->on_event(event);
+  friend class CauseScope;
+
+  std::uint64_t dispatch(const Event& event, std::uint64_t parent) {
+    const TraceMeta meta{++seq_, parent};
+    for (EventSink* sink : sinks_) sink->on_record(event, meta);
+    return meta.id;
   }
 
   std::vector<EventSink*> sinks_;
   std::vector<std::unique_ptr<EventSink>> owned_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t scope_parent_ = 0;
+  std::uint64_t ambient_ = 0;
+};
+
+/// RAII parent scope: every emit() (not emit_caused) inside the scope is
+/// parented to `parent`. Scopes nest; the previous parent is restored on
+/// destruction. A parent of 0 re-establishes "root" inside an outer
+/// scope.
+class CauseScope {
+ public:
+  CauseScope(EventBus& bus, std::uint64_t parent) noexcept
+      : bus_(&bus), saved_(bus.scope_parent_) {
+    bus.scope_parent_ = parent;
+  }
+  CauseScope(const CauseScope&) = delete;
+  CauseScope& operator=(const CauseScope&) = delete;
+  ~CauseScope() { bus_->scope_parent_ = saved_; }
+
+ private:
+  EventBus* bus_;
+  std::uint64_t saved_;
 };
 
 }  // namespace rfh

@@ -1,5 +1,8 @@
 #include "obs/events.h"
 
+#include <array>
+#include <utility>
+
 namespace rfh {
 
 const char* rule_name(DecisionRule rule) noexcept {
@@ -88,12 +91,29 @@ struct NameVisitor {
   const char* operator()(const QueueSaturated&) const {
     return "QueueSaturated";
   }
+  const char* operator()(const TrafficShift&) const { return "TrafficShift"; }
+  const char* operator()(const RuleFired&) const { return "RuleFired"; }
+  const char* operator()(const SloBreach&) const { return "SloBreach"; }
 };
+
+/// One default-constructed alternative per index, so names and indices
+/// can be mapped without emitting real events.
+template <std::size_t... Is>
+std::array<const char*, sizeof...(Is)> make_index_names(
+    std::index_sequence<Is...>) {
+  return {event_name(Event(std::in_place_index<Is>))...};
+}
 
 }  // namespace
 
 const char* event_name(const Event& event) noexcept {
   return std::visit(NameVisitor{}, event);
+}
+
+const char* event_index_name(std::size_t index) noexcept {
+  static const auto names =
+      make_index_names(std::make_index_sequence<std::variant_size_v<Event>>{});
+  return index < names.size() ? names[index] : "?";
 }
 
 Epoch event_epoch(const Event& event) noexcept {

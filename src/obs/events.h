@@ -263,16 +263,65 @@ struct QueueSaturated {
   double dropped = 0.0;
 };
 
+/// A partition's smoothed demand q_bar (Eqs. 9-11) moved sharply since
+/// the last emitted baseline — the statistical echo of a perturbation
+/// (fault, flash crowd, link rewire) on its way to tripping a threshold
+/// inequality. Emitted only when a sink is attached, and only when the
+/// relative move exceeds the engine's shift threshold, so steady-state
+/// drift stays silent.
+struct TrafficShift {
+  Epoch epoch = 0;
+  PartitionId partition;
+  /// q_bar at the previous baseline and now.
+  double q_bar_before = 0.0;
+  double q_bar_after = 0.0;
+};
+
+/// A decision-tree inequality fired for a partition: emitted by the
+/// engine as it begins validating the rule's action, before the
+/// ReplicaAdded / MigrationExecuted / Suicide / ActionDropped outcome,
+/// which is parented to this event in the causal chain.
+struct RuleFired {
+  Epoch epoch = 0;
+  PartitionId partition;
+  DecisionRule rule = DecisionRule::kNone;
+  /// The two sides of rule_inequality(rule) plus the smoothed demand.
+  double observed = 0.0;
+  double threshold = 0.0;
+  double q_bar = 0.0;
+};
+
+/// The SLO watchdog (telemetry/slo.h) entered breach on one objective:
+/// both the short- and long-window burn rates crossed the alert
+/// threshold. Edge-triggered — one event per breach episode, not per
+/// breaching epoch.
+struct SloBreach {
+  Epoch epoch = 0;
+  /// Static-duration objective name (slo_objective_name): "availability",
+  /// "stream_p99", "migration_rate" or "drop_rate".
+  const char* objective = "";
+  /// Long-window mean of the objective's signal vs its target.
+  double observed = 0.0;
+  double target = 0.0;
+  double burn_short = 0.0;
+  double burn_long = 0.0;
+};
+
 using Event =
     std::variant<QueryRoutedSummary, ReplicaAdded, MigrationExecuted, Suicide,
                  ActionDropped, ServerFailed, ServerRecovered, PrimaryPromoted,
                  Reseeded, LinkFailed, LinkRestored, FaultInjected,
                  EpochCompleted, PhaseSpan, StreamEpochSummary,
-                 QueueSaturated>;
+                 QueueSaturated, TrafficShift, RuleFired, SloBreach>;
 
 /// Stable PascalCase type name ("ReplicaAdded", ...), used by sinks and
 /// the CLI's --trace-filter grammar.
 [[nodiscard]] const char* event_name(const Event& event) noexcept;
+
+/// event_name by variant alternative index ("?" when out of range) —
+/// lets compact records (obs/timeline.h) name their type without
+/// materializing an Event.
+[[nodiscard]] const char* event_index_name(std::size_t index) noexcept;
 
 /// The epoch stamped on the event (every alternative carries one).
 [[nodiscard]] Epoch event_epoch(const Event& event) noexcept;

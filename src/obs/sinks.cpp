@@ -170,9 +170,34 @@ void append_fields(JsonWriter& w, const QueueSaturated& e) {
   w.num("cap", std::uint64_t{e.cap});
   w.num("dropped", e.dropped);
 }
+void append_fields(JsonWriter& w, const TrafficShift& e) {
+  w.id("partition", e.partition);
+  w.num("q_bar_before", e.q_bar_before);
+  w.num("q_bar_after", e.q_bar_after);
+}
+void append_fields(JsonWriter& w, const RuleFired& e) {
+  w.id("partition", e.partition);
+  w.str("rule", rule_name(e.rule));
+  w.str("inequality", rule_inequality(e.rule));
+  w.num("observed", e.observed);
+  w.num("threshold", e.threshold);
+  w.num("q_bar", e.q_bar);
+}
+void append_fields(JsonWriter& w, const SloBreach& e) {
+  w.str("objective", e.objective);
+  w.num("observed", e.observed);
+  w.num("target", e.target);
+  w.num("burn_short", e.burn_short);
+  w.num("burn_long", e.burn_long);
+}
 
-void append_event_json(std::string& out, const Event& event) {
+void append_event_json(std::string& out, const Event& event,
+                       const TraceMeta* meta = nullptr) {
   JsonWriter w(out);
+  if (meta != nullptr && meta->id != 0) {
+    w.num("id", meta->id);
+    if (meta->parent != 0) w.num("parent", meta->parent);
+  }
   w.str("type", event_name(event));
   w.num("epoch", std::uint64_t{event_epoch(event)});
   std::visit([&w](const auto& e) { append_fields(w, e); }, event);
@@ -223,36 +248,19 @@ void CounterSink::on_event(const Event& event) {
   }
 }
 
-namespace {
-/// One default-constructed alternative per index, so names and indices
-/// can be mapped without emitting real events.
-template <std::size_t... Is>
-std::array<const char*, sizeof...(Is)> type_names(
-    std::index_sequence<Is...>) {
-  return {event_name(Event(std::in_place_index<Is>))...};
-}
-const std::array<const char*, std::variant_size_v<Event>>& all_type_names() {
-  static const auto names =
-      type_names(std::make_index_sequence<std::variant_size_v<Event>>{});
-  return names;
-}
-}  // namespace
-
 std::uint64_t CounterSink::count(std::string_view name) const noexcept {
-  const auto& names = all_type_names();
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    if (name == names[i]) return by_type_[i];
+  for (std::size_t i = 0; i < by_type_.size(); ++i) {
+    if (name == event_index_name(i)) return by_type_[i];
   }
   return 0;
 }
 
 std::string CounterSink::summary() const {
   std::string out;
-  const auto& names = all_type_names();
-  for (std::size_t i = 0; i < names.size(); ++i) {
+  for (std::size_t i = 0; i < by_type_.size(); ++i) {
     if (by_type_[i] == 0) continue;
     if (!out.empty()) out += ' ';
-    out += names[i];
+    out += event_index_name(i);
     out += '=';
     out += std::to_string(by_type_[i]);
   }
@@ -261,12 +269,20 @@ std::string CounterSink::summary() const {
 
 // --- JsonlSink ------------------------------------------------------------
 
-void JsonlSink::on_event(const Event& event) {
+void JsonlSink::write_line(const Event& event, const TraceMeta& meta) {
   scratch_.clear();
-  append_event_json(scratch_, event);
+  append_event_json(scratch_, event, &meta);
   scratch_ += '\n';
   out_->write(scratch_.data(),
               static_cast<std::streamsize>(scratch_.size()));
+}
+
+void JsonlSink::on_event(const Event& event) {
+  write_line(event, TraceMeta{});
+}
+
+void JsonlSink::on_record(const Event& event, const TraceMeta& meta) {
+  write_line(event, meta);
 }
 
 // --- ChromeTraceSink ------------------------------------------------------
@@ -292,6 +308,9 @@ std::uint32_t chrome_tid(const Event& event) {
     std::uint32_t operator()(const PhaseSpan&) const { return 1; }
     std::uint32_t operator()(const StreamEpochSummary&) const { return 1; }
     std::uint32_t operator()(const QueueSaturated&) const { return 3; }
+    std::uint32_t operator()(const TrafficShift&) const { return 1; }
+    std::uint32_t operator()(const RuleFired&) const { return 2; }
+    std::uint32_t operator()(const SloBreach&) const { return 3; }
   };
   return std::visit(Visitor{}, event);
 }

@@ -73,15 +73,21 @@ class CounterSink final : public EventSink {
 };
 
 /// One JSON object per line: {"type":...,"epoch":...,<event fields>}.
+/// When dispatched through an EventBus the row leads with the causal
+/// envelope — {"id":N,"parent":M,...} — so a JSONL trace round-trips the
+/// cause chains (trace_explain / rfh_blackbox read them back).
 class JsonlSink final : public EventSink {
  public:
   /// The stream must outlive the sink; the sink never closes it.
   explicit JsonlSink(std::ostream& out) : out_(&out) {}
 
   void on_event(const Event& event) override;
+  void on_record(const Event& event, const TraceMeta& meta) override;
   void flush() override { out_->flush(); }
 
  private:
+  void write_line(const Event& event, const TraceMeta& meta);
+
   std::ostream* out_;
   std::string scratch_;  // reused per event to avoid reallocating
 };

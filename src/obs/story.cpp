@@ -107,6 +107,22 @@ struct DescribeVisitor {
                   e.server.value(), e.dc.value(), e.max_depth, e.cap,
                   e.dropped);
   }
+  std::string operator()(const TrafficShift& e) const {
+    return format("partition %u demand shifted: q_bar %.3g -> %.3g",
+                  e.partition.value(), e.q_bar_before, e.q_bar_after);
+  }
+  std::string operator()(const RuleFired& e) const {
+    return format("partition %u rule %s fired: %s — %.3g vs %.3g "
+                  "[q_bar=%.3g]",
+                  e.partition.value(), rule_name(e.rule),
+                  rule_inequality(e.rule), e.observed, e.threshold, e.q_bar);
+  }
+  std::string operator()(const SloBreach& e) const {
+    return format("SLO %s breached: %.4g vs target %.4g "
+                  "(burn short=%.2f long=%.2f)",
+                  e.objective, e.observed, e.target, e.burn_short,
+                  e.burn_long);
+  }
 };
 
 }  // namespace
@@ -128,6 +144,8 @@ struct ConcernsVisitor {
   bool operator()(const ActionDropped& e) const { return e.partition == p; }
   bool operator()(const PrimaryPromoted& e) const { return e.partition == p; }
   bool operator()(const Reseeded& e) const { return e.partition == p; }
+  bool operator()(const TrafficShift& e) const { return e.partition == p; }
+  bool operator()(const RuleFired& e) const { return e.partition == p; }
   template <typename Other>
   bool operator()(const Other&) const {
     return false;

@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/assert.h"
 #include "common/log.h"
@@ -26,6 +27,8 @@ Simulation::Simulation(World world, const SimConfig& config,
       rng_workload_(Rng(config_.seed).fork(kWorkloadStreamTag)),
       rng_policy_(Rng(config_.seed).fork(kPolicyStreamTag)),
       rng_failures_(Rng(config_.seed).fork(kFailureStreamTag)),
+      partition_cause_(config_.partitions, 0),
+      shift_baseline_(config_.partitions, -1.0),
       replication_bytes_(world_.topology.server_count(), 0),
       migration_bytes_(world_.topology.server_count(), 0) {
   RFH_ASSERT(workload_ != nullptr);
@@ -165,30 +168,61 @@ void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
   std::fill(replication_bytes_.begin(), replication_bytes_.end(), Bytes{0});
   std::fill(migration_bytes_.begin(), migration_bytes_.end(), Bytes{0});
 
+  // Causal plumbing. All of it is dead weight when no sink is installed:
+  // `traced` is the single branch the disabled path pays, and every
+  // emit_* below returns 0 immediately in that case.
+  const bool traced = events_.enabled();
+  const auto cause_of = [&](PartitionId p) -> std::uint64_t {
+    const std::uint64_t cause =
+        p.valid() && p.value() < partition_cause_.size()
+            ? partition_cause_[p.value()]
+            : 0;
+    return cause != 0 ? cause : events_.ambient_cause();
+  };
+  const auto remember = [&](PartitionId p, std::uint64_t id) {
+    if (id != 0 && p.valid() && p.value() < partition_cause_.size()) {
+      partition_cause_[p.value()] = id;
+    }
+  };
+  // RuleFired opens the validation of one explained action; the outcome
+  // (applied or dropped) is parented to it so the chain reads
+  // cause -> inequality -> consequence.
+  const auto rule_fired = [&](PartitionId p,
+                              const DecisionExplanation& why) -> std::uint64_t {
+    if (!traced || why.rule == DecisionRule::kNone) return 0;
+    return events_.emit_caused(cause_of(p),
+                               RuleFired{epoch_, p, why.rule, why.observed,
+                                         why.threshold, why.q_bar});
+  };
+
   const auto drop = [&](ActionKind kind, PartitionId p, ServerId target,
-                        DropReason reason) {
+                        DropReason reason, std::uint64_t parent) {
     ++report.dropped_actions;
     ++report.dropped_by_reason[static_cast<std::size_t>(reason)];
-    events_.emit(ActionDropped{epoch_, p, kind, reason, target});
+    events_.emit_caused(parent != 0 ? parent : cause_of(p),
+                        ActionDropped{epoch_, p, kind, reason, target});
   };
 
   for (const ReplicateAction& a : actions.replications) {
+    const std::uint64_t rule_id = rule_fired(a.partition, a.why);
     const ServerId src = cluster_.primary_of(a.partition);
     if (!src.valid() || !a.target.valid()) {
       drop(ActionKind::kReplicate, a.partition, a.target,
-           !a.target.valid() ? DropReason::kDeadTarget : DropReason::kInvalid);
+           !a.target.valid() ? DropReason::kDeadTarget : DropReason::kInvalid,
+           rule_id);
       continue;
     }
     if (!cluster_.can_accept(a.target, a.partition)) {
       drop(ActionKind::kReplicate, a.partition, a.target,
            classify_rejected_target(cluster_, world_.topology, config_,
-                                    a.target, a.partition));
+                                    a.target, a.partition),
+           rule_id);
       continue;
     }
     if (cluster_.replica_count(a.partition) >=
         config_.max_replicas_per_partition) {
-      drop(ActionKind::kReplicate, a.partition, a.target,
-           DropReason::kNodeCap);
+      drop(ActionKind::kReplicate, a.partition, a.target, DropReason::kNodeCap,
+           rule_id);
       continue;
     }
     const ServerSpec& spec = world_.topology.server(src).spec;
@@ -196,7 +230,7 @@ void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
         spec.replication_bandwidth) {
       // Source out of replication bandwidth this epoch.
       drop(ActionKind::kReplicate, a.partition, a.target,
-           DropReason::kBandwidth);
+           DropReason::kBandwidth, rule_id);
       continue;
     }
     replication_bytes_[src.value()] += config_.partition_size;
@@ -208,27 +242,34 @@ void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
         spec.replication_bandwidth);
     report.replications += 1;
     report.replication_cost += cost;
-    events_.emit(
-        ReplicaAdded{epoch_, a.partition, src, a.target, cost, a.why});
+    remember(a.partition,
+             events_.emit_caused(
+                 rule_id != 0 ? rule_id : cause_of(a.partition),
+                 ReplicaAdded{epoch_, a.partition, src, a.target, cost,
+                              a.why}));
   }
 
   for (const MigrateAction& a : actions.migrations) {
+    const std::uint64_t rule_id = rule_fired(a.partition, a.why);
     if (!a.from.valid() || !a.to.valid() ||
         !cluster_.has_replica(a.partition, a.from) ||
         cluster_.primary_of(a.partition) == a.from) {
-      drop(ActionKind::kMigrate, a.partition, a.to, DropReason::kInvalid);
+      drop(ActionKind::kMigrate, a.partition, a.to, DropReason::kInvalid,
+           rule_id);
       continue;
     }
     if (!cluster_.can_accept(a.to, a.partition)) {
       drop(ActionKind::kMigrate, a.partition, a.to,
            classify_rejected_target(cluster_, world_.topology, config_, a.to,
-                                    a.partition));
+                                    a.partition),
+           rule_id);
       continue;
     }
     const ServerSpec& spec = world_.topology.server(a.from).spec;
     if (migration_bytes_[a.from.value()] + config_.partition_size >
         spec.migration_bandwidth) {
-      drop(ActionKind::kMigrate, a.partition, a.to, DropReason::kBandwidth);
+      drop(ActionKind::kMigrate, a.partition, a.to, DropReason::kBandwidth,
+           rule_id);
       continue;
     }
     migration_bytes_[a.from.value()] += config_.partition_size;
@@ -241,20 +282,28 @@ void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
         spec.migration_bandwidth);
     report.migrations += 1;
     report.migration_cost += cost;
-    events_.emit(
-        MigrationExecuted{epoch_, a.partition, a.from, a.to, cost, a.why});
+    remember(a.partition,
+             events_.emit_caused(
+                 rule_id != 0 ? rule_id : cause_of(a.partition),
+                 MigrationExecuted{epoch_, a.partition, a.from, a.to, cost,
+                                   a.why}));
   }
 
   for (const SuicideAction& a : actions.suicides) {
+    const std::uint64_t rule_id = rule_fired(a.partition, a.why);
     if (!a.server.valid() || !cluster_.has_replica(a.partition, a.server) ||
         cluster_.primary_of(a.partition) == a.server) {
-      drop(ActionKind::kSuicide, a.partition, a.server, DropReason::kInvalid);
+      drop(ActionKind::kSuicide, a.partition, a.server, DropReason::kInvalid,
+           rule_id);
       continue;
     }
     cluster_.remove_replica(a.partition, a.server);
     router_.invalidate_routes_for(a.partition);
     report.suicides += 1;
-    events_.emit(Suicide{epoch_, a.partition, a.server, a.why});
+    remember(a.partition,
+             events_.emit_caused(rule_id != 0 ? rule_id : cause_of(a.partition),
+                                 Suicide{epoch_, a.partition, a.server,
+                                         a.why}));
   }
 }
 
@@ -282,6 +331,7 @@ EpochReport Simulation::step() {
   {
     const ScopedTimer timer(profiler_, Phase::kStatsUpdate);
     stats_.update(traffic_);
+    if (events_.enabled()) emit_traffic_shifts();
 
     report.total_queries = traffic_.total_queries();
     double unserved = 0.0;
@@ -391,9 +441,31 @@ void Simulation::run(Epoch epochs) {
   for (Epoch e = 0; e < epochs; ++e) step();
 }
 
-void Simulation::handle_lost_copies(
-    std::span<const ClusterState::LostCopy> lost) {
-  for (const ClusterState::LostCopy& copy : lost) {
+void Simulation::emit_traffic_shifts() {
+  for (std::uint32_t p = 0; p < config_.partitions; ++p) {
+    const double q = stats_.avg_query(PartitionId{p});
+    double& baseline = shift_baseline_[p];
+    if (baseline < 0.0) {
+      baseline = q;  // first observation establishes the baseline
+      continue;
+    }
+    const double scale = std::max(baseline, 1e-9);
+    if (std::abs(q - baseline) < kTrafficShiftThreshold * scale) continue;
+    // A sharp move is almost always the echo of the latest disturbance;
+    // chain to it so forensic queries connect demand shifts to faults.
+    const std::uint64_t id = events_.emit_caused(
+        events_.ambient_cause(),
+        TrafficShift{epoch_, PartitionId{p}, baseline, q});
+    if (id != 0) partition_cause_[p] = id;
+    baseline = q;
+  }
+}
+
+void Simulation::handle_lost_copies(std::span<const ClusterState::LostCopy> lost,
+                                    std::span<const std::uint64_t> causes) {
+  for (std::size_t i = 0; i < lost.size(); ++i) {
+    const ClusterState::LostCopy& copy = lost[i];
+    const std::uint64_t cause = i < causes.size() ? causes[i] : 0;
     if (!copy.was_primary) continue;
     // Promote the surviving replica with the highest smoothed traffic.
     ServerId best;
@@ -409,7 +481,9 @@ void Simulation::handle_lost_copies(
     if (best.valid()) {
       cluster_.set_primary(copy.partition, best);
       last_promotions_.push_back(Promotion{copy.partition, best, false});
-      events_.emit(PrimaryPromoted{epoch_, copy.partition, best});
+      const std::uint64_t id = events_.emit_caused(
+          cause, PrimaryPromoted{epoch_, copy.partition, best});
+      if (id != 0) partition_cause_[copy.partition.value()] = id;
       continue;
     }
     // No surviving copy: the data is lost. Re-seed an empty primary at the
@@ -432,7 +506,9 @@ void Simulation::handle_lost_copies(
     if (home.valid()) {
       cluster_.add_replica(copy.partition, home, /*primary=*/true);
       last_promotions_.push_back(Promotion{copy.partition, home, true});
-      events_.emit(Reseeded{epoch_, copy.partition, home});
+      const std::uint64_t id =
+          events_.emit_caused(cause, Reseeded{epoch_, copy.partition, home});
+      if (id != 0) partition_cause_[copy.partition.value()] = id;
     }
   }
 }
@@ -440,22 +516,35 @@ void Simulation::handle_lost_copies(
 void Simulation::fail_servers(std::span<const ServerId> servers) {
   last_promotions_.clear();
   std::vector<ClusterState::LostCopy> all_lost;
+  std::vector<std::uint64_t> lost_causes;  // aligned with all_lost
   for (const ServerId s : servers) {
     if (!cluster_.alive(s)) continue;
     RFH_ASSERT_MSG(cluster_.live_server_count() > 1,
                    "refusing to kill the last live server");
     auto lost = cluster_.kill_server(s);
-    all_lost.insert(all_lost.end(), lost.begin(), lost.end());
     // Drop the victim's smoothed traffic so Eq. 17's mean (over *live*
     // servers) no longer carries the ghost of its decaying tr_bar —
     // before the promotion pass below, which reads survivors' stats only.
     stats_.clear_server(s);
-    events_.emit(ServerFailed{epoch_, s});
+    const std::uint64_t failure_id = events_.emit(ServerFailed{epoch_, s});
+    for (const ClusterState::LostCopy& copy : lost) {
+      all_lost.push_back(copy);
+      lost_causes.push_back(failure_id);
+      // The failure is now the partition's latest causal antecedent —
+      // the promotion/reseed pass below may refine it further.
+      if (failure_id != 0 &&
+          copy.partition.value() < partition_cause_.size()) {
+        partition_cause_[copy.partition.value()] = failure_id;
+      }
+    }
+    // Statistical echoes (TrafficShift) with no tighter per-partition
+    // cause chain to the most recent disturbance.
+    if (failure_id != 0) events_.set_ambient_cause(failure_id);
   }
   // Liveness changed: relays and dead-DC skips may differ everywhere, and
   // handle_lost_copies below can move primaries.
   router_.invalidate_routes();
-  handle_lost_copies(all_lost);
+  handle_lost_copies(all_lost, lost_causes);
 }
 
 std::vector<ServerId> Simulation::fail_random_servers(std::uint32_t n) {
@@ -486,7 +575,8 @@ void Simulation::recover_servers(std::span<const ServerId> servers) {
   for (const ServerId s : servers) {
     if (cluster_.alive(s)) continue;
     cluster_.revive_server(s);
-    events_.emit(ServerRecovered{epoch_, s});
+    const std::uint64_t id = events_.emit(ServerRecovered{epoch_, s});
+    if (id != 0) events_.set_ambient_cause(id);
     any = true;
   }
   if (any) router_.invalidate_routes();
@@ -542,7 +632,8 @@ void Simulation::fail_link(DatacenterId a, DatacenterId b) {
   }
   disabled_links_.push_back(entry);
   rebuild_network();
-  events_.emit(LinkFailed{epoch_, a, b});
+  const std::uint64_t id = events_.emit(LinkFailed{epoch_, a, b});
+  if (id != 0) events_.set_ambient_cause(id);
 }
 
 void Simulation::restore_link(DatacenterId a, DatacenterId b) {
@@ -552,7 +643,8 @@ void Simulation::restore_link(DatacenterId a, DatacenterId b) {
   if (it == disabled_links_.end()) return;
   disabled_links_.erase(it);
   rebuild_network();
-  events_.emit(LinkRestored{epoch_, a, b});
+  const std::uint64_t id = events_.emit(LinkRestored{epoch_, a, b});
+  if (id != 0) events_.set_ambient_cause(id);
 }
 
 }  // namespace rfh

@@ -54,6 +54,12 @@ inline constexpr std::uint64_t kFailureStreamTag = 0x6661696C;   // "fail"
 /// stream (see stream/arrival.cpp).
 inline constexpr std::uint64_t kStreamStreamTag = 0x7374726D;  // "strm"
 
+/// Relative q_bar move that emits a TrafficShift event: the engine keeps
+/// a per-partition baseline and fires when |q_bar - baseline| crosses
+/// this fraction of the baseline (then re-baselines), so steady-state
+/// drift stays silent and only perturbation echoes enter the trace.
+inline constexpr double kTrafficShiftThreshold = 0.25;
+
 /// Everything observable about one epoch, for metrics collection.
 struct EpochReport {
   Epoch epoch = 0;
@@ -222,7 +228,15 @@ class Simulation {
   void seed_primaries();
   void propagate(const QueryBatch& batch);
   void apply_actions(const Actions& actions, EpochReport& report);
-  void handle_lost_copies(std::span<const ClusterState::LostCopy> lost);
+  /// `causes` is aligned with `lost`: the ServerFailed cause id of each
+  /// lost copy, so promotions/reseeds chain to the failure that forced
+  /// them (empty when no sink is listening).
+  void handle_lost_copies(std::span<const ClusterState::LostCopy> lost,
+                          std::span<const std::uint64_t> causes);
+  /// Emit TrafficShift events for partitions whose q_bar moved past
+  /// kTrafficShiftThreshold since the last baseline. Only called when a
+  /// sink is installed.
+  void emit_traffic_shifts();
   /// Bump the resolved registry handles from this epoch's report.
   void update_telemetry(const EpochReport& report);
   /// Rebuild graph / shortest paths / router from the live link set.
@@ -265,6 +279,14 @@ class Simulation {
   Rng rng_failures_;
   Epoch epoch_ = 0;
   double traffic_multiplier_ = 1.0;
+  /// Causal bookkeeping (tracing only; never feeds simulation state).
+  /// Per partition: the cause id of the latest state-changing event that
+  /// touched it (lost copy, promotion, applied action, traffic shift) —
+  /// the parent for the next RuleFired concerning it. 0 = no history.
+  std::vector<std::uint64_t> partition_cause_;
+  /// Per partition: the q_bar baseline TrafficShift detection compares
+  /// against (negative = not yet initialized).
+  std::vector<double> shift_baseline_;
   std::uint32_t data_losses_ = 0;
   std::vector<Promotion> last_promotions_;
   /// Disabled links as normalized (min id, max id) datacenter pairs.

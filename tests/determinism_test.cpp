@@ -64,6 +64,7 @@ std::vector<SweepCellResult> run_grid(const std::vector<SweepCell>& cells,
   options.jobs = jobs;
   options.collect_metrics = true;
   options.collect_traces = true;
+  options.collect_timeline = true;
   return SweepRunner(options).run(cells);
 }
 
@@ -82,6 +83,15 @@ void expect_byte_identical(const std::vector<SweepCellResult>& serial,
     EXPECT_EQ(serial[i].metrics_json, parallel[i].metrics_json)
         << "cell " << i;
     EXPECT_EQ(serial[i].trace_jsonl, parallel[i].trace_jsonl) << "cell " << i;
+    // The causal flight record and the SLO breach sequence are part of
+    // the determinism contract too: contents (not just digests) must be
+    // byte-identical across --jobs.
+    EXPECT_EQ(serial[i].timeline_digest, parallel[i].timeline_digest)
+        << "cell " << i;
+    EXPECT_EQ(serial[i].timeline_jsonl, parallel[i].timeline_jsonl)
+        << "cell " << i;
+    EXPECT_EQ(serial[i].run.slo_breaches, parallel[i].run.slo_breaches)
+        << "cell " << i;
   }
 }
 
@@ -126,6 +136,47 @@ TEST(SweepDeterminismTest, ChurnFaultPlanSweepIsByteIdenticalToSerial) {
   for (const SweepCellResult& r : serial) {
     EXPECT_GT(r.run.faults_injected, 0u);
   }
+}
+
+TEST(SweepDeterminismTest, TimelineAndSloBreachesByteIdenticalAcrossJobs) {
+  // Armed SLO objectives + rolling churn: the flight record fills past
+  // its ring capacities (exercising eviction + reservoir sampling) and
+  // the watchdog actually fires, so the digests compared here are the
+  // interesting ones.
+  std::vector<SweepCell> cells;
+  for (const std::uint64_t seed : {3ull, 13ull, 29ull}) {
+    SweepCell cell;
+    cell.label = "slo seed=" + std::to_string(seed);
+    cell.scenario = Scenario::paper_random_query();
+    cell.scenario.epochs = 40;
+    cell.scenario.sim.seed = seed;
+    cell.scenario.world.seed = seed;
+    cell.scenario.slo.availability_floor = 0.999;
+    cell.scenario.slo.migrations_per_epoch = 0.5;
+    cell.scenario.slo.short_window = 3;
+    cell.scenario.slo.long_window = 8;
+    FaultEvent churn;
+    churn.kind = FaultKind::kChurn;
+    churn.at = 2;
+    churn.until = 40;
+    churn.period = 2;
+    churn.kill = 2;
+    churn.recover = 1;
+    cell.scenario.fault_plan.add(churn);
+    cell.policy = PolicyKind::kRfh;
+    cells.push_back(std::move(cell));
+  }
+  const std::vector<SweepCellResult> serial = run_grid(cells, 1);
+  expect_byte_identical(serial, run_grid(cells, 8));
+  // Not vacuous: every cell recorded a timeline, and the grid as a whole
+  // breached at least one objective.
+  std::size_t total_breaches = 0;
+  for (const SweepCellResult& r : serial) {
+    EXPECT_NE(r.timeline_digest, 0u) << r.label;
+    EXPECT_FALSE(r.timeline_jsonl.empty()) << r.label;
+    total_breaches += r.run.slo_breaches.size();
+  }
+  EXPECT_GT(total_breaches, 0u);
 }
 
 TEST(SweepDeterminismTest, PooledComparisonMatchesSequentialForAllJobs) {
