@@ -1,74 +1,196 @@
-// Extension experiment — scaling beyond the Table I world.
+// Large-N scaling of the intra-epoch parallel engine.
 //
-// The paper simulates 10 datacenters x 10 servers. This bench sweeps
-// synthetic worlds from 5 to 80 datacenters (50 to 800 servers, demand
-// scaled proportionally) and reports, for RFH: wall-clock per epoch and
-// the steady-state quality metrics, demonstrating that the decision tree
-// keeps working when the "virtual ring" is an order of magnitude larger.
+// The paper simulates 10 datacenters x 10 servers. This bench builds
+// synthetic ring+chord worlds of 100-server datacenters at 1k / 10k /
+// 100k total servers (partitions and demand scaled proportionally) and
+// reports epochs/sec for RFH — serial, and again with the engine sharded
+// across a thread pool (Simulation::set_jobs) when more than one worker
+// is available. The threaded pass must reproduce the serial per-epoch
+// metrics bit-for-bit; any mismatch fails the bench.
+//
+// Usage:
+//   bench_scalability [--smoke] [--jobs=N] [--profile]
+//
+// --smoke shrinks the sweep to 200/500-server worlds for CI, where
+// scripts/bench_diff.py gates the n*_epoch_ms metrics against the
+// committed bench/results/BENCH_scalability.json baseline.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_args.h"
 #include "bench_report.h"
 #include "core/rfh_policy.h"
+#include "exec/thread_pool.h"
 #include "metrics/collector.h"
+#include "sim/engine.h"
+#include "telemetry/profiler.h"
 #include "topology/world.h"
 #include "workload/generator.h"
 
+namespace {
+
+struct SizePoint {
+  std::uint32_t n_dcs;
+  rfh::Epoch warmup;
+  rfh::Epoch measured;
+};
+
+// A fingerprint of everything the engine computes per epoch; two runs
+// that agree on every field of every epoch ran the same simulation.
+struct EpochDigest {
+  double utilization;
+  double unserved;
+  double path_length;
+  double latency_ms;
+  double replicas;
+
+  bool operator==(const EpochDigest&) const = default;
+};
+
+struct RunResult {
+  double epoch_ms = 0.0;
+  std::vector<EpochDigest> digests;
+  double utilization_tail = 0.0;
+  double unserved_tail = 0.0;
+};
+
+// One fresh simulation over `size`, stepping warmup + measured epochs and
+// timing the measured span. Deterministic: the world/workload seeds are
+// fixed, so two calls with different `jobs` must produce equal digests.
+RunResult run_once(const SizePoint& size, unsigned jobs,
+                   rfh::BenchReport& report, const std::string& stage_name,
+                   bool profile) {
+  rfh::WorldOptions world_options;
+  world_options.rooms_per_datacenter = 2;
+  world_options.racks_per_room = 5;
+  world_options.servers_per_rack = 10;  // 100 servers per datacenter
+
+  rfh::SimConfig config;
+  config.partitions = 8 * size.n_dcs;
+  rfh::WorkloadParams params;
+  params.partitions = config.partitions;
+  params.datacenters = size.n_dcs;
+  params.mean_queries_per_epoch = 30.0 * size.n_dcs;
+
+  // Log-spaced chords keep the inter-DC diameter O(log n) — a thin ring
+  // at 1000 DCs would mean >100-hop query paths, which no real backbone
+  // has, and which would swamp the bench with path-walk cost.
+  std::vector<std::uint32_t> strides;
+  for (std::uint32_t s = 8; s < size.n_dcs; s *= 8) strides.push_back(s);
+  rfh::Simulation sim(
+      rfh::build_synthetic_world(size.n_dcs, world_options, strides), config,
+      std::make_unique<rfh::UniformWorkload>(params),
+      std::make_unique<rfh::RfhPolicy>());
+  sim.set_jobs(jobs);
+  rfh::PhaseProfiler profiler;
+  if (profile) sim.set_profiler(&profiler);
+  sim.run(size.warmup);
+
+  RunResult result;
+  rfh::MetricsCollector collector;
+  result.digests.reserve(size.measured);
+  const auto start = std::chrono::steady_clock::now();
+  {
+    const auto stage = report.stage(stage_name);
+    for (rfh::Epoch e = 0; e < size.measured; ++e) {
+      const rfh::EpochMetrics m = collector.collect(sim, sim.step());
+      result.digests.push_back(EpochDigest{
+          m.utilization, m.unserved_fraction, m.path_length,
+          m.latency_mean_ms, static_cast<double>(m.total_replicas)});
+    }
+  }
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  result.epoch_ms = elapsed / static_cast<double>(size.measured);
+
+  const std::size_t tail =
+      std::min<std::size_t>(size.measured / 2 + 1, result.digests.size());
+  for (std::size_t i = result.digests.size() - tail;
+       i < result.digests.size(); ++i) {
+    result.utilization_tail += result.digests[i].utilization;
+    result.unserved_tail += result.digests[i].unserved;
+  }
+  result.utilization_tail /= static_cast<double>(tail);
+  result.unserved_tail /= static_cast<double>(tail);
+  if (profile) {
+    profiler.finalize();
+    std::printf("# --- %s phase breakdown ---\n", stage_name.c_str());
+    profiler.write_table(std::cout, "# ");
+  }
+  return result;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  // Timing bench: ms/epoch is the measured output, so the world sweep
-  // stays serial; --jobs is accepted for the uniform bench interface.
-  (void)rfh::bench_jobs(argc, argv);
+  bool smoke = false;
+  bool profile = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--profile") == 0) profile = true;
+  }
+  const unsigned jobs_flag = rfh::bench_jobs(argc, argv);
+  const unsigned jobs =
+      jobs_flag == 0 ? rfh::ThreadPool::default_jobs() : jobs_flag;
+
+  // Epoch budgets shrink with N so the full sweep stays minutes, not
+  // hours; the 100k point must still clear >1 epochs/sec (ROADMAP). The
+  // smoke points are sized so every timed stage clears bench_diff's 1 ms
+  // jitter floor.
+  const std::vector<SizePoint> sizes =
+      smoke ? std::vector<SizePoint>{{5, 20, 40}, {10, 40, 80}}
+            : std::vector<SizePoint>{{10, 40, 80}, {100, 10, 20},
+                                     {1000, 3, 8}};
+
   rfh::BenchReport report("scalability");
-  std::printf("# RFH scalability sweep (synthetic ring+chord worlds, "
-              "demand 30 queries/epoch per datacenter)\n");
-  std::printf("%6s %8s %11s %11s %10s %12s\n", "DCs", "servers",
-              "partitions", "utilization", "unserved", "ms/epoch");
+  std::printf("# RFH large-N scaling (100-server DCs, demand 30 "
+              "queries/epoch per DC, jobs=%u)\n", jobs);
+  std::printf("%8s %11s %13s %13s %8s %11s %10s\n", "servers", "partitions",
+              "serial ep/s", "jobs ep/s", "speedup", "utilization",
+              "unserved");
 
-  for (const std::uint32_t n_dcs : {5u, 10u, 20u, 40u, 80u}) {
-    rfh::World world = rfh::build_synthetic_world(n_dcs);
-    const std::size_t servers = world.topology.server_count();
+  bool identical = true;
+  for (const SizePoint& size : sizes) {
+    const std::uint32_t servers = 100 * size.n_dcs;
+    // += instead of operator+ on temporaries: GCC 12 -O3 raises a
+    // spurious -Wrestrict on the latter (PR105651).
+    std::string n("n");
+    n += std::to_string(servers);
 
-    rfh::SimConfig config;
-    config.partitions = 8 * n_dcs;  // keep partitions/server constant
-    rfh::WorkloadParams params;
-    params.partitions = config.partitions;
-    params.datacenters = n_dcs;
-    params.mean_queries_per_epoch = 30.0 * n_dcs;
+    const RunResult serial = run_once(size, 1, report, "serial_" + n,
+                                      profile);
+    report.add_metric(n + "_epoch_ms", serial.epoch_ms);
+    report.add_metric("utilization_" + n, serial.utilization_tail);
+    report.add_metric("unserved_" + n, serial.unserved_tail);
 
-    rfh::Simulation sim(std::move(world), config,
-                        std::make_unique<rfh::UniformWorkload>(params),
-                        std::make_unique<rfh::RfhPolicy>());
-    rfh::MetricsCollector collector;
-
-    const rfh::Epoch warmup = 60;
-    const rfh::Epoch measured = 60;
-    sim.run(warmup);
-    const auto start = std::chrono::steady_clock::now();
-    {
-      const auto stage =
-          report.stage("measure_dcs_" + std::to_string(n_dcs));
-      for (rfh::Epoch e = 0; e < measured; ++e) {
-        collector.collect(sim, sim.step());
+    double jobs_eps = 0.0;
+    double speedup = 1.0;
+    if (jobs > 1) {
+      const RunResult threaded = run_once(size, jobs, report, "jobs_" + n,
+                                          profile);
+      report.add_metric(n + "_jobs_epoch_ms", threaded.epoch_ms);
+      jobs_eps = 1000.0 / threaded.epoch_ms;
+      speedup = serial.epoch_ms / threaded.epoch_ms;
+      if (threaded.digests != serial.digests) {
+        identical = false;
+        std::fprintf(stderr,
+                     "FAIL: %s: jobs=%u per-epoch metrics diverge from "
+                     "serial\n", n.c_str(), jobs);
       }
     }
-    const auto elapsed = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
 
-    const double utilization =
-        collector.tail_mean(&rfh::EpochMetrics::utilization, 30);
-    const double unserved =
-        collector.tail_mean(&rfh::EpochMetrics::unserved_fraction, 30);
-    std::printf("%6u %8zu %11u %11.3f %10.3f %12.3f\n", n_dcs, servers,
-                config.partitions, utilization, unserved,
-                elapsed / static_cast<double>(measured));
-    const std::string suffix = "_dcs_" + std::to_string(n_dcs);
-    report.add_metric("utilization" + suffix, utilization);
-    report.add_metric("unserved_fraction" + suffix, unserved);
+    std::printf("%8u %11u %13.2f %13.2f %7.2fx %11.3f %10.3f\n", servers,
+                8 * size.n_dcs, 1000.0 / serial.epoch_ms, jobs_eps, speedup,
+                serial.utilization_tail, serial.unserved_tail);
   }
+
   report.write_file();
+  if (!identical) return 1;
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include "common/availability.h"
 #include "core/selection.h"
+#include "exec/parallel_for.h"
 #include "telemetry/registry.h"
 
 namespace rfh {
@@ -33,13 +34,18 @@ std::vector<RfhPolicy::HubCandidate> RfhPolicy::hub_candidates(
     const PolicyContext& ctx, PartitionId p, double gamma_threshold,
     bool require_gamma) const {
   std::vector<HubCandidate> out;
-  for (const Server& server : ctx.topology.servers()) {
-    if (!ctx.cluster.alive(server.id)) continue;
-    if (ctx.cluster.has_replica(p, server.id)) continue;
-    const double tr = ctx.stats.node_traffic(p, server.id);
+  // Only servers with tr > 0 can qualify, and those are exactly the
+  // partition's nonzero tr_bar cells — walking them (ascending server id,
+  // like the full-axis scan they replace) instead of all S servers makes
+  // the decide pass independent of cluster size.
+  for (const StatCell& cell : ctx.stats.node_cells(p)) {
+    const ServerId sid{cell.server};
+    const double tr = cell.ewma;
     if (tr <= 0.0) continue;
+    if (!ctx.cluster.alive(sid)) continue;
+    if (ctx.cluster.has_replica(p, sid)) continue;
     if (require_gamma && tr < gamma_threshold) continue;
-    out.push_back(HubCandidate{server.id, tr});
+    out.push_back(HubCandidate{sid, tr});
   }
   std::sort(out.begin(), out.end(),
             [](const HubCandidate& a, const HubCandidate& b) {
@@ -163,18 +169,56 @@ void RfhPolicy::count_actions(const Actions& actions) {
 }
 
 Actions RfhPolicy::decide(const PolicyContext& ctx) {
-  Actions actions;
   const std::uint32_t rmin =
       min_replicas(ctx.config.min_availability, ctx.config.failure_rate);
   overload_streak_.resize(ctx.config.partitions, 0);
-  const auto streak_key = [](PartitionId p, ServerId s) {
-    return (std::uint64_t{p.value()} << 32) | s.value();
-  };
+  if (cold_streak_.size() < ctx.config.partitions) {
+    cold_streak_.resize(ctx.config.partitions);
+  }
 
-  for (std::uint32_t pv = 0; pv < ctx.config.partitions; ++pv) {
-    const PartitionId p{pv};
+  // The kRandom placement draws from ctx.rng once per decided partition,
+  // so its decision sequence *is* the RNG stream order — that ablation
+  // stays serial. Every other placement is a pure function of per-
+  // partition state, so the scan shards cleanly.
+  ThreadPool* pool =
+      options_.placement == Options::Placement::kRandom ? nullptr : ctx.pool;
+
+  const std::size_t n = ctx.config.partitions;
+  const unsigned shards = shard_count_for(pool, n, /*min_grain=*/64);
+  std::vector<Actions> shard_actions(shards);
+  parallel_for_shards(
+      pool, n, shards, [&](unsigned s, IndexRange range) {
+        Actions& out = shard_actions[s];
+        for (std::size_t pv = range.begin; pv < range.end; ++pv) {
+          decide_partition(ctx, PartitionId{static_cast<std::uint32_t>(pv)},
+                           rmin, out);
+        }
+      });
+
+  // Shard ranges concatenate to the serial partition order, so appending
+  // each shard's actions in shard-index order reproduces the serial
+  // action list exactly.
+  Actions actions = std::move(shard_actions.front());
+  for (std::size_t s = 1; s < shard_actions.size(); ++s) {
+    Actions& part = shard_actions[s];
+    actions.replications.insert(actions.replications.end(),
+                                part.replications.begin(),
+                                part.replications.end());
+    actions.migrations.insert(actions.migrations.end(),
+                              part.migrations.begin(), part.migrations.end());
+    actions.suicides.insert(actions.suicides.end(), part.suicides.begin(),
+                            part.suicides.end());
+  }
+  if (decide_calls_ != nullptr) count_actions(actions);
+  return actions;
+}
+
+void RfhPolicy::decide_partition(const PolicyContext& ctx, PartitionId p,
+                                 std::uint32_t rmin, Actions& actions) {
+  {
+    const std::uint32_t pv = p.value();
     const ServerId primary = ctx.cluster.primary_of(p);
-    if (!primary.valid()) continue;
+    if (!primary.valid()) return;
 
     const double q_bar = ctx.stats.avg_query(p);
     const std::uint32_t r = ctx.cluster.replica_count(p);
@@ -199,7 +243,7 @@ Actions RfhPolicy::decide(const PolicyContext& ctx) {
         why.threshold = static_cast<double>(rmin);
         actions.replications.push_back(ReplicateAction{p, target, why});
       }
-      continue;  // grow back to the floor before optimizing anything else
+      return;  // grow back to the floor before optimizing anything else
     }
 
     // --- 2. Overload relief (Eqs. 12-13, 16) ----------------------------
@@ -297,17 +341,33 @@ Actions RfhPolicy::decide(const PolicyContext& ctx) {
 
     // --- 3. Suicide (Eq. 15) --------------------------------------------
     if (options_.enable_suicide && q_bar > 0.0) {
+      // This partition's cold-streak row, sorted by server id — the only
+      // cross-epoch policy state the suicide rule keeps.
+      std::vector<ColdStreak>& row = cold_streak_[pv];
+      const auto row_find = [&row](ServerId s) {
+        return std::lower_bound(row.begin(), row.end(), s.value(),
+                                [](const ColdStreak& c, std::uint32_t v) {
+                                  return c.server < v;
+                                });
+      };
+      const auto row_erase = [&](ServerId s) {
+        const auto it = row_find(s);
+        if (it != row.end() && it->server == s.value()) row.erase(it);
+      };
       std::uint32_t remaining = r;
       std::uint32_t done = 0;
       for (const Replica& replica : ctx.cluster.replicas_of(p)) {
         if (replica.primary) continue;
-        const std::uint64_t key = streak_key(p, replica.server);
         const double tr = ctx.stats.node_traffic(p, replica.server);
         if (tr > ctx.config.delta * q_bar) {
-          cold_streak_.erase(key);
+          row_erase(replica.server);
           continue;
         }
-        const std::uint32_t streak = ++cold_streak_[key];
+        auto it = row_find(replica.server);
+        if (it == row.end() || it->server != replica.server.value()) {
+          it = row.insert(it, ColdStreak{replica.server.value(), 0});
+        }
+        const std::uint32_t streak = ++it->epochs;
         if (replicated_this_epoch || done >= options_.max_suicides_per_epoch ||
             remaining <= rmin || streak < options_.cold_streak_epochs) {
           continue;  // cold, but not removable (yet)
@@ -317,14 +377,12 @@ Actions RfhPolicy::decide(const PolicyContext& ctx) {
         why.observed = tr;
         why.threshold = ctx.config.delta * q_bar;
         actions.suicides.push_back(SuicideAction{p, replica.server, why});
-        cold_streak_.erase(key);
+        row.erase(row_find(replica.server));
         --remaining;
         ++done;
       }
     }
   }
-  if (decide_calls_ != nullptr) count_actions(actions);
-  return actions;
 }
 
 }  // namespace rfh

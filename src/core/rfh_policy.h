@@ -26,7 +26,6 @@
 
 #include <array>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "obs/events.h"
@@ -83,10 +82,20 @@ class RfhPolicy final : public ReplicationPolicy {
 
   /// Forwarding servers not hosting p, sorted by smoothed traffic
   /// descending (id ascending on ties). When `require_gamma`, only servers
-  /// crossing the Eq. 13 threshold are returned.
+  /// crossing the Eq. 13 threshold are returned. Scans the partition's
+  /// nonzero tr_bar cells, not the full server axis — only servers with
+  /// positive smoothed traffic can qualify.
   [[nodiscard]] std::vector<HubCandidate> hub_candidates(
       const PolicyContext& ctx, PartitionId p, double gamma_threshold,
       bool require_gamma) const;
+
+  /// Run the Fig. 2 decision tree for one partition, appending into
+  /// `out`. Touches only [p]-indexed policy state (overload/cold
+  /// streaks), so the decide scan shards partitions across a pool with
+  /// each shard appending to its own Actions — concatenated in shard
+  /// order, the result is byte-identical to the serial scan.
+  void decide_partition(const PolicyContext& ctx, PartitionId p,
+                        std::uint32_t rmin, Actions& out);
 
   /// Pick the target server for a new copy of p according to the
   /// configured placement; invalid if nothing is feasible.
@@ -107,9 +116,14 @@ class RfhPolicy final : public ReplicationPolicy {
   std::array<Counter*, kDecisionRuleCount> rule_fired_{};
   /// Consecutive epochs each partition's holder has been overloaded.
   std::vector<std::uint32_t> overload_streak_;
-  /// Consecutive epochs each copy has been cold, keyed by
-  /// (partition << 32) | server.
-  std::unordered_map<std::uint64_t, std::uint32_t> cold_streak_;
+  /// Consecutive epochs a copy has been cold. Kept per partition (sorted
+  /// by server id) so the sharded decide scan mutates only shard-owned
+  /// rows.
+  struct ColdStreak {
+    std::uint32_t server = 0;
+    std::uint32_t epochs = 0;
+  };
+  std::vector<std::vector<ColdStreak>> cold_streak_;  // [p]
 };
 
 }  // namespace rfh

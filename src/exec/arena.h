@@ -1,0 +1,86 @@
+// Bump-allocated scratch arena for per-epoch working memory.
+//
+// The engine's sharded phases need short-lived flat buffers every epoch
+// (dense accumulator columns, per-shard delta logs). Allocating them from
+// the heap each epoch would dominate the phase cost at 100k servers, so
+// the arena bump-allocates from coarse blocks and reset() recycles every
+// block without returning memory to the OS — steady-state epochs perform
+// zero allocations once the high-water mark is reached.
+//
+// Restricted to trivially destructible T: reset() never runs destructors,
+// it just rewinds the bump pointers. Allocations are value-initialized
+// (numeric scratch starts at zero). Spans are valid until the next
+// reset(); the arena itself is not thread-safe — give each shard its own
+// spans before the fan-out, or its own arena.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace rfh {
+
+class ScratchArena {
+ public:
+  explicit ScratchArena(std::size_t block_bytes = std::size_t{1} << 20)
+      : block_bytes_(block_bytes == 0 ? std::size_t{1} << 20 : block_bytes) {}
+
+  /// Value-initialized span of `count` Ts, aligned for T.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena reset() never runs destructors");
+    if (count == 0) return {};
+    void* raw = allocate(count * sizeof(T), alignof(T));
+    std::memset(raw, 0, count * sizeof(T));
+    // Trivially destructible scratch types here are also trivially
+    // default-constructible, so zero bytes are a valid value state.
+    return {static_cast<T*>(raw), count};
+  }
+
+  /// Rewind every block; capacity is kept for the next epoch.
+  void reset() noexcept {
+    for (Block& block : blocks_) block.used = 0;
+    current_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const Block& block : blocks_) total += block.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    for (; current_ < blocks_.size(); ++current_) {
+      Block& block = blocks_[current_];
+      const std::size_t aligned = (block.used + align - 1) & ~(align - 1);
+      if (aligned + bytes <= block.size) {
+        block.used = aligned + bytes;
+        return block.data.get() + aligned;
+      }
+    }
+    Block fresh;
+    fresh.size = std::max(block_bytes_, bytes + align);
+    fresh.data = std::make_unique<std::byte[]>(fresh.size);
+    fresh.used = bytes;
+    blocks_.push_back(std::move(fresh));
+    current_ = blocks_.size() - 1;
+    return blocks_.back().data.get();
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;
+};
+
+}  // namespace rfh

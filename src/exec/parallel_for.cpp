@@ -1,0 +1,15 @@
+#include "exec/parallel_for.h"
+
+namespace rfh {
+
+unsigned shard_count_for(const ThreadPool* pool, std::size_t n,
+                         std::size_t min_grain) noexcept {
+  const unsigned workers = pool == nullptr ? 0 : pool->size();
+  if (workers <= 1 || n == 0) return 1;
+  if (min_grain == 0) min_grain = 1;
+  const std::size_t grain_cap = (n + min_grain - 1) / min_grain;
+  return static_cast<unsigned>(
+      std::min<std::size_t>({workers, grain_cap, n}));
+}
+
+}  // namespace rfh

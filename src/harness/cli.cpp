@@ -74,6 +74,10 @@ CliParseResult parse_cli(std::span<const char* const> args) {
   std::map<std::string, std::string> seen;
   // Last stream-layer flag encountered, for the workload=stream check.
   const char* stream_flag = nullptr;
+  // Whether --jobs appeared: single-policy runs thread the engine only on
+  // explicit request (the default stays serial), while --compare always
+  // consults options.jobs for its policy pool.
+  bool jobs_seen = false;
   for (const char* arg : args) {
     if (std::strncmp(arg, "--", 2) == 0) {
       if (const char* eq = std::strchr(arg, '=')) {
@@ -150,6 +154,7 @@ CliParseResult parse_cli(std::span<const char* const> args) {
       event.epoch = static_cast<Epoch>(epoch);
       options.failures.push_back(event);
     } else if (consume(arg, "--jobs=", value)) {
+      jobs_seen = true;
       if (value == "auto") {
         options.jobs = 0;  // exec/sweep.h: 0 = one worker per hardware thread
       } else {
@@ -299,6 +304,12 @@ CliParseResult parse_cli(std::span<const char* const> args) {
       options.scenario.workload != WorkloadKind::kStream) {
     return fail(std::string(stream_flag) +
                 " only applies to --workload=stream");
+  }
+  if (jobs_seen && !options.compare) {
+    // Single-policy runs shard the epoch phases themselves. Under
+    // --compare the pool parallelises across policies instead and each
+    // engine stays serial, so the two modes never nest thread pools.
+    options.scenario.engine_jobs = options.jobs;
   }
   result.ok = true;
   return result;

@@ -22,9 +22,12 @@
 //   --kill=N@E                    (repeatable: kill N random servers at E)
 //   --metric=<name>               (see metric_names())
 //   --compare                     (all four policies)
-//   --jobs=N|auto                 (worker threads for --compare: auto =
-//                                  one per hardware thread, 1 = serial;
-//                                  results are bit-identical for every N)
+//   --jobs=N|auto                 (worker threads; auto = one per hardware
+//                                  thread, 1 = serial. With --compare the
+//                                  pool runs policies concurrently; on a
+//                                  single-policy run it shards the engine's
+//                                  epoch phases (Simulation::set_jobs).
+//                                  Results are bit-identical for every N)
 //
 // Malformed input never asserts or silently clamps: out-of-range values
 // and *conflicting* duplicate flags (same flag, different value) yield a
@@ -75,8 +78,9 @@ struct CliOptions {
   PolicyKind policy = PolicyKind::kRfh;
   bool compare = false;
   /// Worker threads for --compare sweeps (exec/sweep.h semantics:
-  /// 0 = hardware, 1 = serial). Purely a scheduling knob — outputs are
-  /// bit-identical for every value.
+  /// 0 = hardware, 1 = serial). On single-policy runs an explicit --jobs
+  /// lands in scenario.engine_jobs instead, sharding the epoch phases.
+  /// Purely a scheduling knob — outputs are bit-identical for every value.
   unsigned jobs = 0;
   bool quiet = false;
   std::string metric = "utilization";

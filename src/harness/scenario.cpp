@@ -94,8 +94,11 @@ std::unique_ptr<Simulation> make_simulation(const Scenario& scenario,
   World world = build_paper_world(scenario.world);
   auto workload = make_workload(scenario, world);
   auto policy = make_policy(kind, rfh);
-  return std::make_unique<Simulation>(std::move(world), scenario.sim,
-                                      std::move(workload), std::move(policy));
+  auto sim = std::make_unique<Simulation>(std::move(world), scenario.sim,
+                                          std::move(workload),
+                                          std::move(policy));
+  if (scenario.engine_jobs != 1) sim->set_jobs(scenario.engine_jobs);
+  return sim;
 }
 
 }  // namespace rfh

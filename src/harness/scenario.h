@@ -48,6 +48,11 @@ struct Scenario {
   /// per-epoch metrics and collects its breach episodes. Observational
   /// only: placement decisions are unaffected.
   SloSpec slo;
+  /// Intra-epoch worker threads (Simulation::set_jobs): 0 = one per
+  /// hardware thread, 1 = serial. Results are byte-identical for every
+  /// value, so this is a wall-clock knob only — and deliberately NOT
+  /// part of SimConfig, which is serialized into fuzzer case files.
+  unsigned engine_jobs = 1;
 
   /// Table I defaults with the paper's horizons per workload kind.
   static Scenario paper_random_query();

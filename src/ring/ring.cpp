@@ -50,6 +50,45 @@ void HashRing::add_server(ServerId server) {
   successor_cache_.clear();
 }
 
+void HashRing::add_servers(std::span<const ServerId> servers) {
+  if (servers.empty()) return;
+  // Hash every token up front, keeping per-server i-order for
+  // server_tokens_ (matching the incremental path's stored order).
+  std::vector<Token> fresh;
+  fresh.reserve(servers.size() * tokens_per_server_);
+  for (const ServerId server : servers) {
+    RFH_ASSERT(server.valid());
+    RFH_ASSERT_MSG(!contains(server), "server already on ring");
+    for (std::uint32_t i = 0; i < tokens_per_server_; ++i) {
+      fresh.push_back(Token{hash_combine(hash64(std::uint64_t{server.value()}),
+                                         hash64(std::uint64_t{i})),
+                            server});
+    }
+  }
+  std::vector<Token> sorted = fresh;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Token& a, const Token& b) { return a.position < b.position; });
+  std::vector<Token> merged(ring_.size() + sorted.size());
+  std::merge(ring_.begin(), ring_.end(), sorted.begin(), sorted.end(),
+             merged.begin(), [](const Token& a, const Token& b) {
+               return a.position < b.position;
+             });
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    if (merged[i].position == merged[i - 1].position) {
+      // Token collision: nothing has been committed yet, so defer to the
+      // incremental path whose linear probe defines the semantics.
+      for (const ServerId server : servers) add_server(server);
+      return;
+    }
+  }
+  ring_ = std::move(merged);
+  for (const Token& token : fresh) {
+    server_tokens_[token.owner].push_back(token.position);
+  }
+  ++membership_epoch_;
+  successor_cache_.clear();
+}
+
 void HashRing::remove_server(ServerId server) {
   const auto it = server_tokens_.find(server);
   RFH_ASSERT_MSG(it != server_tokens_.end(), "server not on ring");

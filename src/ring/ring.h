@@ -25,10 +25,13 @@
 // std::map reference under randomized add/remove interleavings.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/ids.h"
 
 namespace rfh {
@@ -40,6 +43,14 @@ class HashRing {
   explicit HashRing(std::uint32_t tokens_per_server = 16);
 
   void add_server(ServerId server);
+  /// Bulk join: hash every token up front, sort once and merge — O(T log
+  /// T) for T new tokens instead of the O(T²) sorted-insert loop, which
+  /// is what makes 100k-server construction tractable. Produces the same
+  /// ring as calling add_server per server: positions are pure hashes,
+  /// and on the (astronomically unlikely) token collision the bulk path
+  /// falls back to the incremental one so the linear-probe semantics stay
+  /// authoritative.
+  void add_servers(std::span<const ServerId> servers);
   void remove_server(ServerId server);
   [[nodiscard]] bool contains(ServerId server) const;
 
@@ -50,6 +61,29 @@ class HashRing {
   /// clockwise (the Dynamo preference list for the key).
   [[nodiscard]] std::vector<ServerId> preference_list(std::uint64_t key,
                                                       std::size_t n) const;
+
+  /// Stream the key's preference order — the same distinct-server
+  /// clockwise walk preference_list slices — into `fn` without
+  /// materializing or caching it. `fn` returns false to stop the walk.
+  /// Callers that stop after a few candidates (replica seeding, loss
+  /// repair) pay O(tokens scanned) instead of the full O(ring · servers)
+  /// dedup walk, which is what keeps those paths flat at 100k servers.
+  template <typename Fn>
+  void for_each_preference(std::uint64_t key, Fn&& fn) const {
+    RFH_ASSERT_MSG(!ring_.empty(), "ring is empty");
+    const std::size_t slot = successor_slot(key);
+    std::vector<ServerId> seen;  // tiny in practice: callers stop early
+    seen.reserve(8);
+    for (std::size_t step = 0; step < ring_.size(); ++step) {
+      const ServerId candidate = ring_[(slot + step) % ring_.size()].owner;
+      if (std::find(seen.begin(), seen.end(), candidate) != seen.end()) {
+        continue;
+      }
+      seen.push_back(candidate);
+      if (!fn(candidate)) return;
+      if (seen.size() == server_tokens_.size()) return;
+    }
+  }
 
   /// Primary owner for a partition id.
   [[nodiscard]] ServerId partition_owner(PartitionId partition) const;

@@ -38,20 +38,36 @@ void Router::set_telemetry(MetricRegistry* registry) {
 
 void Router::set_memo_enabled(bool enabled) {
   memo_enabled_ = enabled;
-  memo_.clear();
+  ++stamp_;  // drops every entry in O(1)
 }
 
-void Router::invalidate_routes() { memo_.clear(); }
+void Router::invalidate_routes() { ++stamp_; }
 
 void Router::invalidate_routes_for(PartitionId partition) {
-  const std::uint64_t hi = std::uint64_t{partition.value()} << 32;
-  for (auto it = memo_.begin(); it != memo_.end();) {
-    if ((it->first & ~std::uint64_t{0xFFFFFFFF}) == hi) {
-      it = memo_.erase(it);
-    } else {
-      ++it;
-    }
+  if (partition.value() < partition_stamps_.size()) {
+    ++partition_stamps_[partition.value()];
   }
+  // No stamps row yet means no memo entries for this partition exist.
+}
+
+void Router::reserve_memo(std::size_t partitions) const {
+  if (memo_rows_.size() < partitions) {
+    memo_rows_.resize(partitions);
+    partition_stamps_.resize(partitions, 0);
+  }
+}
+
+Router::MemoEntry& Router::memo_slot(PartitionId partition,
+                                     DatacenterId requester) const {
+  if (partition.value() >= memo_rows_.size()) {
+    // Serial-only growth path (concurrent users pre-size via
+    // reserve_memo).
+    reserve_memo(std::size_t{partition.value()} + 1);
+  }
+  std::vector<MemoEntry>& row = memo_rows_[partition.value()];
+  if (row.empty()) row.resize(topology_->datacenter_count());
+  RFH_ASSERT(requester.value() < row.size());
+  return row[requester.value()];
 }
 
 ServerId Router::relay_for(PartitionId partition, DatacenterId dc,
@@ -105,40 +121,75 @@ void Router::compute(PartitionId partition, DatacenterId requester,
 
 const Route& Router::route(
     PartitionId partition, DatacenterId requester, ServerId holder,
-    std::span<const std::vector<ServerId>> live_by_dc) const {
+    std::span<const std::vector<ServerId>> live_by_dc, RouteCtx& ctx) const {
   RFH_ASSERT(holder.valid());
 
   MemoEntry* entry = nullptr;
   bool hit = false;
   if (memo_enabled_) {
-    MemoEntry& slot = memo_[memo_key(partition, requester)];
-    // A populated entry is only trusted when the primary it was computed
-    // for still holds the partition; the owner flushes the memo on every
-    // liveness/link/placement change (DESIGN.md §11), so the holder check
-    // is the last line of defence rather than the invalidation mechanism.
-    hit = slot.holder == holder && !slot.route.stages.empty();
+    MemoEntry& slot = memo_slot(partition, requester);
+    // A populated entry is only trusted when both stamps are current and
+    // the primary it was computed for still holds the partition; the
+    // owner bumps the stamps on every liveness/link/placement change
+    // (DESIGN.md §11), so the holder check is the last line of defence
+    // rather than the invalidation mechanism.
+    hit = slot.stamp == stamp_ &&
+          slot.partition_stamp == partition_stamps_[partition.value()] &&
+          slot.holder == holder && !slot.route.stages.empty();
     entry = &slot;
   } else {
-    entry = &scratch_;
+    entry = &ctx.scratch;
   }
   if (!hit) {
     compute(partition, requester, holder, live_by_dc, *entry);
-    ++memo_misses_;
-    if (memo_miss_counter_ != nullptr) memo_miss_counter_->inc();
+    if (memo_enabled_) {
+      entry->stamp = stamp_;
+      entry->partition_stamp = partition_stamps_[partition.value()];
+    }
+    ++ctx.memo_misses;
   } else {
-    ++memo_hits_;
-    if (memo_hit_counter_ != nullptr) memo_hit_counter_->inc();
+    ++ctx.memo_hits;
   }
   // Telemetry is replayed identically for hits and misses, so counter
   // totals are bit-identical with the memo on or off.
-  if (dead_skips_ != nullptr && entry->dead_skips > 0) {
-    dead_skips_->inc(static_cast<double>(entry->dead_skips));
-  }
-  if (routes_ != nullptr) {
-    routes_->inc();
-    stages_->inc(static_cast<double>(entry->route.stages.size()));
-  }
+  ctx.dead_skips += entry->dead_skips;
+  ++ctx.routes;
+  ctx.stages += entry->route.stages.size();
   return entry->route;
+}
+
+const Route& Router::route(
+    PartitionId partition, DatacenterId requester, ServerId holder,
+    std::span<const std::vector<ServerId>> live_by_dc) const {
+  const Route& result =
+      route(partition, requester, holder, live_by_dc, serial_ctx_);
+  flush_counts(serial_ctx_);
+  return result;
+}
+
+void Router::flush_counts(RouteCtx& ctx) const {
+  memo_hits_ += ctx.memo_hits;
+  memo_misses_ += ctx.memo_misses;
+  // Counters hold integer-valued doubles; batching shard tallies into one
+  // inc() is exact below 2^53, so totals match the per-route serial incs.
+  if (memo_hit_counter_ != nullptr && ctx.memo_hits > 0) {
+    memo_hit_counter_->inc(static_cast<double>(ctx.memo_hits));
+  }
+  if (memo_miss_counter_ != nullptr && ctx.memo_misses > 0) {
+    memo_miss_counter_->inc(static_cast<double>(ctx.memo_misses));
+  }
+  if (dead_skips_ != nullptr && ctx.dead_skips > 0) {
+    dead_skips_->inc(static_cast<double>(ctx.dead_skips));
+  }
+  if (routes_ != nullptr && ctx.routes > 0) {
+    routes_->inc(static_cast<double>(ctx.routes));
+    stages_->inc(static_cast<double>(ctx.stages));
+  }
+  ctx.memo_hits = 0;
+  ctx.memo_misses = 0;
+  ctx.routes = 0;
+  ctx.stages = 0;
+  ctx.dead_skips = 0;
 }
 
 }  // namespace rfh

@@ -12,19 +12,27 @@
 // Route memo: a route is a pure function of (partition, requester,
 // holder, the per-DC live sets, the shortest paths). The engine's
 // placement mutates at epoch granularity, so the Router memoizes computed
-// routes keyed by (partition, requester) and the owner (Simulation)
-// flushes the memo whenever liveness, links or placement change — see
-// DESIGN.md §11 for the invalidation contract. Each memo entry records
-// the holder it was computed for; a lookup with a different holder
-// recomputes, so stale-primary hazards cannot serve a wrong route even if
-// an invalidation hook is missed. Telemetry counters (routes, stages,
-// dead-DC skips) are replayed identically on memo hits, so registry
-// totals never depend on the memo being on.
+// routes in per-partition slot rows — memo_rows_[partition][requester] —
+// validated by stamps: a global stamp (bumped by invalidate_routes) and a
+// per-partition stamp (bumped by invalidate_routes_for), so both
+// invalidation flavours are O(1) and never touch other partitions' rows.
+// Because a slot is only ever read and written by code handling its own
+// partition, the sharded propagate pass (each shard owns a contiguous
+// partition range) uses the memo concurrently with no synchronisation —
+// see DESIGN.md §11/§15 for the contract. Each entry records the holder
+// it was computed for; a lookup with a different holder recomputes, so
+// stale-primary hazards cannot serve a wrong route even if an
+// invalidation hook is missed.
+//
+// Counters: the serial route() maintains the memo hit/miss totals and
+// telemetry counters directly. The RouteCtx overload accumulates them
+// per shard instead; the engine flushes contexts in shard-index order
+// after the join, which reproduces the serial totals exactly (integer
+// counts in doubles are order-invariant below 2^53).
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -67,6 +75,13 @@ class Router {
  public:
   Router(const Topology& topology, const ShortestPaths& paths);
 
+  /// Per-shard routing context: local hit/miss/telemetry tallies plus the
+  /// result slot used when the memo is off. References returned by the
+  /// ctx overload stay valid until the next route() call with the same
+  /// ctx (or an invalidation). Flush contexts in shard-index order via
+  /// flush_counts().
+  struct RouteCtx;
+
   /// Compute the route for queries from `requester` to the primary copy on
   /// `holder`. `live_by_dc[dc]` lists the currently-alive servers of each
   /// datacenter (relays are only chosen among live servers; a datacenter
@@ -78,6 +93,23 @@ class Router {
   [[nodiscard]] const Route& route(
       PartitionId partition, DatacenterId requester, ServerId holder,
       std::span<const std::vector<ServerId>> live_by_dc) const;
+
+  /// Concurrent variant: identical routing, but all counter traffic lands
+  /// in `ctx`. Callers running shards concurrently must (a) pre-size the
+  /// memo with reserve_memo() and (b) never route the same partition from
+  /// two shards.
+  [[nodiscard]] const Route& route(
+      PartitionId partition, DatacenterId requester, ServerId holder,
+      std::span<const std::vector<ServerId>> live_by_dc, RouteCtx& ctx) const;
+
+  /// Fold a context's tallies into the router totals and telemetry
+  /// counters, then zero them. Call once per shard, in shard-index order.
+  void flush_counts(RouteCtx& ctx) const;
+
+  /// Pre-size the memo for `partitions` rows so concurrent shards never
+  /// grow the outer table. Idempotent; rows themselves are allocated on
+  /// first touch by the owning shard.
+  void reserve_memo(std::size_t partitions) const;
 
   /// Relay server for (partition, dc) among the given live servers.
   [[nodiscard]] static ServerId relay_for(
@@ -106,6 +138,10 @@ class Router {
 
  private:
   struct MemoEntry {
+    /// Validity stamps: an entry is live only while both match the
+    /// router's current stamps (global and per-partition).
+    std::uint64_t stamp = 0;
+    std::uint64_t partition_stamp = 0;
     ServerId holder;  // the primary the route was computed for
     /// Dead datacenters skipped while computing (replayed into telemetry
     /// on hits so counter totals are memo-invariant).
@@ -113,24 +149,37 @@ class Router {
     Route route;
   };
 
-  /// Memo key: partition in the high word, requester in the low word.
-  [[nodiscard]] static std::uint64_t memo_key(PartitionId partition,
-                                              DatacenterId requester) {
-    return (std::uint64_t{partition.value()} << 32) |
-           std::uint64_t{requester.value()};
-  }
+ public:
+  struct RouteCtx {
+    std::uint64_t memo_hits = 0;
+    std::uint64_t memo_misses = 0;
+    std::uint64_t routes = 0;
+    std::uint64_t stages = 0;
+    std::uint64_t dead_skips = 0;
+    /// Result slot for memo-off routing (per-context so shards never
+    /// share it).
+    MemoEntry scratch;
+  };
 
+ private:
   /// Compute a route from scratch into `entry`.
   void compute(PartitionId partition, DatacenterId requester, ServerId holder,
                std::span<const std::vector<ServerId>> live_by_dc,
                MemoEntry& entry) const;
 
+  [[nodiscard]] MemoEntry& memo_slot(PartitionId partition,
+                                     DatacenterId requester) const;
+
   const Topology* topology_;
   const ShortestPaths* paths_;
   bool memo_enabled_ = true;
-  mutable std::unordered_map<std::uint64_t, MemoEntry> memo_;
-  /// route() result storage when the memo is off.
-  mutable MemoEntry scratch_;
+  /// memo_rows_[partition][requester-DC]; rows sized lazily on first
+  /// touch. Entries validated by stamp pairs instead of being erased.
+  mutable std::vector<std::vector<MemoEntry>> memo_rows_;
+  mutable std::vector<std::uint64_t> partition_stamps_;
+  mutable std::uint64_t stamp_ = 1;
+  /// Context backing the serial route() overload.
+  mutable RouteCtx serial_ctx_;
   mutable std::uint64_t memo_hits_ = 0;
   mutable std::uint64_t memo_misses_ = 0;
   // Registry-owned counters (not ours); null when telemetry is detached.

@@ -9,100 +9,82 @@ namespace rfh {
 ClusterState::ClusterState(const Topology& topology, const SimConfig& config)
     : topology_(&topology),
       config_(&config),
-      replicas_(config.partitions),
-      storage_used_(topology.server_count(), 0),
-      copies_on_(topology.server_count(), 0),
-      alive_(topology.server_count(), false),
+      partitions_(config.partitions),
+      servers_(static_cast<std::uint32_t>(topology.server_count())),
       live_by_dc_(topology.datacenter_count()),
       ring_(config.ring_tokens_per_server) {
+  servers_.bring_all_up();
+  std::vector<ServerId> all;
+  all.reserve(topology.server_count());
   for (const Server& s : topology.servers()) {
-    revive_server(s.id);
+    all.push_back(s.id);
+    live_by_dc_[s.datacenter.value()].push_back(s.id);
   }
+  ring_.add_servers(all);
 }
 
 void ClusterState::add_replica(PartitionId p, ServerId s, bool primary) {
-  RFH_ASSERT(p.value() < replicas_.size());
   RFH_ASSERT_MSG(alive(s), "cannot place a copy on a dead server");
-  RFH_ASSERT_MSG(!has_replica(p, s), "server already hosts this partition");
   if (primary) {
     RFH_ASSERT_MSG(!primary_of(p).valid(), "partition already has a primary");
   }
-  replicas_[p.value()].push_back(Replica{s, primary});
-  storage_used_[s.value()] += config_->partition_size;
-  copies_on_[s.value()] += 1;
-  total_replicas_ += 1;
+  partitions_.add(p, s, primary);
+  servers_.add_storage(s, config_->partition_size);
+  servers_.inc_copies(s);
 }
 
 void ClusterState::remove_replica(PartitionId p, ServerId s) {
-  RFH_ASSERT(p.value() < replicas_.size());
-  auto& list = replicas_[p.value()];
-  const auto it = std::find_if(list.begin(), list.end(),
-                               [s](const Replica& r) { return r.server == s; });
-  RFH_ASSERT_MSG(it != list.end(), "no such replica");
-  list.erase(it);
-  RFH_ASSERT(storage_used_[s.value()] >= config_->partition_size);
-  storage_used_[s.value()] -= config_->partition_size;
-  RFH_ASSERT(copies_on_[s.value()] > 0);
-  copies_on_[s.value()] -= 1;
-  RFH_ASSERT(total_replicas_ > 0);
-  total_replicas_ -= 1;
+  partitions_.remove(p, s);
+  servers_.sub_storage(s, config_->partition_size);
+  servers_.dec_copies(s);
 }
 
 void ClusterState::set_primary(PartitionId p, ServerId s) {
-  RFH_ASSERT(p.value() < replicas_.size());
-  bool found = false;
-  for (Replica& r : replicas_[p.value()]) {
-    if (r.server == s) {
-      r.primary = true;
-      found = true;
-    } else {
-      r.primary = false;
-    }
-  }
-  RFH_ASSERT_MSG(found, "set_primary: server hosts no copy");
+  partitions_.set_primary(p, s);
 }
 
 ServerId ClusterState::primary_of(PartitionId p) const {
-  RFH_ASSERT(p.value() < replicas_.size());
-  for (const Replica& r : replicas_[p.value()]) {
-    if (r.primary) return r.server;
-  }
-  return ServerId::invalid();
+  return partitions_.primary_of(p);
 }
 
 std::span<const Replica> ClusterState::replicas_of(PartitionId p) const {
-  RFH_ASSERT(p.value() < replicas_.size());
-  return replicas_[p.value()];
+  return partitions_.replicas(p);
 }
 
 bool ClusterState::has_replica(PartitionId p, ServerId s) const {
-  RFH_ASSERT(p.value() < replicas_.size());
-  return std::any_of(replicas_[p.value()].begin(), replicas_[p.value()].end(),
-                     [s](const Replica& r) { return r.server == s; });
+  return partitions_.has(p, s);
 }
 
 std::uint32_t ClusterState::replica_count(PartitionId p) const {
-  RFH_ASSERT(p.value() < replicas_.size());
-  return static_cast<std::uint32_t>(replicas_[p.value()].size());
+  return partitions_.count(p);
 }
 
 std::vector<ServerId> ClusterState::hosts_in_dc(PartitionId p,
                                                 DatacenterId dc) const {
-  std::vector<ServerId> non_primary;
-  std::vector<ServerId> primary;
+  std::vector<ServerId> out;
+  hosts_in_dc_into(p, dc, out);
+  return out;
+}
+
+void ClusterState::hosts_in_dc_into(PartitionId p, DatacenterId dc,
+                                    std::vector<ServerId>& out) const {
+  out.clear();
+  ServerId primary = ServerId::invalid();
   for (const Replica& r : replicas_of(p)) {
     if (topology_->server(r.server).datacenter == dc) {
-      (r.primary ? primary : non_primary).push_back(r.server);
+      if (r.primary) {
+        primary = r.server;
+      } else {
+        out.push_back(r.server);
+      }
     }
   }
-  std::sort(non_primary.begin(), non_primary.end());
-  non_primary.insert(non_primary.end(), primary.begin(), primary.end());
-  return non_primary;
+  std::sort(out.begin(), out.end());
+  if (primary.valid()) out.push_back(primary);
 }
 
 Bytes ClusterState::storage_used(ServerId s) const {
-  RFH_ASSERT(s.value() < storage_used_.size());
-  return storage_used_[s.value()];
+  return servers_.storage_used(s);
 }
 
 double ClusterState::storage_fraction(ServerId s) const {
@@ -113,8 +95,7 @@ double ClusterState::storage_fraction(ServerId s) const {
 }
 
 std::uint32_t ClusterState::copies_on(ServerId s) const {
-  RFH_ASSERT(s.value() < copies_on_.size());
-  return copies_on_[s.value()];
+  return servers_.copies(s);
 }
 
 bool ClusterState::can_accept(ServerId s, PartitionId p) const {
@@ -127,15 +108,12 @@ bool ClusterState::can_accept(ServerId s, PartitionId p) const {
          config_->storage_limit * static_cast<double>(spec.storage_capacity);
 }
 
-bool ClusterState::alive(ServerId s) const {
-  RFH_ASSERT(s.value() < alive_.size());
-  return alive_[s.value()];
-}
+bool ClusterState::alive(ServerId s) const { return servers_.alive(s); }
 
 std::vector<ClusterState::LostCopy> ClusterState::kill_server(ServerId s) {
   RFH_ASSERT_MSG(alive(s), "server already dead");
   std::vector<LostCopy> lost;
-  for (std::uint32_t p = 0; p < replicas_.size(); ++p) {
+  for (std::uint32_t p = 0; p < partitions_.partitions(); ++p) {
     const PartitionId pid{p};
     if (has_replica(pid, s)) {
       const bool was_primary = primary_of(pid) == s;
@@ -143,38 +121,41 @@ std::vector<ClusterState::LostCopy> ClusterState::kill_server(ServerId s) {
       lost.push_back(LostCopy{pid, was_primary});
     }
   }
-  alive_[s.value()] = false;
-  live_count_ -= 1;
+  servers_.set_alive(s, false);
   ring_.remove_server(s);
-  rebuild_live_by_dc();
+  live_list_erase(s);
   return lost;
 }
 
 void ClusterState::revive_server(ServerId s) {
-  RFH_ASSERT(s.value() < alive_.size());
-  RFH_ASSERT_MSG(!alive_[s.value()], "server already alive");
-  alive_[s.value()] = true;
-  live_count_ += 1;
+  servers_.set_alive(s, true);
   ring_.add_server(s);
-  rebuild_live_by_dc();
+  live_list_insert(s);
 }
 
-void ClusterState::rebuild_live_by_dc() {
-  for (auto& list : live_by_dc_) list.clear();
-  for (const Server& s : topology_->servers()) {
-    if (alive_[s.id.value()]) {
-      live_by_dc_[s.datacenter.value()].push_back(s.id);
-    }
-  }
+void ClusterState::live_list_insert(ServerId s) {
+  std::vector<ServerId>& list =
+      live_by_dc_[topology_->server(s).datacenter.value()];
+  const auto it = std::lower_bound(list.begin(), list.end(), s);
+  RFH_ASSERT(it == list.end() || *it != s);
+  list.insert(it, s);
+}
+
+void ClusterState::live_list_erase(ServerId s) {
+  std::vector<ServerId>& list =
+      live_by_dc_[topology_->server(s).datacenter.value()];
+  const auto it = std::lower_bound(list.begin(), list.end(), s);
+  RFH_ASSERT(it != list.end() && *it == s);
+  list.erase(it);
 }
 
 void ClusterState::check_invariants() const {
-  std::vector<Bytes> used(storage_used_.size(), 0);
-  std::vector<std::uint32_t> copies(copies_on_.size(), 0);
+  std::vector<Bytes> used(topology_->server_count(), 0);
+  std::vector<std::uint32_t> copies(topology_->server_count(), 0);
   std::uint32_t total = 0;
-  for (std::uint32_t p = 0; p < replicas_.size(); ++p) {
+  for (std::uint32_t p = 0; p < partitions_.partitions(); ++p) {
     std::uint32_t primaries = 0;
-    for (const Replica& r : replicas_[p]) {
+    for (const Replica& r : partitions_.replicas(PartitionId{p})) {
       RFH_ASSERT_MSG(alive(r.server), "copy on dead server");
       used[r.server.value()] += config_->partition_size;
       copies[r.server.value()] += 1;
@@ -182,13 +163,26 @@ void ClusterState::check_invariants() const {
       if (r.primary) ++primaries;
     }
     RFH_ASSERT_MSG(primaries <= 1, "multiple primaries");
-    if (!replicas_[p].empty()) {
+    if (partitions_.count(PartitionId{p}) > 0) {
       RFH_ASSERT_MSG(primaries == 1, "partition without a primary");
     }
   }
-  RFH_ASSERT(total == total_replicas_);
-  RFH_ASSERT(used == storage_used_);
-  RFH_ASSERT(copies == copies_on_);
+  RFH_ASSERT(total == partitions_.total());
+  for (std::uint32_t s = 0; s < topology_->server_count(); ++s) {
+    const ServerId sid{s};
+    RFH_ASSERT(used[s] == servers_.storage_used(sid));
+    RFH_ASSERT(copies[s] == servers_.copies(sid));
+    if (!alive(sid)) {
+      RFH_ASSERT_MSG(copies[s] == 0, "dead server hosts copies");
+    }
+  }
+  std::uint32_t live_listed = 0;
+  for (const std::vector<ServerId>& list : live_by_dc_) {
+    RFH_ASSERT(std::is_sorted(list.begin(), list.end()));
+    for (const ServerId s : list) RFH_ASSERT(alive(s));
+    live_listed += static_cast<std::uint32_t>(list.size());
+  }
+  RFH_ASSERT(live_listed == servers_.live_count());
 }
 
 }  // namespace rfh

@@ -1,11 +1,20 @@
 // Mutable cluster state: server liveness, replica placement, storage
 // accounting, and the consistent-hashing ring of live servers.
 //
-// Invariants (enforced, not assumed):
+// Storage is the flat struct-of-arrays pair in sim/tables.h (strided
+// replica slab + per-server columns); this class composes them with the
+// ring and keeps the cross-cutting invariants:
 //  * at most one copy of a partition per server;
 //  * every live partition has exactly one primary copy;
 //  * storage accounting balances: used[s] == copies_on(s) * partition_size;
 //  * dead servers host nothing and are not on the ring.
+//
+// Construction is bulk: liveness, the per-DC live lists and the ring are
+// built in one pass each (the ring via HashRing::add_servers), so a
+// 100k-server cluster comes up in O(S log S) instead of the O(S²)
+// per-server revive loop the seed used. live_by_dc_ is maintained
+// incrementally on kill/revive by sorted insert/erase — bit-identical to
+// a full rebuild, which kept each DC's list in ascending server id.
 #pragma once
 
 #include <cstdint>
@@ -16,14 +25,10 @@
 #include "common/units.h"
 #include "ring/ring.h"
 #include "sim/config.h"
+#include "sim/tables.h"
 #include "topology/topology.h"
 
 namespace rfh {
-
-struct Replica {
-  ServerId server;
-  bool primary = false;
-};
 
 class ClusterState {
  public:
@@ -42,12 +47,16 @@ class ClusterState {
   [[nodiscard]] std::uint32_t replica_count(PartitionId p) const;
   /// Total copies across all partitions (primary included).
   [[nodiscard]] std::uint32_t total_replicas() const noexcept {
-    return total_replicas_;
+    return partitions_.total();
   }
   /// Servers in `dc` hosting a copy of p, non-primaries first, each group
   /// in ascending server id (the deterministic absorption order).
   [[nodiscard]] std::vector<ServerId> hosts_in_dc(PartitionId p,
                                                   DatacenterId dc) const;
+  /// Append the same sequence hosts_in_dc returns into `out` (cleared
+  /// first) — the allocation-free variant the sharded propagate uses.
+  void hosts_in_dc_into(PartitionId p, DatacenterId dc,
+                        std::vector<ServerId>& out) const;
 
   // --- capacity ------------------------------------------------------------
   [[nodiscard]] Bytes storage_used(ServerId s) const;
@@ -60,7 +69,7 @@ class ClusterState {
   // --- liveness ------------------------------------------------------------
   [[nodiscard]] bool alive(ServerId s) const;
   [[nodiscard]] std::uint32_t live_server_count() const noexcept {
-    return live_count_;
+    return servers_.live_count();
   }
   /// Live servers per datacenter, indexable by DatacenterId::value().
   [[nodiscard]] std::span<const std::vector<ServerId>> live_by_dc() const {
@@ -85,18 +94,15 @@ class ClusterState {
   void check_invariants() const;
 
  private:
-  void rebuild_live_by_dc();
+  void live_list_insert(ServerId s);
+  void live_list_erase(ServerId s);
 
   const Topology* topology_;
   const SimConfig* config_;
-  std::vector<std::vector<Replica>> replicas_;  // by partition
-  std::vector<Bytes> storage_used_;
-  std::vector<std::uint32_t> copies_on_;
-  std::vector<bool> alive_;
+  PartitionTable partitions_;
+  ServerTable servers_;
   std::vector<std::vector<ServerId>> live_by_dc_;
   HashRing ring_;
-  std::uint32_t live_count_ = 0;
-  std::uint32_t total_replicas_ = 0;
 };
 
 }  // namespace rfh

@@ -5,6 +5,7 @@
 
 #include "common/assert.h"
 #include "common/log.h"
+#include "exec/parallel_for.h"
 
 namespace rfh {
 
@@ -35,7 +36,20 @@ Simulation::Simulation(World world, const SimConfig& config,
   RFH_ASSERT(policy_ != nullptr);
   RFH_ASSERT_MSG(graph_.connected(), "datacenter graph must be connected");
   router_.set_memo_enabled(config_.route_memo);
+  // Pre-size the memo's outer table so concurrent propagate shards never
+  // grow it (rows themselves are allocated by the owning shard).
+  router_.reserve_memo(config_.partitions);
   seed_primaries();
+}
+
+void Simulation::set_jobs(unsigned jobs) {
+  const unsigned resolved = jobs == 0 ? ThreadPool::default_jobs() : jobs;
+  jobs_ = resolved;
+  if (resolved <= 1) {
+    pool_.reset();
+    return;
+  }
+  pool_ = std::make_unique<ThreadPool>(resolved);
 }
 
 void Simulation::seed_primaries() {
@@ -43,16 +57,21 @@ void Simulation::seed_primaries() {
     const PartitionId pid{p};
     // Ring ownership decides the home, but "a physical node hosts an
     // amount of virtual nodes within its capacity limit": walk the
-    // preference list past saturated servers.
-    const auto preference = cluster_.ring().preference_list(
-        HashRing::partition_key(pid), cluster_.live_server_count());
-    ServerId home = preference.front();
-    for (const ServerId candidate : preference) {
-      if (cluster_.can_accept(candidate, pid)) {
-        home = candidate;
-        break;
-      }
-    }
+    // preference order past saturated servers. The walk streams over the
+    // ring — it visits the same servers in the same order a materialized
+    // preference_list would, stopping at the first that can accept.
+    ServerId home;
+    ServerId first;
+    cluster_.ring().for_each_preference(
+        HashRing::partition_key(pid), [&](ServerId candidate) {
+          if (!first.valid()) first = candidate;
+          if (cluster_.can_accept(candidate, pid)) {
+            home = candidate;
+            return false;
+          }
+          return true;
+        });
+    if (!home.valid()) home = first;  // everyone saturated: force the owner
     cluster_.add_replica(pid, home, /*primary=*/true);
   }
 }
@@ -69,78 +88,176 @@ double Simulation::transfer_cost(DatacenterId from, DatacenterId to,
   return d * config_.failure_rate * s_over_b;
 }
 
+void Simulation::PropagateShard::begin_epoch() {
+  samples.clear();
+  work.clear();
+  segments.clear();
+  cache_valid = false;
+  host_cache_used = 0;
+}
+
+std::span<const ServerId> Simulation::PropagateShard::hosts(
+    const ClusterState& cluster, PartitionId p, DatacenterId dc) {
+  if (!cache_valid || cached_partition != p.value()) {
+    cached_partition = p.value();
+    cache_valid = true;
+    host_cache_used = 0;
+  }
+  for (std::size_t i = 0; i < host_cache_used; ++i) {
+    if (host_cache[i].dc == dc.value()) return host_cache[i].hosts;
+  }
+  if (host_cache_used == host_cache.size()) host_cache.emplace_back();
+  HostsEntry& entry = host_cache[host_cache_used++];
+  entry.dc = dc.value();
+  cluster.hosts_in_dc_into(p, dc, entry.hosts);
+  return entry.hosts;
+}
+
+void Simulation::propagate_flow(
+    const QueryFlow& flow, std::span<const std::vector<ServerId>> live_by_dc,
+    PropagateShard& shard) {
+  const ServerId holder = cluster_.primary_of(flow.partition);
+  if (!holder.valid()) {
+    // Data currently unavailable (lost primary not yet reseeded).
+    traffic_.unserved_mut(flow.partition) += flow.queries;
+    if (flow_log_ != nullptr) {
+      // No latency sample in batch mode either: -1 marks "lost".
+      shard.segments.push_back(FlowSegment{flow.partition, flow.requester,
+                                           ServerId::invalid(), flow.requester,
+                                           flow.queries, -1.0});
+    }
+    return;
+  }
+
+  const Route& route = router_.route(flow.partition, flow.requester, holder,
+                                     live_by_dc, shard.route_ctx);
+  double residual = flow.queries;
+  for (const RouteStage& stage : route.stages) {
+    if (residual <= 0.0) break;
+    // The relay sees (and forwards) the residual reaching this DC —
+    // this is Eq. 2's tr_ijkt for the forwarding node.
+    traffic_.node_traffic_mut(flow.partition, stage.relay) += residual;
+    shard.work.push_back(WorkDelta{stage.relay.value(), residual});
+
+    // Local absorption: every copy hosted in this datacenter takes up
+    // to its remaining per-replica capacity, non-primaries first, in
+    // deterministic order (Eqs. 2-8's sequential capacity subtraction).
+    for (const ServerId host : shard.hosts(cluster_, flow.partition,
+                                           stage.dc)) {
+      if (residual <= 0.0) break;
+      const double cap =
+          world_.topology.server(host).spec.per_replica_capacity;
+      const double already = traffic_.served(flow.partition, host);
+      const double take = std::min(residual, std::max(0.0, cap - already));
+      if (take <= 0.0) continue;
+      traffic_.served_mut(flow.partition, host) += take;
+      if (host != stage.relay) {
+        traffic_.node_traffic_mut(flow.partition, host) += take;
+        shard.work.push_back(WorkDelta{host.value(), take});
+      }
+      shard.samples.push_back(PathDelta{
+          take, static_cast<double>(stage.hops_at_entry), stage.latency_ms});
+      if (flow_log_ != nullptr) {
+        shard.segments.push_back(FlowSegment{flow.partition, flow.requester,
+                                             host, stage.dc, take,
+                                             stage.latency_ms});
+      }
+      residual -= take;
+    }
+  }
+  if (residual > 0.0) {
+    // Demand beyond even the primary's capacity: blocked this epoch.
+    traffic_.unserved_mut(flow.partition) += residual;
+    shard.samples.push_back(
+        PathDelta{residual, static_cast<double>(route.total_hops),
+                  route.total_latency_ms + config_.blocked_penalty_ms});
+    if (flow_log_ != nullptr) {
+      shard.segments.push_back(FlowSegment{
+          flow.partition, flow.requester, ServerId::invalid(), flow.requester,
+          residual, route.total_latency_ms + config_.blocked_penalty_ms});
+    }
+  }
+}
+
 void Simulation::propagate(const QueryBatch& batch) {
   traffic_.reset();
   if (flow_log_ != nullptr) flow_log_->clear();
   const auto live_by_dc = cluster_.live_by_dc();
 
-  for (const QueryFlow& flow : batch) {
+  // Serial pre-pass, in flow order: the query tallies (one of which —
+  // total_queries — is a single scalar whose FP association order must
+  // match the serial engine exactly), the count of consecutive
+  // same-partition runs, and the partition-major check.
+  epoch_arena_.reset();
+  std::size_t n_runs = 0;
+  bool partition_major = true;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const QueryFlow& flow = batch[i];
     traffic_.add_total_queries(flow.queries);
     traffic_.partition_queries_mut(flow.partition) += flow.queries;
     traffic_.requester_queries_mut(flow.partition, flow.requester) +=
         flow.queries;
-
-    const ServerId holder = cluster_.primary_of(flow.partition);
-    if (!holder.valid()) {
-      // Data currently unavailable (lost primary not yet reseeded).
-      traffic_.unserved_mut(flow.partition) += flow.queries;
-      if (flow_log_ != nullptr) {
-        // No latency sample in batch mode either: -1 marks "lost".
-        flow_log_->add(FlowSegment{flow.partition, flow.requester,
-                                   ServerId::invalid(), flow.requester,
-                                   flow.queries, -1.0});
-      }
-      continue;
+    if (i == 0 || flow.partition != batch[i - 1].partition) ++n_runs;
+    if (i > 0 && flow.partition.value() < batch[i - 1].partition.value()) {
+      partition_major = false;
     }
+  }
+  if (batch.empty()) return;
 
-    const Route& route =
-        router_.route(flow.partition, flow.requester, holder, live_by_dc);
-    double residual = flow.queries;
-    for (const RouteStage& stage : route.stages) {
-      if (residual <= 0.0) break;
-      // The relay sees (and forwards) the residual reaching this DC —
-      // this is Eq. 2's tr_ijkt for the forwarding node.
-      traffic_.node_traffic_mut(flow.partition, stage.relay) += residual;
-      traffic_.server_work_mut(stage.relay) += residual;
+  const std::span<FlowRun> runs = epoch_arena_.alloc<FlowRun>(n_runs);
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i == 0 || batch[i].partition != batch[i - 1].partition) {
+      runs[r++] = FlowRun{batch[i].partition.value(),
+                          static_cast<std::uint32_t>(i),
+                          static_cast<std::uint32_t>(i + 1)};
+    } else {
+      runs[r - 1].end = static_cast<std::uint32_t>(i + 1);
+    }
+  }
 
-      // Local absorption: every copy hosted in this datacenter takes up
-      // to its remaining per-replica capacity, non-primaries first, in
-      // deterministic order (Eqs. 2-8's sequential capacity subtraction).
-      for (const ServerId host :
-           cluster_.hosts_in_dc(flow.partition, stage.dc)) {
-        if (residual <= 0.0) break;
-        const double cap =
-            world_.topology.server(host).spec.per_replica_capacity;
-        const double already = traffic_.served(flow.partition, host);
-        const double take = std::min(residual, std::max(0.0, cap - already));
-        if (take <= 0.0) continue;
-        traffic_.served_mut(flow.partition, host) += take;
-        if (host != stage.relay) {
-          traffic_.node_traffic_mut(flow.partition, host) += take;
-          traffic_.server_work_mut(host) += take;
+  // Fan the runs across shards only for partition-major batches (every
+  // built-in generator emits them sorted), where each partition's flows
+  // land in exactly one run — so a shard's writes to partition-indexed
+  // traffic state and memo rows are private to it. Arbitrary test batches
+  // take the same code path with a single shard.
+  const unsigned shards =
+      partition_major ? shard_count_for(pool_.get(), n_runs, /*min_grain=*/1)
+                      : 1;
+  if (shards_.size() < shards) shards_.resize(shards);
+  for (unsigned s = 0; s < shards; ++s) shards_[s].begin_epoch();
+
+  parallel_for_shards(
+      pool_.get(), n_runs, shards, [&](unsigned s, IndexRange range) {
+        PropagateShard& shard = shards_[s];
+        for (std::size_t ri = range.begin; ri < range.end; ++ri) {
+          const FlowRun& run = runs[ri];
+          for (std::uint32_t f = run.begin; f < run.end; ++f) {
+            propagate_flow(batch[f], live_by_dc, shard);
+          }
         }
-        traffic_.add_path_sample(take, stage.hops_at_entry);
-        traffic_.add_latency(take, stage.latency_ms);
-        if (flow_log_ != nullptr) {
-          flow_log_->add(FlowSegment{flow.partition, flow.requester, host,
-                                     stage.dc, take, stage.latency_ms});
-        }
-        residual -= take;
+      });
+
+  // Shard-order merge: shard ranges concatenate to the serial iteration
+  // order, so replaying each shard's deferred writes in shard-index order
+  // reproduces the serial write sequence — and therefore the global
+  // accumulators, histogram, flow log and router counters — bit for bit,
+  // for every shard count and jobs value.
+  for (unsigned s = 0; s < shards; ++s) {
+    PropagateShard& shard = shards_[s];
+    for (const PathDelta& d : shard.samples) {
+      traffic_.add_path_sample(d.queries, d.hops);
+      traffic_.add_latency(d.queries, d.ms);
+    }
+    for (const WorkDelta& d : shard.work) {
+      traffic_.server_work_mut(ServerId{d.server}) += d.amount;
+    }
+    if (flow_log_ != nullptr) {
+      for (const FlowSegment& segment : shard.segments) {
+        flow_log_->add(segment);
       }
     }
-    if (residual > 0.0) {
-      // Demand beyond even the primary's capacity: blocked this epoch.
-      traffic_.unserved_mut(flow.partition) += residual;
-      traffic_.add_path_sample(residual, route.total_hops);
-      traffic_.add_latency(residual, route.total_latency_ms +
-                                         config_.blocked_penalty_ms);
-      if (flow_log_ != nullptr) {
-        flow_log_->add(FlowSegment{
-            flow.partition, flow.requester, ServerId::invalid(),
-            flow.requester, residual,
-            route.total_latency_ms + config_.blocked_penalty_ms});
-      }
-    }
+    router_.flush_counts(shard.route_ctx);
   }
 }
 
@@ -330,7 +447,7 @@ EpochReport Simulation::step() {
   }
   {
     const ScopedTimer timer(profiler_, Phase::kStatsUpdate);
-    stats_.update(traffic_);
+    stats_.update(traffic_, pool_.get());
     if (events_.enabled()) emit_traffic_shifts();
 
     report.total_queries = traffic_.total_queries();
@@ -349,8 +466,9 @@ EpochReport Simulation::step() {
   Actions actions;
   {
     const ScopedTimer timer(profiler_, Phase::kPolicyDecide);
-    PolicyContext ctx{world_.topology, paths_,  cluster_, stats_,
-                      traffic_,        config_, epoch_,   rng_policy_};
+    PolicyContext ctx{world_.topology, paths_,      cluster_,
+                      stats_,          traffic_,    config_,
+                      epoch_,          rng_policy_, pool_.get()};
     actions = policy_->decide(ctx);
   }
   {
@@ -492,17 +610,18 @@ void Simulation::handle_lost_copies(std::span<const ClusterState::LostCopy> lost
     if (telemetry_ != nullptr) tel_.data_losses->inc(1.0);
     log(LogLevel::kWarn, "partition %u lost all copies; reseeding",
         copy.partition.value());
-    const auto preference = cluster_.ring().preference_list(
-        HashRing::partition_key(copy.partition),
-        cluster_.live_server_count());
     ServerId home;
-    for (const ServerId candidate : preference) {
-      if (cluster_.can_accept(candidate, copy.partition)) {
-        home = candidate;
-        break;
-      }
-    }
-    if (!home.valid() && !preference.empty()) home = preference.front();
+    ServerId first;
+    cluster_.ring().for_each_preference(
+        HashRing::partition_key(copy.partition), [&](ServerId candidate) {
+          if (!first.valid()) first = candidate;
+          if (cluster_.can_accept(candidate, copy.partition)) {
+            home = candidate;
+            return false;
+          }
+          return true;
+        });
+    if (!home.valid()) home = first;
     if (home.valid()) {
       cluster_.add_replica(copy.partition, home, /*primary=*/true);
       last_promotions_.push_back(Promotion{copy.partition, home, true});

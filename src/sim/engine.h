@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "exec/arena.h"
+#include "exec/thread_pool.h"
 #include "obs/event_bus.h"
 #include "telemetry/profiler.h"
 #include "telemetry/registry.h"
@@ -131,6 +133,19 @@ class Simulation {
   [[nodiscard]] bool link_failure_would_partition(DatacenterId a,
                                                   DatacenterId b) const;
 
+  // --- intra-epoch parallelism ------------------------------------------
+  /// Fan the shardable epoch phases (flow propagation, the stats fold,
+  /// the policy's per-partition scan) across `jobs` threads: 0 = one per
+  /// hardware thread, 1 (the default) = serial, no pool. Every value of
+  /// `jobs` produces byte-identical simulations — shards own disjoint
+  /// partition ranges and their outputs are merged in shard-index order
+  /// (DESIGN.md §15) — so this is purely a wall-clock knob.
+  void set_jobs(unsigned jobs);
+  /// Effective worker count (1 when serial).
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+  /// The engine's pool; null when serial.
+  [[nodiscard]] ThreadPool* pool() const noexcept { return pool_.get(); }
+
   // --- traffic injection -------------------------------------------------
   /// Scale every query flow by `factor` from the next step() on (chaos
   /// flash-crowd events). The multiplier is applied to the generated
@@ -225,8 +240,64 @@ class Simulation {
                                      BytesPerEpoch bandwidth) const;
 
  private:
+  /// One contiguous run of same-partition flows in the epoch's batch —
+  /// the unit the sharded propagate distributes, so a partition's flows
+  /// are always processed by exactly one shard, in batch order.
+  struct FlowRun {
+    std::uint32_t partition = 0;
+    std::uint32_t begin = 0;  ///< flow index into the batch
+    std::uint32_t end = 0;    ///< exclusive
+  };
+  /// Deferred add_path_sample + add_latency pair. These feed global
+  /// accumulators (routed_queries_, the latency histogram) whose FP
+  /// association order must match the serial engine, so shards log the
+  /// operands and the merge replays them in shard-index order.
+  struct PathDelta {
+    double queries = 0.0;
+    double hops = 0.0;
+    double ms = 0.0;
+  };
+  /// Deferred server_work_mut add — the server axis is shared across
+  /// shards (relays of different partitions can be the same server), so
+  /// these are replayed too.
+  struct WorkDelta {
+    std::uint32_t server = 0;
+    double amount = 0.0;
+  };
+  /// Per-shard propagate scratch; persists across epochs so steady-state
+  /// epochs reuse its capacity.
+  struct PropagateShard {
+    std::vector<PathDelta> samples;
+    std::vector<WorkDelta> work;
+    std::vector<FlowSegment> segments;  ///< only filled when a log is attached
+    Router::RouteCtx route_ctx;
+    /// hosts_in_dc results for the partition currently being processed,
+    /// one entry per datacenter touched (placement is frozen during
+    /// propagate, so caching is exact).
+    struct HostsEntry {
+      std::uint32_t dc = 0;
+      std::vector<ServerId> hosts;
+    };
+    std::vector<HostsEntry> host_cache;
+    std::size_t host_cache_used = 0;
+    std::uint32_t cached_partition = 0;
+    bool cache_valid = false;
+
+    void begin_epoch();
+    /// Cached hosts_in_dc(p, dc); the span is valid until the next call.
+    std::span<const ServerId> hosts(const ClusterState& cluster, PartitionId p,
+                                    DatacenterId dc);
+  };
+
   void seed_primaries();
   void propagate(const QueryBatch& batch);
+  /// Route and absorb one flow. Partition-indexed traffic state is
+  /// written directly (the caller guarantees this shard owns the flow's
+  /// partition); writes to global accumulators are deferred into `shard`
+  /// for the shard-order replay.
+  void propagate_flow(const QueryFlow& flow,
+                      std::span<const std::vector<ServerId>> live_by_dc,
+                      PropagateShard& shard);
   void apply_actions(const Actions& actions, EpochReport& report);
   /// `causes` is aligned with `lost`: the ServerFailed cause id of each
   /// lost copy, so promotions/reseeds chain to the failure that forced
@@ -298,6 +369,13 @@ class Simulation {
   // Per-epoch outbound bandwidth budgets (reset each step).
   std::vector<Bytes> replication_bytes_;
   std::vector<Bytes> migration_bytes_;
+  // --- intra-epoch parallelism (DESIGN.md §15) --------------------------
+  unsigned jobs_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<PropagateShard> shards_;
+  /// Epoch-scoped flat scratch (the run table); reset at the top of every
+  /// propagate, zero steady-state allocations.
+  ScratchArena epoch_arena_;
 };
 
 }  // namespace rfh

@@ -1,6 +1,9 @@
 #include "sim/stats.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
+#include "exec/parallel_for.h"
 
 namespace rfh {
 
@@ -12,14 +15,14 @@ TrafficStats::TrafficStats(std::size_t partitions, std::size_t servers,
       datacenters_(datacenters),
       alpha_(alpha_weights_history ? alpha : 1.0 - alpha),
       avg_query_(partitions, 0.0),
-      node_traffic_(partitions * servers, 0.0),
+      node_cells_(partitions),
       node_traffic_sum_(partitions, 0.0),
       requester_queries_(partitions * datacenters, 0.0),
       server_arrival_(servers, 0.0) {
   RFH_ASSERT(alpha > 0.0 && alpha < 1.0);
 }
 
-void TrafficStats::update(const EpochTraffic& traffic) {
+void TrafficStats::update(const EpochTraffic& traffic, ThreadPool* pool) {
   RFH_ASSERT(traffic.partitions() == partitions_);
   RFH_ASSERT(traffic.servers() == servers_);
   RFH_ASSERT(traffic.datacenters() == datacenters_);
@@ -30,45 +33,88 @@ void TrafficStats::update(const EpochTraffic& traffic) {
   const double b = 1.0 - a;
   initialized_ = true;
 
-  for (std::uint32_t p = 0; p < partitions_; ++p) {
-    const PartitionId pid{p};
-    const double q_avg =
-        traffic.partition_queries(pid) / static_cast<double>(datacenters_);
-    avg_query_[p] = a * avg_query_[p] + b * q_avg;
+  // Partition axis: every write below lands in a [p]-indexed slot, so
+  // shards owning disjoint partition ranges share nothing, and each
+  // output is a pure function of its own partition's inputs — identical
+  // for every shard count.
+  parallel_for_shards(
+      pool, partitions_,
+      shard_count_for(pool, partitions_, /*min_grain=*/64),
+      [&](unsigned /*shard*/, IndexRange range) {
+        std::vector<StatCell> merged;
+        for (std::size_t p = range.begin; p < range.end; ++p) {
+          const PartitionId pid{static_cast<std::uint32_t>(p)};
+          const double q_avg = traffic.partition_queries(pid) /
+                               static_cast<double>(datacenters_);
+          avg_query_[p] = a * avg_query_[p] + b * q_avg;
 
-    double sum = 0.0;
-    for (std::uint32_t s = 0; s < servers_; ++s) {
-      double& v = node_traffic_[p * servers_ + s];
-      v = a * v + b * traffic.node_traffic(pid, ServerId{s});
-      sum += v;
-    }
-    node_traffic_sum_[p] = sum;
+          // Sorted merge of the EWMA cells with the epoch's traffic
+          // cells. Both lists ascend by server id, so the visit order —
+          // and therefore the Eq. 17 sum's association order — matches
+          // the dense 0..S-1 scan; servers on neither side would add
+          // exactly +0.0 and are skipped.
+          const std::vector<StatCell>& old_cells = node_cells_[p];
+          const std::span<const TrafficCell> fresh = traffic.cells(pid);
+          merged.clear();
+          merged.reserve(old_cells.size() + fresh.size());
+          double sum = 0.0;
+          std::size_t i = 0;
+          std::size_t j = 0;
+          while (i < old_cells.size() || j < fresh.size()) {
+            const bool take_old =
+                j >= fresh.size() ||
+                (i < old_cells.size() &&
+                 old_cells[i].server <= fresh[j].server);
+            const bool take_fresh =
+                i >= old_cells.size() ||
+                (j < fresh.size() && fresh[j].server <= old_cells[i].server);
+            const std::uint32_t server =
+                take_old ? old_cells[i].server : fresh[j].server;
+            const double prev = take_old ? old_cells[i].ewma : 0.0;
+            const double obs = take_fresh ? fresh[j].node : 0.0;
+            const double v = a * prev + b * obs;
+            sum += v;
+            if (v != 0.0) merged.push_back(StatCell{server, v});
+            if (take_old) ++i;
+            if (take_fresh) ++j;
+          }
+          node_cells_[p].assign(merged.begin(), merged.end());
+          node_traffic_sum_[p] = sum;
 
-    for (std::uint32_t j = 0; j < datacenters_; ++j) {
-      double& v = requester_queries_[p * datacenters_ + j];
-      v = a * v + b * traffic.requester_queries(pid, DatacenterId{j});
-    }
-  }
-  for (std::uint32_t s = 0; s < servers_; ++s) {
-    server_arrival_[s] =
-        a * server_arrival_[s] + b * traffic.server_work(ServerId{s});
-  }
+          for (std::uint32_t dc = 0; dc < datacenters_; ++dc) {
+            double& v = requester_queries_[p * datacenters_ + dc];
+            v = a * v + b * traffic.requester_queries(pid, DatacenterId{dc});
+          }
+        }
+      });
+  // Server axis: same argument, one slot per server.
+  parallel_for_shards(pool, servers_,
+                      shard_count_for(pool, servers_, /*min_grain=*/4096),
+                      [&](unsigned /*shard*/, IndexRange range) {
+                        for (std::size_t s = range.begin; s < range.end; ++s) {
+                          server_arrival_[s] =
+                              a * server_arrival_[s] +
+                              b * traffic.server_work(
+                                      ServerId{static_cast<std::uint32_t>(s)});
+                        }
+                      });
 }
 
 void TrafficStats::clear_server(ServerId s) {
   RFH_ASSERT(s.value() < servers_);
   server_arrival_[s.value()] = 0.0;
   for (std::uint32_t p = 0; p < partitions_; ++p) {
-    double& v = node_traffic_[p * servers_ + s.value()];
-    if (v == 0.0) continue;
-    v = 0.0;
+    std::vector<StatCell>& cells = node_cells_[p];
+    const auto it = std::lower_bound(
+        cells.begin(), cells.end(), s.value(),
+        [](const StatCell& c, std::uint32_t v) { return c.server < v; });
+    if (it == cells.end() || it->server != s.value()) continue;
+    cells.erase(it);
     // Recompute the Eq. 17 numerator from scratch rather than
-    // subtracting: the next update() does the same full re-sum, so this
-    // keeps the two code paths bit-identical for the oracle.
+    // subtracting: the next update() does the same ascending re-sum, so
+    // this keeps the two code paths bit-identical for the oracle.
     double sum = 0.0;
-    for (std::uint32_t k = 0; k < servers_; ++k) {
-      sum += node_traffic_[p * servers_ + k];
-    }
+    for (const StatCell& cell : cells) sum += cell.ewma;
     node_traffic_sum_[p] = sum;
   }
 }
@@ -80,7 +126,17 @@ double TrafficStats::avg_query(PartitionId p) const {
 
 double TrafficStats::node_traffic(PartitionId p, ServerId s) const {
   RFH_ASSERT(p.value() < partitions_ && s.value() < servers_);
-  return node_traffic_[p.value() * servers_ + s.value()];
+  const std::vector<StatCell>& cells = node_cells_[p.value()];
+  const auto it = std::lower_bound(
+      cells.begin(), cells.end(), s.value(),
+      [](const StatCell& c, std::uint32_t v) { return c.server < v; });
+  if (it == cells.end() || it->server != s.value()) return 0.0;
+  return it->ewma;
+}
+
+std::span<const StatCell> TrafficStats::node_cells(PartitionId p) const {
+  RFH_ASSERT(p.value() < partitions_);
+  return node_cells_[p.value()];
 }
 
 double TrafficStats::requester_queries(PartitionId p, DatacenterId j) const {

@@ -7,9 +7,20 @@
 //   per-(partition, requester) query volume (used by the
 //               request-oriented comparator);
 //   per-server arrival rate (Erlang-B's lambda, Eq. 18).
+//
+// The tr_bar plane is sparse: each partition holds cells (sorted by
+// server id) only for servers whose EWMA is nonzero. update() merges the
+// cell list with the epoch's sparse traffic cells in ascending server
+// order; servers absent from both sides would contribute a*0 + b*0 =
+// +0.0 to the value and the Eq. 17 sum — exact IEEE identities — so
+// skipping them is bit-identical to the dense scan the seed performed
+// (the differential oracle checks this). Cells whose EWMA decays to
+// exactly 0.0 are pruned for the same reason.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/ids.h"
@@ -17,6 +28,14 @@
 #include "workload/generator.h"
 
 namespace rfh {
+
+class ThreadPool;
+
+/// One (partition, server) smoothed-traffic cell (tr_bar_ik).
+struct StatCell {
+  std::uint32_t server = 0;
+  double ewma = 0.0;
+};
 
 class TrafficStats {
  public:
@@ -26,8 +45,11 @@ class TrafficStats {
                std::size_t datacenters, double alpha,
                bool alpha_weights_history = true);
 
-  /// Fold in one epoch of raw observations.
-  void update(const EpochTraffic& traffic);
+  /// Fold in one epoch of raw observations. Every write is indexed by
+  /// partition or by server, so with a pool the fold shards those axes
+  /// across workers; each output value is a pure function of its own
+  /// inputs, making the result bit-identical for every worker count.
+  void update(const EpochTraffic& traffic, ThreadPool* pool = nullptr);
 
   /// Forget everything about a failed server. Without this, the
   /// exponentially decaying tr_bar entries of dead servers keep inflating
@@ -42,6 +64,10 @@ class TrafficStats {
 
   /// tr_bar_ik: smoothed traffic load of server s for partition p.
   [[nodiscard]] double node_traffic(PartitionId p, ServerId s) const;
+
+  /// The partition's nonzero tr_bar cells, ascending server id — the
+  /// hub-candidate scan iterates these instead of the full server axis.
+  [[nodiscard]] std::span<const StatCell> node_cells(PartitionId p) const;
 
   /// Smoothed queries for p issued near datacenter j.
   [[nodiscard]] double requester_queries(PartitionId p, DatacenterId j) const;
@@ -62,11 +88,11 @@ class TrafficStats {
   std::size_t datacenters_;
   double alpha_;  // effective history weight
   bool initialized_ = false;
-  std::vector<double> avg_query_;          // [p]
-  std::vector<double> node_traffic_;       // [p][s]
-  std::vector<double> node_traffic_sum_;   // [p] (for Eq. 17)
-  std::vector<double> requester_queries_;  // [p][dc]
-  std::vector<double> server_arrival_;     // [s]
+  std::vector<double> avg_query_;                 // [p]
+  std::vector<std::vector<StatCell>> node_cells_;  // [p], sorted by server
+  std::vector<double> node_traffic_sum_;          // [p] (for Eq. 17)
+  std::vector<double> requester_queries_;         // [p][dc]
+  std::vector<double> server_arrival_;            // [s]
 };
 
 }  // namespace rfh

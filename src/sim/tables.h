@@ -1,0 +1,107 @@
+// Flat struct-of-arrays tables backing the mutable cluster state.
+//
+// The seed engine kept replica placement as vector<vector<Replica>> — a
+// pointer chase per partition that fragments the heap at 100k servers and
+// defeats the sharded epoch passes (DESIGN.md §15), which want each
+// shard's partitions contiguous in memory. These tables store the same
+// state as parallel arrays:
+//
+//  * PartitionTable — one strided slab of Replica slots (partition p's
+//    copies live at [p*stride, p*stride+count[p])), plus a per-partition
+//    count column. Insertion order and shift-on-remove semantics are
+//    defined to match the nested-vector seed exactly, so every consumer
+//    that iterates replicas_of() sees the same sequence; the property
+//    test pins this against a std::map reference under randomized churn.
+//  * ServerTable — per-server liveness, copy-count and storage columns
+//    with the live-server aggregate maintained incrementally.
+//
+// Neither table knows about the ring, the topology or Eq. 19 — ClusterState
+// composes them and keeps the cross-cutting invariants.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace rfh {
+
+struct Replica {
+  ServerId server;
+  bool primary = false;
+};
+
+class PartitionTable {
+ public:
+  explicit PartitionTable(std::uint32_t partitions,
+                          std::uint32_t initial_stride = 4);
+
+  /// Append a copy of `p` on `s` (asserts it is not already hosted).
+  void add(PartitionId p, ServerId s, bool primary);
+  /// Remove the copy of `p` on `s`, shifting later slots left — the same
+  /// order-preserving erase the nested-vector seed performed.
+  void remove(PartitionId p, ServerId s);
+  /// Make the copy on `s` the sole primary of `p` (asserts it exists).
+  void set_primary(PartitionId p, ServerId s);
+
+  [[nodiscard]] ServerId primary_of(PartitionId p) const;
+  [[nodiscard]] std::span<const Replica> replicas(PartitionId p) const;
+  [[nodiscard]] bool has(PartitionId p, ServerId s) const;
+  [[nodiscard]] std::uint32_t count(PartitionId p) const;
+  [[nodiscard]] std::uint32_t partitions() const noexcept {
+    return partitions_;
+  }
+  /// Slots per partition; grows (doubling, slab rebuild) when any
+  /// partition outgrows it.
+  [[nodiscard]] std::uint32_t stride() const noexcept { return stride_; }
+  /// Total copies across all partitions.
+  [[nodiscard]] std::uint32_t total() const noexcept { return total_; }
+
+ private:
+  void grow_stride();
+
+  std::vector<Replica> slots_;  // partitions_ * stride_
+  std::vector<std::uint32_t> count_;
+  std::uint32_t partitions_;
+  std::uint32_t stride_;
+  std::uint32_t total_ = 0;
+};
+
+class ServerTable {
+ public:
+  /// All servers start dead with empty disks; bring_all_up() is the bulk
+  /// construction path.
+  explicit ServerTable(std::uint32_t servers);
+
+  /// Mark every server alive in one pass (no per-server rebuilds).
+  void bring_all_up();
+
+  [[nodiscard]] bool alive(ServerId s) const;
+  /// Flip liveness; asserts the transition is a real change.
+  void set_alive(ServerId s, bool up);
+  [[nodiscard]] std::uint32_t live_count() const noexcept {
+    return live_count_;
+  }
+
+  [[nodiscard]] Bytes storage_used(ServerId s) const;
+  void add_storage(ServerId s, Bytes bytes);
+  void sub_storage(ServerId s, Bytes bytes);
+
+  [[nodiscard]] std::uint32_t copies(ServerId s) const;
+  void inc_copies(ServerId s);
+  void dec_copies(ServerId s);
+
+  [[nodiscard]] std::uint32_t servers() const noexcept {
+    return static_cast<std::uint32_t>(alive_.size());
+  }
+
+ private:
+  std::vector<std::uint8_t> alive_;
+  std::vector<Bytes> storage_used_;
+  std::vector<std::uint32_t> copies_on_;
+  std::uint32_t live_count_ = 0;
+};
+
+}  // namespace rfh

@@ -1,12 +1,32 @@
 // Per-epoch traffic observation matrices (the raw inputs to Eqs. 2-8,
 // 20-26).
 //
-// Everything is dense [partition x server]: with the Table I scale
-// (64 x 100) that is a few hundred kilobytes, reused across epochs.
+// The [partition x server] planes (node_traffic, served) are *sparse*:
+// each partition keeps a short vector of cells sorted by server id, one
+// per server that actually saw traffic for it this epoch — a handful of
+// replicas and relay hops, never the full server axis. At the Table I
+// scale the difference is noise; at 100k servers the dense planes would
+// be gigabytes memset every epoch, and the sharded propagate pass
+// (DESIGN.md §15) wants exactly this layout: each shard owns a contiguous
+// partition range and writes its partitions' cell vectors with no shared
+// state.
+//
+// Absent cells read as exactly 0.0 through the accessors, and every
+// consumer that used to scan the dense plane (stats EWMA, oracle diff,
+// metrics) adds 0.0 terms in IEEE double exactly where the dense code
+// did, so the sparse layout is bit-identical to the seed — the
+// differential oracle enforces this.
+//
+// The *_mut accessors insert-or-find a cell and hand back a reference;
+// a later insert into the same partition invalidates it (callers do
+// single assignments or immediate +=, never hold references across
+// writes).
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/assert.h"
@@ -15,6 +35,14 @@
 
 namespace rfh {
 
+/// One (partition, server) traffic observation; cells are kept sorted by
+/// server id within each partition.
+struct TrafficCell {
+  std::uint32_t server = 0;
+  double node = 0.0;    ///< tr_ikt: residual traffic seen at the node
+  double served = 0.0;  ///< queries absorbed by the replica
+};
+
 class EpochTraffic {
  public:
   EpochTraffic(std::size_t partitions, std::size_t servers,
@@ -22,16 +50,14 @@ class EpochTraffic {
       : partitions_(partitions),
         servers_(servers),
         datacenters_(datacenters),
-        node_traffic_(partitions * servers, 0.0),
-        served_(partitions * servers, 0.0),
+        cells_(partitions),
         requester_queries_(partitions * datacenters, 0.0),
         partition_queries_(partitions, 0.0),
         unserved_(partitions, 0.0),
         server_work_(servers, 0.0) {}
 
   void reset() {
-    std::fill(node_traffic_.begin(), node_traffic_.end(), 0.0);
-    std::fill(served_.begin(), served_.end(), 0.0);
+    for (std::vector<TrafficCell>& cells : cells_) cells.clear();
     std::fill(requester_queries_.begin(), requester_queries_.end(), 0.0);
     std::fill(partition_queries_.begin(), partition_queries_.end(), 0.0);
     std::fill(unserved_.begin(), unserved_.end(), 0.0);
@@ -47,18 +73,35 @@ class EpochTraffic {
   /// their capacity (Eqs. 2-8). Attributed to the relay server of each
   /// transit datacenter, plus to non-relay servers for what they absorb.
   [[nodiscard]] double node_traffic(PartitionId p, ServerId s) const {
-    return node_traffic_[index(p, s)];
+    const TrafficCell* cell = find(p, s);
+    return cell == nullptr ? 0.0 : cell->node;
   }
   double& node_traffic_mut(PartitionId p, ServerId s) {
-    return node_traffic_[index(p, s)];
+    return cell_mut(p, s).node;
   }
 
   /// Queries actually absorbed by the replica of p on s this epoch
   /// (bounded by the server's per-replica capacity).
   [[nodiscard]] double served(PartitionId p, ServerId s) const {
-    return served_[index(p, s)];
+    const TrafficCell* cell = find(p, s);
+    return cell == nullptr ? 0.0 : cell->served;
   }
-  double& served_mut(PartitionId p, ServerId s) { return served_[index(p, s)]; }
+  double& served_mut(PartitionId p, ServerId s) {
+    return cell_mut(p, s).served;
+  }
+
+  /// The partition's touched cells, sorted by server id. Iterating these
+  /// and treating every other server as 0.0 is exactly the dense scan.
+  [[nodiscard]] std::span<const TrafficCell> cells(PartitionId p) const {
+    RFH_ASSERT(p.value() < partitions_);
+    return cells_[p.value()];
+  }
+  /// Writable cell vector for shard-owned partitions (sharded propagate
+  /// compacts its scratch columns straight into this).
+  [[nodiscard]] std::vector<TrafficCell>& cells_mut(PartitionId p) {
+    RFH_ASSERT(p.value() < partitions_);
+    return cells_[p.value()];
+  }
 
   /// q_ijt: queries for p issued near datacenter j this epoch.
   [[nodiscard]] double requester_queries(PartitionId p, DatacenterId j) const {
@@ -115,16 +158,30 @@ class EpochTraffic {
   }
 
  private:
-  [[nodiscard]] std::size_t index(PartitionId p, ServerId s) const {
+  [[nodiscard]] const TrafficCell* find(PartitionId p, ServerId s) const {
     RFH_ASSERT(p.value() < partitions_ && s.value() < servers_);
-    return p.value() * servers_ + s.value();
+    const std::vector<TrafficCell>& cells = cells_[p.value()];
+    const auto it = std::lower_bound(
+        cells.begin(), cells.end(), s.value(),
+        [](const TrafficCell& c, std::uint32_t v) { return c.server < v; });
+    if (it == cells.end() || it->server != s.value()) return nullptr;
+    return &*it;
+  }
+
+  [[nodiscard]] TrafficCell& cell_mut(PartitionId p, ServerId s) {
+    RFH_ASSERT(p.value() < partitions_ && s.value() < servers_);
+    std::vector<TrafficCell>& cells = cells_[p.value()];
+    const auto it = std::lower_bound(
+        cells.begin(), cells.end(), s.value(),
+        [](const TrafficCell& c, std::uint32_t v) { return c.server < v; });
+    if (it != cells.end() && it->server == s.value()) return *it;
+    return *cells.insert(it, TrafficCell{s.value(), 0.0, 0.0});
   }
 
   std::size_t partitions_;
   std::size_t servers_;
   std::size_t datacenters_;
-  std::vector<double> node_traffic_;
-  std::vector<double> served_;
+  std::vector<std::vector<TrafficCell>> cells_;  // sorted by server, per p
   std::vector<double> requester_queries_;
   std::vector<double> partition_queries_;
   std::vector<double> unserved_;

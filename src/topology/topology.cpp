@@ -60,13 +60,17 @@ ServerId Topology::add_server(RackId rack, const ServerSpec& spec) {
   for (std::size_t i = 0; i < rm.racks.size(); ++i) {
     if (rm.racks[i] == r.id) rack_index = i;
   }
+  // Built with += rather than operator+ on two temporaries: GCC 12's -O3
+  // inliner flags the latter with a spurious -Wrestrict (PR105651).
+  std::string server_label("S");
+  server_label += std::to_string(r.servers.size() + 1);
   NodeLabel label{
       std::string(continent_code(dc.continent)),
       dc.country_code,
       dc.name,
       indexed('C', room_index),
       indexed('R', rack_index),
-      std::string("S") + std::to_string(r.servers.size() + 1),
+      std::move(server_label),
   };
 
   servers_.push_back(Server{id, r.id, rm.id, dc.id, std::move(label), spec});

@@ -117,7 +117,8 @@ World build_paper_world(const WorldOptions& options) {
 }
 
 World build_synthetic_world(std::uint32_t n_datacenters,
-                            const WorldOptions& options) {
+                            const WorldOptions& options,
+                            std::span<const std::uint32_t> chord_strides) {
   RFH_ASSERT(n_datacenters >= 1);
   World world;
   Rng rng = Rng(options.seed).fork(/*tag=*/0x73796E74 /* "synt" */);
@@ -128,24 +129,40 @@ World build_synthetic_world(std::uint32_t n_datacenters,
         -180.0 + 360.0 * static_cast<double>(i) /
                      static_cast<double>(n_datacenters);
     const auto continent = static_cast<Continent>(i % 6);
+    // += instead of operator+ on temporaries: GCC 12 -O3 raises a
+    // spurious -Wrestrict on the latter (PR105651).
+    std::string dc_name("DC");
+    dc_name += std::to_string(i + 1);
+    std::string dc_code("X");
+    dc_code += std::to_string(i + 1);
     const DatacenterId id = world.topology.add_datacenter(
-        "DC" + std::to_string(i + 1), "X" + std::to_string(i + 1), continent,
-        GeoPoint{20.0, lon});
+        std::move(dc_name), std::move(dc_code), continent, GeoPoint{20.0, lon});
     world.dc.push_back(id);
     populate_datacenter(world.topology, id, options, rng);
   }
 
-  // Ring plus chords every 3 hops: connected, diameter O(n/3), and a
-  // nontrivial hub structure for any n >= 4.
+  // Ring plus chords: connected and with a nontrivial hub structure for
+  // any n >= 4. The legacy chord rule (every 3 hops, diameter O(n/3))
+  // applies when no strides are given; explicit log-spaced strides give
+  // backbone-like O(log n) diameters for the large-N scaling benches.
   for (std::uint32_t i = 0; i < n_datacenters; ++i) {
     const DatacenterId a = world.dc[i];
     const DatacenterId b = world.dc[(i + 1) % n_datacenters];
     if (n_datacenters > 1 && (i + 1) % n_datacenters != i) {
       world.links.push_back(Link{a, b, world.topology.distance_km(a, b)});
     }
-    if (n_datacenters > 4 && i % 3 == 0) {
-      const DatacenterId c = world.dc[(i + 3) % n_datacenters];
-      world.links.push_back(Link{a, c, world.topology.distance_km(a, c)});
+    if (chord_strides.empty()) {
+      if (n_datacenters > 4 && i % 3 == 0) {
+        const DatacenterId c = world.dc[(i + 3) % n_datacenters];
+        world.links.push_back(Link{a, c, world.topology.distance_km(a, c)});
+      }
+      continue;
+    }
+    for (const std::uint32_t stride : chord_strides) {
+      if (stride >= 2 && stride < n_datacenters && i % stride == 0) {
+        const DatacenterId c = world.dc[(i + stride) % n_datacenters];
+        world.links.push_back(Link{a, c, world.topology.distance_km(a, c)});
+      }
     }
   }
   return world;

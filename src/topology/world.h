@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/ids.h"
@@ -66,7 +67,15 @@ World build_paper_world(const WorldOptions& options = {});
 /// Build a smaller or larger synthetic world with `n_datacenters` placed
 /// round-robin across the paper's continents and connected in a ring plus
 /// deterministic chords (used by scaling tests and property sweeps).
+///
+/// `chord_strides` controls the chord set. Empty (the default) keeps the
+/// legacy rule — a stride-3 chord at every third datacenter, diameter
+/// O(n/3). For large-N scaling benches pass log-spaced strides (e.g.
+/// {8, 64, 512}): every datacenter at a multiple of stride s links to the
+/// one s positions ahead, giving the O(log n) diameter of a real
+/// multi-tier backbone instead of a thin ring.
 World build_synthetic_world(std::uint32_t n_datacenters,
-                            const WorldOptions& options = {});
+                            const WorldOptions& options = {},
+                            std::span<const std::uint32_t> chord_strides = {});
 
 }  // namespace rfh

@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "core/rfh_policy.h"
 #include "test_util.h"
 
 namespace rfh {
@@ -303,6 +304,50 @@ TEST(Engine, DeterministicAcrossIdenticalRuns) {
     EXPECT_DOUBLE_EQ(ra.total_queries, rb.total_queries);
     EXPECT_DOUBLE_EQ(ra.mean_path_length, rb.mean_path_length);
   }
+}
+
+TEST(Engine, LargeClusterThreadedEpochsMatchSerialAndStayInvariant) {
+  // Large-N smoke for the sharded epoch phases: a 4,000-server world
+  // stepped with an 8-worker pool must agree with the serial engine on
+  // every per-epoch aggregate and keep the cluster invariants. This is
+  // also the engine-side workload the TSan CI job races: propagate,
+  // stats_update and policy_decide all fan out across real threads here.
+  WorldOptions world_options;
+  world_options.rooms_per_datacenter = 4;
+  world_options.racks_per_room = 10;
+  world_options.servers_per_rack = 10;
+  SimConfig config;
+  config.partitions = 128;
+  WorkloadParams params;
+  params.partitions = config.partitions;
+  params.datacenters = 10;
+  params.mean_queries_per_epoch = 600.0;
+  auto make = [&]() {
+    return std::make_unique<Simulation>(
+        build_paper_world(world_options), config,
+        std::make_unique<UniformWorkload>(params),
+        std::make_unique<RfhPolicy>());
+  };
+  auto serial = make();
+  auto threaded = make();
+  threaded->set_jobs(8);
+  EXPECT_EQ(threaded->jobs(), 8u);
+  ASSERT_NE(threaded->pool(), nullptr);
+  EXPECT_EQ(serial->pool(), nullptr);
+  for (int e = 0; e < 8; ++e) {
+    const EpochReport rs = serial->step();
+    const EpochReport rt = threaded->step();
+    EXPECT_DOUBLE_EQ(rt.total_queries, rs.total_queries) << "epoch " << e;
+    EXPECT_DOUBLE_EQ(rt.mean_path_length, rs.mean_path_length)
+        << "epoch " << e;
+    EXPECT_DOUBLE_EQ(rt.unserved_queries, rs.unserved_queries)
+        << "epoch " << e;
+    EXPECT_EQ(rt.replications, rs.replications) << "epoch " << e;
+    EXPECT_EQ(rt.migrations, rs.migrations) << "epoch " << e;
+    EXPECT_EQ(rt.suicides, rs.suicides) << "epoch " << e;
+    EXPECT_EQ(rt.total_replicas, rs.total_replicas) << "epoch " << e;
+  }
+  threaded->cluster().check_invariants();
 }
 
 }  // namespace

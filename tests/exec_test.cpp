@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/parallel_for.h"
 #include "exec/sweep.h"
 #include "telemetry/registry.h"
 
@@ -121,6 +122,93 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
 }
 
 // ---------------------------------------------------------------------
+// parallel_for_shards: shard boundaries are a pure function of (n,
+// shards), shard-order merges reproduce the serial order for any shard
+// count, and the cooperative join lets a body issue nested parallel_fors
+// on the same pool without deadlocking it.
+
+TEST(ParallelForTest, ShardRangesPartitionTheIndexSpace) {
+  for (const std::size_t n : {0uL, 1uL, 7uL, 64uL, 1000uL}) {
+    for (const unsigned shards : {1u, 2u, 4u, 7u, 16u}) {
+      std::size_t expected_begin = 0;
+      for (unsigned s = 0; s < shards; ++s) {
+        const IndexRange range = shard_range(n, shards, s);
+        EXPECT_EQ(range.begin, expected_begin) << n << "/" << shards;
+        EXPECT_GE(range.end, range.begin);
+        expected_begin = range.end;
+      }
+      EXPECT_EQ(expected_begin, n) << n << "/" << shards;
+    }
+  }
+}
+
+TEST(ParallelForTest, ShardOrderMergeIsShardCountInvariant) {
+  // The engine's merge discipline in miniature: each shard appends to a
+  // private buffer, buffers are concatenated in shard order. The result
+  // must equal the serial iteration order for every shard count.
+  constexpr std::size_t kN = 1000;
+  ThreadPool pool(3);
+  std::vector<std::size_t> reference(kN);
+  for (std::size_t i = 0; i < kN; ++i) reference[i] = i * 31 % 257;
+
+  for (const unsigned shards : {1u, 4u, 7u}) {
+    std::vector<std::vector<std::size_t>> per_shard(shards);
+    parallel_for_shards(&pool, kN, shards,
+                        [&](unsigned shard, IndexRange range) {
+                          for (std::size_t i = range.begin; i < range.end;
+                               ++i) {
+                            per_shard[shard].push_back(i * 31 % 257);
+                          }
+                        });
+    std::vector<std::size_t> merged;
+    for (const std::vector<std::size_t>& chunk : per_shard) {
+      merged.insert(merged.end(), chunk.begin(), chunk.end());
+    }
+    EXPECT_EQ(merged, reference) << "shards " << shards;
+  }
+}
+
+TEST(ParallelForTest, NestedParallelForOnTheSamePoolCompletes) {
+  // Regression for the cooperative-wait gap: a parallel_for issued from
+  // inside a pool task (the sweep-cell shape) must drain via
+  // ThreadPool::wait instead of deadlocking — including on a 1-worker
+  // pool, where every nested shard runs on the waiting thread.
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    ThreadPool pool(workers);
+    std::atomic<int> total{0};
+    std::vector<std::future<void>> cells;
+    for (int cell = 0; cell < 6; ++cell) {
+      cells.push_back(pool.submit([&pool, &total] {
+        parallel_for_shards(&pool, 128, 4,
+                            [&total](unsigned, IndexRange range) {
+                              total.fetch_add(
+                                  static_cast<int>(range.end - range.begin),
+                                  std::memory_order_relaxed);
+                            });
+      }));
+    }
+    for (auto& f : cells) pool.wait(f);
+    EXPECT_EQ(total.load(), 6 * 128) << "workers " << workers;
+  }
+}
+
+TEST(ParallelForTest, ExceptionInOneShardStillJoinsAllShards) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      parallel_for_shards(&pool, 8, 8,
+                          [&](unsigned shard, IndexRange) {
+                            if (shard == 3) {
+                              throw std::runtime_error("shard exploded");
+                            }
+                            completed.fetch_add(1);
+                          }),
+      std::runtime_error);
+  // Every non-throwing shard ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 7);
+}
+
+// ---------------------------------------------------------------------
 // SweepRunner plumbing (cell identity, collection, telemetry). The
 // bit-identity guarantees are covered in determinism_test.cpp.
 
@@ -197,6 +285,32 @@ TEST(SweepRunnerTest, EffectiveJobsResolvesZeroToHardware) {
   SweepOptions eight;
   eight.jobs = 8;
   EXPECT_EQ(SweepRunner(eight).effective_jobs(), 8u);
+}
+
+TEST(SweepRunnerTest, ThreadedEnginesInsideThreadedSweepCellsComplete) {
+  // Each cell builds a Simulation with its own intra-epoch pool
+  // (scenario.engine_jobs) while the sweep fans cells across its pool —
+  // nested parallelism across *separate* pools. This must neither
+  // deadlock nor perturb results: the threaded grid matches the fully
+  // serial one cell for cell.
+  std::vector<SweepCell> cells = small_grid();
+  std::vector<SweepCell> threaded = cells;
+  for (SweepCell& cell : threaded) cell.scenario.engine_jobs = 4;
+
+  SweepOptions serial_options;  // jobs = 1, serial engines
+  serial_options.jobs = 1;
+  SweepOptions nested_options;  // 4 sweep workers x 4 engine workers
+  nested_options.jobs = 4;
+  const std::vector<SweepCellResult> reference =
+      SweepRunner(serial_options).run(cells);
+  const std::vector<SweepCellResult> nested =
+      SweepRunner(nested_options).run(threaded);
+  ASSERT_EQ(nested.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(series_digest(nested[i].run.series),
+              series_digest(reference[i].run.series))
+        << "cell " << i;
+  }
 }
 
 }  // namespace

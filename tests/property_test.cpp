@@ -15,7 +15,10 @@
 #include "net/graph.h"
 #include "ring/hash.h"
 #include "ring/ring.h"
+#include "sim/cluster.h"
+#include "sim/tables.h"
 #include "test_util.h"
+#include "topology/world.h"
 
 namespace rfh {
 namespace {
@@ -487,6 +490,343 @@ TEST_P(RingReferenceTest, SuccessorCacheNeverServesARemovedServer) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RingReferenceTest,
                          ::testing::Values<std::uint64_t>(3, 17, 404, 90210));
+
+// --------------------------------------------------------------------------
+// Flat SoA table reference check (promised by sim/tables.h): the strided
+// PartitionTable slab must behave exactly like the seed's nested
+// vector-of-vectors — same insertion order, same shift-on-remove
+// sequence — and the ServerTable columns like plain per-server maps.
+// Randomized interleavings force stride growth (slab rebuilds) mid-run.
+
+class TableReferenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TableReferenceTest, StridedSlabMatchesNestedVectorsUnderChurn) {
+  constexpr std::uint32_t kPartitions = 12;
+  constexpr std::uint32_t kServers = 40;
+  PartitionTable table(kPartitions, /*initial_stride=*/2);
+  std::vector<std::vector<Replica>> reference(kPartitions);
+  std::mt19937_64 rng(GetParam());
+
+  const auto check_agreement = [&] {
+    std::uint32_t total = 0;
+    for (std::uint32_t pv = 0; pv < kPartitions; ++pv) {
+      const PartitionId p{pv};
+      const std::vector<Replica>& row = reference[pv];
+      total += static_cast<std::uint32_t>(row.size());
+      ASSERT_EQ(table.count(p), row.size());
+      const std::span<const Replica> slab = table.replicas(p);
+      ASSERT_EQ(slab.size(), row.size());
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        EXPECT_EQ(slab[i].server, row[i].server) << "p " << pv << " slot " << i;
+        EXPECT_EQ(slab[i].primary, row[i].primary)
+            << "p " << pv << " slot " << i;
+      }
+      for (std::uint32_t sv = 0; sv < kServers; ++sv) {
+        const bool hosted =
+            std::find_if(row.begin(), row.end(), [sv](const Replica& r) {
+              return r.server == ServerId{sv};
+            }) != row.end();
+        ASSERT_EQ(table.has(p, ServerId{sv}), hosted);
+      }
+      const auto primary =
+          std::find_if(row.begin(), row.end(),
+                       [](const Replica& r) { return r.primary; });
+      if (primary != row.end()) {
+        EXPECT_EQ(table.primary_of(p), primary->server);
+      }
+    }
+    EXPECT_EQ(table.total(), total);
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const std::uint32_t pv =
+        static_cast<std::uint32_t>(rng() % kPartitions);
+    const PartitionId p{pv};
+    std::vector<Replica>& row = reference[pv];
+    // Bias toward adds on one hot partition so its row outgrows the
+    // initial stride several times (doubling slab rebuilds).
+    const bool add = row.empty() || (rng() % 3 != 0 && row.size() < kServers);
+    if (add) {
+      std::uint32_t sv = static_cast<std::uint32_t>(rng() % kServers);
+      while (table.has(p, ServerId{sv})) sv = (sv + 1) % kServers;
+      const bool primary = row.empty();
+      table.add(p, ServerId{sv}, primary);
+      row.push_back(Replica{ServerId{sv}, primary});
+    } else if (rng() % 4 == 0 && row.size() > 1) {
+      // Re-point the primary at a random member, like a promotion.
+      const std::size_t pick = rng() % row.size();
+      table.set_primary(p, row[pick].server);
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        row[i].primary = i == pick;
+      }
+    } else {
+      // Remove a random non-primary copy (the engine never drops a
+      // primary without promoting first).
+      std::vector<std::size_t> removable;
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (!row[i].primary) removable.push_back(i);
+      }
+      if (removable.empty()) continue;
+      const std::size_t victim = removable[rng() % removable.size()];
+      table.remove(p, row[victim].server);
+      row.erase(row.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    check_agreement();
+  }
+  EXPECT_GT(table.stride(), 2u) << "sweep never forced a slab rebuild";
+}
+
+TEST_P(TableReferenceTest, ServerColumnsMatchPlainMapsUnderChurn) {
+  constexpr std::uint32_t kServers = 24;
+  ServerTable table(kServers);
+  table.bring_all_up();
+  struct RefServer {
+    bool alive = true;
+    Bytes storage = 0;
+    std::uint32_t copies = 0;
+  };
+  std::vector<RefServer> reference(kServers);
+  std::mt19937_64 rng(GetParam() ^ 0xfeedface);
+
+  std::uint32_t live = kServers;
+  for (int step = 0; step < 300; ++step) {
+    const std::uint32_t sv = static_cast<std::uint32_t>(rng() % kServers);
+    const ServerId s{sv};
+    RefServer& ref = reference[sv];
+    switch (rng() % 4) {
+      case 0:
+        table.set_alive(s, !ref.alive);
+        ref.alive = !ref.alive;
+        live += ref.alive ? 1u : -1u;
+        break;
+      case 1: {
+        const Bytes bytes = kib(1 + rng() % 512);
+        table.add_storage(s, bytes);
+        table.inc_copies(s);
+        ref.storage += bytes;
+        ++ref.copies;
+        break;
+      }
+      default:
+        if (ref.copies > 0) {
+          // Mirror remove_replica: storage and copy count drop together.
+          const Bytes bytes = ref.storage / ref.copies;
+          table.sub_storage(s, bytes);
+          table.dec_copies(s);
+          ref.storage -= bytes;
+          --ref.copies;
+        }
+        break;
+    }
+    ASSERT_EQ(table.live_count(), live);
+    for (std::uint32_t v = 0; v < kServers; ++v) {
+      ASSERT_EQ(table.alive(ServerId{v}), reference[v].alive);
+      ASSERT_EQ(table.storage_used(ServerId{v}), reference[v].storage);
+      ASSERT_EQ(table.copies(ServerId{v}), reference[v].copies);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableReferenceTest,
+                         ::testing::Values<std::uint64_t>(5, 71, 1009, 52662));
+
+// --------------------------------------------------------------------------
+// ClusterState vs a naive reference under membership churn, server death
+// and action application. The reference keeps nested vectors plus plain
+// liveness flags; every mutation runs against both and the full placement
+// state is compared — including hosts_in_dc's deterministic absorption
+// order and the ascending-partition order of kill_server's loss report.
+
+class ClusterReferenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusterReferenceTest, FlatTablesMatchNaiveReferenceUnderChurn) {
+  WorldOptions options;
+  options.seed = GetParam();
+  const World world = build_synthetic_world(4, options);
+  const std::uint32_t n_servers =
+      static_cast<std::uint32_t>(world.topology.server_count());
+  SimConfig config;
+  config.partitions = 20;
+
+  ClusterState cluster(world.topology, config);
+  std::vector<std::vector<Replica>> rows(config.partitions);
+  std::vector<bool> ref_alive(n_servers, true);
+  std::mt19937_64 rng(GetParam() * 2654435761u + 3);
+
+  // Seed one primary per partition on an arbitrary live server.
+  for (std::uint32_t pv = 0; pv < config.partitions; ++pv) {
+    const ServerId s{pv % n_servers};
+    cluster.add_replica(PartitionId{pv}, s, /*primary=*/true);
+    rows[pv].push_back(Replica{s, true});
+  }
+
+  const auto ref_add = [&](std::uint32_t pv, ServerId s, bool primary) {
+    rows[pv].push_back(Replica{s, primary});
+  };
+  const auto ref_remove = [&](std::uint32_t pv, ServerId s) {
+    std::vector<Replica>& row = rows[pv];
+    row.erase(std::find_if(row.begin(), row.end(), [s](const Replica& r) {
+      return r.server == s;
+    }));
+  };
+  const auto ref_set_primary = [&](std::uint32_t pv, ServerId s) {
+    for (Replica& r : rows[pv]) r.primary = r.server == s;
+  };
+  // Mirror of the engine's lost-primary handling: promote a surviving
+  // copy, else re-seed on any server that can accept one.
+  const auto repromote = [&](PartitionId p) {
+    if (!rows[p.value()].empty()) {
+      const ServerId survivor = rows[p.value()].front().server;
+      cluster.set_primary(p, survivor);
+      ref_set_primary(p.value(), survivor);
+      return;
+    }
+    for (std::uint32_t sv = 0; sv < n_servers; ++sv) {
+      if (cluster.can_accept(ServerId{sv}, p)) {
+        cluster.add_replica(p, ServerId{sv}, /*primary=*/true);
+        ref_add(p.value(), ServerId{sv}, true);
+        return;
+      }
+    }
+  };
+
+  const auto check_agreement = [&] {
+    std::uint32_t total = 0;
+    for (std::uint32_t pv = 0; pv < config.partitions; ++pv) {
+      const PartitionId p{pv};
+      const std::vector<Replica>& row = rows[pv];
+      total += static_cast<std::uint32_t>(row.size());
+      ASSERT_EQ(cluster.replica_count(p), row.size()) << "p " << pv;
+      const std::span<const Replica> got = cluster.replicas_of(p);
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        ASSERT_EQ(got[i].server, row[i].server) << "p " << pv;
+        ASSERT_EQ(got[i].primary, row[i].primary) << "p " << pv;
+      }
+    }
+    EXPECT_EQ(cluster.total_replicas(), total);
+    // Per-server columns reconcile with the rows.
+    std::vector<std::uint32_t> copies(n_servers, 0);
+    for (const std::vector<Replica>& row : rows) {
+      for (const Replica& r : row) ++copies[r.server.value()];
+    }
+    for (std::uint32_t sv = 0; sv < n_servers; ++sv) {
+      ASSERT_EQ(cluster.copies_on(ServerId{sv}), copies[sv]);
+      ASSERT_EQ(cluster.alive(ServerId{sv}), ref_alive[sv]);
+      ASSERT_EQ(cluster.storage_used(ServerId{sv}),
+                copies[sv] * config.partition_size);
+    }
+    // hosts_in_dc: non-primaries first, each group ascending server id.
+    for (const DatacenterId dc : world.dc) {
+      const PartitionId p{static_cast<std::uint32_t>(rng() %
+                                                     config.partitions)};
+      std::vector<ServerId> expected;
+      for (const bool primary_pass : {false, true}) {
+        std::vector<ServerId> group;
+        for (const Replica& r : rows[p.value()]) {
+          if (r.primary == primary_pass &&
+              world.topology.server(r.server).datacenter == dc) {
+            group.push_back(r.server);
+          }
+        }
+        std::sort(group.begin(), group.end());
+        expected.insert(expected.end(), group.begin(), group.end());
+      }
+      ASSERT_EQ(cluster.hosts_in_dc(p, dc), expected);
+    }
+    cluster.check_invariants();
+  };
+
+  std::uint32_t live = n_servers;
+  for (int step = 0; step < 200; ++step) {
+    const std::uint32_t pv =
+        static_cast<std::uint32_t>(rng() % config.partitions);
+    const PartitionId p{pv};
+    switch (rng() % 5) {
+      case 0: {  // replicate: apply on any server that can accept
+        const std::uint32_t start = static_cast<std::uint32_t>(rng() %
+                                                               n_servers);
+        for (std::uint32_t i = 0; i < n_servers; ++i) {
+          const ServerId s{(start + i) % n_servers};
+          if (cluster.can_accept(s, p)) {
+            cluster.add_replica(p, s);
+            ref_add(pv, s, false);
+            break;
+          }
+        }
+        break;
+      }
+      case 1: {  // suicide a random non-primary copy
+        std::vector<ServerId> removable;
+        for (const Replica& r : rows[pv]) {
+          if (!r.primary) removable.push_back(r.server);
+        }
+        if (removable.empty()) break;
+        const ServerId victim = removable[rng() % removable.size()];
+        cluster.remove_replica(p, victim);
+        ref_remove(pv, victim);
+        break;
+      }
+      case 2: {  // promotion (migration's second half)
+        if (rows[pv].empty()) break;
+        const ServerId target =
+            rows[pv][rng() % rows[pv].size()].server;
+        cluster.set_primary(p, target);
+        ref_set_primary(pv, target);
+        break;
+      }
+      case 3: {  // kill: loss report must match in content and order
+        if (live <= n_servers / 2) break;
+        std::uint32_t sv = static_cast<std::uint32_t>(rng() % n_servers);
+        while (!ref_alive[sv]) sv = (sv + 1) % n_servers;
+        const ServerId s{sv};
+        std::vector<ClusterState::LostCopy> expected;
+        for (std::uint32_t qv = 0; qv < config.partitions; ++qv) {
+          const auto& row = rows[qv];
+          const auto it =
+              std::find_if(row.begin(), row.end(), [s](const Replica& r) {
+                return r.server == s;
+              });
+          if (it != row.end()) {
+            expected.push_back(
+                ClusterState::LostCopy{PartitionId{qv}, it->primary});
+          }
+        }
+        const std::vector<ClusterState::LostCopy> lost =
+            cluster.kill_server(s);
+        ASSERT_EQ(lost.size(), expected.size());
+        for (std::size_t i = 0; i < lost.size(); ++i) {
+          EXPECT_EQ(lost[i].partition, expected[i].partition);
+          EXPECT_EQ(lost[i].was_primary, expected[i].was_primary);
+        }
+        ref_alive[sv] = false;
+        --live;
+        for (const ClusterState::LostCopy& l : expected) {
+          ref_remove(l.partition.value(), s);
+        }
+        for (const ClusterState::LostCopy& l : expected) {
+          if (l.was_primary) repromote(l.partition);
+        }
+        break;
+      }
+      default: {  // revive a random dead server
+        std::vector<std::uint32_t> dead;
+        for (std::uint32_t sv = 0; sv < n_servers; ++sv) {
+          if (!ref_alive[sv]) dead.push_back(sv);
+        }
+        if (dead.empty()) break;
+        const std::uint32_t sv = dead[rng() % dead.size()];
+        cluster.revive_server(ServerId{sv});
+        ref_alive[sv] = true;
+        ++live;
+        break;
+      }
+    }
+    check_agreement();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterReferenceTest,
+                         ::testing::Values<std::uint64_t>(2, 19, 777, 31415));
 
 }  // namespace
 }  // namespace rfh
