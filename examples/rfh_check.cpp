@@ -6,12 +6,25 @@
 //                        budget is spent (CI smoke mode)
 //   --replay=FILE        re-run one committed case JSON
 //   --replay-dir=DIR     re-run every *.json case in a directory
+//   --mode=meanfield     mean-field analytic oracle: run the engine at
+//                        1k / 10k / 100k servers under uniform churn and
+//                        check the measured replica census against the
+//                        stationary distribution of check/mean_field.h;
+//                        the sim-vs-analytic total-variation error must
+//                        shrink monotonically with fleet size. Writes
+//                        BENCH_meanfield.json (bench_report format).
 //
 // Other flags:
 //   --seed-start=N       first fuzz seed (default 0)
 //   --out-dir=DIR        where to write the minimized case on divergence
 //                        (default "."); the file is <name>.json with a
 //                        one-line report on stdout
+//   --smoke              meanfield only: drop the 100k point (CI); the
+//                        report is named "meanfield_smoke" so
+//                        bench_diff.py gates it against its own
+//                        committed baseline
+//   --jobs=N             meanfield only: engine worker threads
+//                        (0 = one per hardware thread, the default)
 //   --quiet              only print the final summary / failure report
 //
 // Exit codes: 0 = all runs matched; 1 = divergence or invariant
@@ -19,16 +32,28 @@
 // error.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "check/case.h"
 #include "check/diff.h"
 #include "check/fuzzer.h"
+#include "check/mean_field.h"
 #include "check/shrink.h"
+#include "core/rfh_policy.h"
+#include "exec/thread_pool.h"
+#include "fault/chaos.h"
+#include "fault/plan.h"
+#include "harness/scenario.h"
+#include "sim/engine.h"
+#include "topology/world.h"
+#include "workload/generator.h"
 
 namespace {
 
@@ -39,6 +64,9 @@ struct Options {
   std::string replay;
   std::string replay_dir;
   std::string out_dir = ".";
+  bool meanfield = false;
+  bool smoke = false;
+  std::uint64_t jobs = 0;
   bool quiet = false;
 };
 
@@ -82,6 +110,15 @@ bool parse_args(int argc, char** argv, Options& opt, std::string& error) {
       opt.replay_dir = value("--replay-dir=");
     } else if (arg.rfind("--out-dir=", 0) == 0) {
       opt.out_dir = value("--out-dir=");
+    } else if (arg == "--mode=meanfield") {
+      opt.meanfield = true;
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      if (!parse_u64(value("--jobs="), opt.jobs)) {
+        error = "--jobs wants a non-negative integer: " + arg;
+        return false;
+      }
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else {
@@ -92,11 +129,16 @@ bool parse_args(int argc, char** argv, Options& opt, std::string& error) {
   const int modes = (opt.seeds > 0 ? 1 : 0) +
                     (opt.budget_seconds > 0.0 ? 1 : 0) +
                     (opt.replay.empty() ? 0 : 1) +
-                    (opt.replay_dir.empty() ? 0 : 1);
+                    (opt.replay_dir.empty() ? 0 : 1) +
+                    (opt.meanfield ? 1 : 0);
   if (modes != 1) {
     error =
         "pick exactly one mode: --seeds=N, --budget-seconds=S, "
-        "--replay=FILE or --replay-dir=DIR";
+        "--replay=FILE, --replay-dir=DIR or --mode=meanfield";
+    return false;
+  }
+  if ((opt.smoke || opt.jobs > 0) && !opt.meanfield) {
+    error = "--smoke and --jobs only apply to --mode=meanfield";
     return false;
   }
   return true;
@@ -211,6 +253,201 @@ int fuzz(const Options& opt) {
   return 0;
 }
 
+/// Build the scenario every sweep point shares (only the world size
+/// varies). The knobs keep the engine inside the census chain's validity
+/// envelope (see check/mean_field.h):
+///  * min_availability = 0.9995 with the default failure_rate 0.1 puts
+///    the Eq. 14 floor at r_min = 4, so the stationary census has real
+///    spread over {2, 3, 4} instead of collapsing onto the floor;
+///  * the Eq. 12 overload rule structurally disarmed (the model has no
+///    overload term): beta pushed out of reach AND per-replica capacity
+///    far above any partition's demand — the predicate's demand clamp
+///    caps the threshold at 90% of a partition's total traffic no matter
+///    how large beta is, but it also requires the holder to exceed its
+///    physical capacity, which can then never happen;
+///  * migration and suicide disabled for the same reason;
+///  * a period-1 churn wave killing 2% of the fleet each epoch, with
+///    recover == kill. The controller revives before killing, so every
+///    wave picks its victims from a full fleet and the per-server death
+///    probability is exactly kill / n — the model's death_prob.
+rfh::Scenario meanfield_scenario(std::uint32_t n_dcs, rfh::Epoch horizon) {
+  rfh::Scenario scenario;
+  scenario.world.rooms_per_datacenter = 2;
+  scenario.world.racks_per_room = 5;
+  scenario.world.servers_per_rack = 10;  // 100 servers per datacenter
+  scenario.world.per_replica_capacity_lo = 1e9;
+  scenario.world.per_replica_capacity_hi = 1e9;
+  // Hub placement concentrates copies; the default 16-vnode cap starts
+  // dropping repairs (kNodeCap) once hot hubs fill up, which would make
+  // repair_prob < 1 — a modelling error, not a finite-size one.
+  scenario.world.max_vnodes = 1u << 20;
+  scenario.sim.partitions = 8 * n_dcs;
+  scenario.sim.min_availability = 0.9995;
+  scenario.sim.beta = 1e9;
+  scenario.sim.gamma = 1e9;
+  scenario.epochs = horizon;
+
+  const std::uint32_t n_servers = 100 * n_dcs;
+  const auto kill = static_cast<std::uint32_t>(
+      std::lround(0.02 * static_cast<double>(n_servers)));
+  rfh::FaultEvent churn;
+  churn.kind = rfh::FaultKind::kChurn;
+  churn.at = 0;
+  churn.until = horizon;
+  churn.period = 1;
+  churn.kill = kill;
+  churn.recover = kill;
+  scenario.fault_plan.add(churn);
+  return scenario;
+}
+
+int run_meanfield(const Options& opt) {
+  const unsigned jobs = opt.jobs == 0
+                            ? rfh::ThreadPool::default_jobs()
+                            : static_cast<unsigned>(opt.jobs);
+  // Fixed per-replicate horizon at every size: the census is averaged
+  // over partitions *and* epochs, and partitions scale with N, so the
+  // per-replicate sample count grows tenfold per size decade. The TV
+  // error at this death rate is dominated by finite-size *fluctuations*
+  // (the propagation-of-chaos CLT scale, O(1/sqrt(partitions))), not by
+  // the O(1/N) bias, so a fixed horizon makes the expected TV shrink
+  // ~3.2x per decade — whereas shrinking the horizon with N would cancel
+  // the very convergence being measured. A single run's TV is still a
+  // half-normal draw (sd ~ 0.76x its mean), so adjacent sizes would
+  // invert order far too often; averaging over kReplicates independent
+  // seeds concentrates the estimate enough that strict monotonicity is a
+  // ~3-sigma event per adjacent pair. 2% churn keeps every point in the
+  // regime where repair bandwidth never saturates (repair_prob = 1).
+  constexpr std::uint32_t kReplicates = 12;
+  constexpr rfh::Epoch kWarmup = 10;
+  constexpr rfh::Epoch kMeasured = 40;
+  const std::vector<std::uint32_t> sizes =
+      opt.smoke ? std::vector<std::uint32_t>{10, 100}
+                : std::vector<std::uint32_t>{10, 100, 1000};
+
+  rfh::BenchReport report(opt.smoke ? "meanfield_smoke" : "meanfield");
+  std::printf("# mean-field census oracle (100-server DCs, 2%% churn per "
+              "epoch, %u replicates x %llu+%llu epochs, jobs=%u)\n",
+              kReplicates, static_cast<unsigned long long>(kWarmup),
+              static_cast<unsigned long long>(kMeasured), jobs);
+  std::printf("%8s %10s %10s %10s %12s %12s %12s\n", "servers",
+              "tv", "tv_se", "maxbin", "sim E[r]", "pred E[r]", "pred avail");
+
+  bool ok = true;
+  double prev_tv = 2.0;  // TV is bounded by 1
+  for (const std::uint32_t n_dcs : sizes) {
+    const std::uint32_t n_servers = 100 * n_dcs;
+    const rfh::Epoch horizon = kWarmup + kMeasured;
+    const rfh::Scenario scenario = meanfield_scenario(n_dcs, horizon);
+
+    const rfh::MeanFieldPrediction prediction =
+        rfh::predict_census(scenario, n_servers);
+    if (!prediction.converged) {
+      std::fprintf(stderr,
+                   "FAIL: n%u: fixed point did not converge in %u "
+                   "iterations\n", n_servers, prediction.iterations);
+      return 1;
+    }
+
+    double tv_sum = 0.0;
+    double tv_sq = 0.0;
+    double maxbin_sum = 0.0;
+    double replicas_sum = 0.0;
+    double avail_sum = 0.0;
+    std::uint64_t dropped = 0;
+    {
+      std::string stage("n");
+      stage += std::to_string(n_servers);
+      const auto scope = report.stage(stage);
+      for (std::uint32_t rep = 0; rep < kReplicates; ++rep) {
+        rfh::Scenario seeded = scenario;
+        seeded.sim.seed += rep;  // independent workload + chaos streams
+
+        rfh::WorkloadParams params;
+        params.partitions = seeded.sim.partitions;
+        params.datacenters = n_dcs;
+        params.mean_queries_per_epoch = 30.0 * n_dcs;
+        std::vector<std::uint32_t> strides;
+        for (std::uint32_t s = 8; s < n_dcs; s *= 8) strides.push_back(s);
+
+        rfh::RfhPolicy::Options policy_options;
+        policy_options.enable_migration = false;
+        policy_options.enable_suicide = false;
+        rfh::Simulation sim(
+            rfh::build_synthetic_world(n_dcs, seeded.world, strides),
+            seeded.sim, std::make_unique<rfh::UniformWorkload>(params),
+            std::make_unique<rfh::RfhPolicy>(policy_options));
+        sim.set_jobs(jobs);
+        rfh::ChaosController chaos(seeded.fault_plan, seeded.sim.seed);
+
+        // Time-averaged post-step census over the measured window.
+        // Dropped repairs would mean repair_prob < 1 (a modelling error,
+        // not a finite-size one), so they are counted and reported.
+        std::vector<double> census(
+            seeded.sim.max_replicas_per_partition + 1, 0.0);
+        for (rfh::Epoch e = 0; e < horizon; ++e) {
+          chaos.before_epoch(sim, e);
+          const rfh::EpochReport er = sim.step();
+          if (e < kWarmup) continue;
+          dropped += er.dropped_actions;
+          for (std::uint32_t pv = 0; pv < seeded.sim.partitions; ++pv) {
+            const std::size_t k =
+                sim.cluster().replicas_of(rfh::PartitionId{pv}).size();
+            census[std::min(k, census.size() - 1)] += 1.0;
+          }
+        }
+
+        const rfh::CensusComparison cmp =
+            rfh::compare(census, prediction, seeded.sim.failure_rate);
+        tv_sum += cmp.total_variation;
+        tv_sq += cmp.total_variation * cmp.total_variation;
+        maxbin_sum += cmp.max_bin_error;
+        replicas_sum += cmp.sim_expected_replicas;
+        avail_sum += cmp.sim_expected_availability;
+      }
+    }
+
+    const double reps = static_cast<double>(kReplicates);
+    const double tv_mean = tv_sum / reps;
+    const double tv_var =
+        std::max(0.0, tv_sq / reps - tv_mean * tv_mean) / (reps - 1.0);
+    const double tv_se = std::sqrt(tv_var);
+    std::string n("n");
+    n += std::to_string(n_servers);
+    report.add_metric("tv_" + n, tv_mean);
+    report.add_metric("tv_se_" + n, tv_se);
+    report.add_metric("maxbin_" + n, maxbin_sum / reps);
+    report.add_metric("replicas_" + n, replicas_sum / reps);
+    report.add_metric("availability_" + n, avail_sum / reps);
+    report.add_metric("dropped_" + n, static_cast<double>(dropped));
+    std::printf("%8u %10.5f %10.5f %10.5f %12.4f %12.4f %12.6f\n", n_servers,
+                tv_mean, tv_se, maxbin_sum / reps, replicas_sum / reps,
+                prediction.expected_replicas,
+                prediction.expected_availability);
+
+    if (tv_mean >= prev_tv) {
+      ok = false;
+      std::fprintf(stderr,
+                   "FAIL: tv(%s)=%.6f did not shrink below the previous "
+                   "size's %.6f — finite-size error must decrease with N\n",
+                   n.c_str(), tv_mean, prev_tv);
+    }
+    prev_tv = tv_mean;
+  }
+  // The prediction is size-independent (kill/n = 2% at every point), so
+  // record it once.
+  report.add_metric("predicted_replicas",
+                    rfh::predict_census(meanfield_scenario(10, 1), 1000)
+                        .expected_replicas);
+  report.add_metric("predicted_availability",
+                    rfh::predict_census(meanfield_scenario(10, 1), 1000)
+                        .expected_availability);
+
+  report.write_file();
+  if (ok) std::printf("rfh_check: mean-field error monotone in N\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -220,10 +457,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "rfh_check: %s\n", error.c_str());
     std::fprintf(stderr,
                  "usage: rfh_check (--seeds=N | --budget-seconds=S | "
-                 "--replay=FILE | --replay-dir=DIR) [--seed-start=N] "
-                 "[--out-dir=DIR] [--quiet]\n");
+                 "--replay=FILE | --replay-dir=DIR | --mode=meanfield) "
+                 "[--seed-start=N] [--out-dir=DIR] [--smoke] [--jobs=N] "
+                 "[--quiet]\n");
     return 2;
   }
+  if (opt.meanfield) return run_meanfield(opt);
   if (!opt.replay.empty()) return replay_one(opt.replay, opt.quiet);
   if (!opt.replay_dir.empty()) return replay_dir(opt.replay_dir, opt.quiet);
   return fuzz(opt);

@@ -61,6 +61,8 @@ void mirror_prestep_events(const std::vector<Event>& events,
       ref.fail_link(link->a, link->b);
     } else if (const auto* restored = std::get_if<LinkRestored>(&event)) {
       ref.restore_link(restored->a, restored->b);
+    } else if (const auto* frozen = std::get_if<StatsFrozen>(&event)) {
+      ref.set_stats_frozen(frozen->server, frozen->frozen);
     }
     // FaultInjected / PrimaryPromoted / Reseeded only delimit batches.
   }

@@ -21,8 +21,10 @@ FaultEvent make_fault_event(Rng& rng, Epoch epochs, bool allow_outage) {
   // and after the fault.
   ev.at = u32_in(rng, 1, std::max<Epoch>(1, epochs - 2));
 
-  std::uint32_t kind = static_cast<std::uint32_t>(rng.uniform(7));
-  if (kind == 2 && !allow_outage) kind = 0;  // at most one outage per case
+  std::uint32_t kind = static_cast<std::uint32_t>(rng.uniform(9));
+  // At most one correlated mass-kill (datacenter outage or zone outage)
+  // per case: a second one could take down every zone.
+  if (!allow_outage && (kind == 2 || kind == 7)) kind = 0;
   switch (kind) {
     case 0:  // crash
       ev.kind = FaultKind::kCrash;
@@ -69,13 +71,25 @@ FaultEvent make_fault_event(Rng& rng, Epoch epochs, bool allow_outage) {
       ev.kill = u32_in(rng, 1, 3);
       ev.recover = static_cast<std::uint32_t>(rng.uniform(ev.kill + 1));
       break;
-    default:  // flashcrowd
+    case 6:  // flashcrowd
       ev.kind = FaultKind::kFlashCrowd;
       ev.duration = u32_in(rng, 1, 5);
       // Quantize to 2 decimals so the factor survives FaultPlan's %.12g
       // text serialization bit-exactly (canonical round-trip guarantee).
       ev.factor =
           std::round(rng.uniform_real_range(1.5, 6.0) * 100.0) / 100.0;
+      break;
+    case 7:  // zoneoutage (correlated regional kill)
+      ev.kind = FaultKind::kZoneOutage;
+      // Any geo::Continent index; a zone the paper world leaves empty is
+      // a validated non-event, same as an outage of a dead datacenter.
+      ev.zone = static_cast<std::uint32_t>(rng.uniform(6));
+      ev.recover_after = rng.uniform(2) == 0 ? 0 : u32_in(rng, 2, 6);
+      break;
+    default:  // stalestats (Byzantine stale load reports)
+      ev.kind = FaultKind::kStaleStats;
+      ev.until = ev.at + u32_in(rng, 2, 9);
+      ev.count = u32_in(rng, 1, 3);
       break;
   }
   return ev;
@@ -124,7 +138,10 @@ CheckCase make_fuzz_case(std::uint64_t seed) {
   bool allow_outage = true;
   for (std::uint32_t i = 0; i < n_events; ++i) {
     const FaultEvent ev = make_fault_event(rng, c.epochs, allow_outage);
-    if (ev.kind == FaultKind::kDatacenterOutage) allow_outage = false;
+    if (ev.kind == FaultKind::kDatacenterOutage ||
+        ev.kind == FaultKind::kZoneOutage) {
+      allow_outage = false;
+    }
     c.fault_plan.add(ev);
   }
   return c;

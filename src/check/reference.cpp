@@ -52,6 +52,7 @@ ReferenceEngine::ReferenceEngine(const Scenario& scenario)
       requester_queries_(
           config_.partitions * world_.topology.datacenter_count(), 0.0),
       server_arrival_(world_.topology.server_count(), 0.0),
+      stats_frozen_(world_.topology.server_count(), 0),
       overload_streak_(config_.partitions, 0),
       replication_bytes_(world_.topology.server_count(), 0),
       migration_bytes_(world_.topology.server_count(), 0) {
@@ -243,6 +244,10 @@ void ReferenceEngine::clear_server_stats(ServerId s) {
     }
     node_traffic_sum_[pv] = sum;
   }
+}
+
+void ReferenceEngine::set_stats_frozen(ServerId s, bool frozen) {
+  stats_frozen_[s.value()] = frozen ? 1 : 0;
 }
 
 void ReferenceEngine::handle_lost_copies(std::span<const LostCopy> lost) {
@@ -457,7 +462,11 @@ void ReferenceEngine::update_stats() {
     double sum = 0.0;
     for (std::uint32_t s = 0; s < servers; ++s) {
       double& v = node_traffic_[pv * servers + s];
-      v = a * v + b * e_node_traffic_[pv * servers + s];
+      // A frozen (stalestats) server keeps its stale value; the engine's
+      // sparse merge skips its cells the same way.
+      if (stats_frozen_[s] == 0) {
+        v = a * v + b * e_node_traffic_[pv * servers + s];
+      }
       sum += v;
     }
     node_traffic_sum_[pv] = sum;
@@ -468,6 +477,7 @@ void ReferenceEngine::update_stats() {
     }
   }
   for (std::uint32_t s = 0; s < servers; ++s) {
+    if (stats_frozen_[s] != 0) continue;
     server_arrival_[s] = a * server_arrival_[s] + b * e_server_work_[s];
   }
 }

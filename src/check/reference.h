@@ -103,6 +103,10 @@ class ReferenceEngine {
   void set_traffic_multiplier(double factor) noexcept {
     traffic_multiplier_ = factor;
   }
+  /// Mirror of Simulation::set_stats_frozen (the stalestats fault):
+  /// while frozen, update_stats leaves the server's tr_bar row and
+  /// arrival rate untouched.
+  void set_stats_frozen(ServerId s, bool frozen);
 
   // --- observers for the differential comparison ------------------------
   [[nodiscard]] Epoch epoch() const noexcept { return epoch_; }
@@ -250,6 +254,7 @@ class ReferenceEngine {
   std::vector<double> node_traffic_sum_;
   std::vector<double> requester_queries_;
   std::vector<double> server_arrival_;
+  std::vector<char> stats_frozen_;
   bool stats_initialized_ = false;
 
   // Decision-tree hysteresis (RfhPolicy default options).

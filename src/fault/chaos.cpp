@@ -17,13 +17,17 @@ constexpr std::uint64_t kChaosStreamTag = 0x63616F73;
 ChaosController::ChaosController(const FaultPlan& plan, std::uint64_t seed)
     : plan_(plan),
       rng_(Rng(seed).fork(kChaosStreamTag)),
-      link_down_(plan.size(), 0) {}
+      link_down_(plan.size(), 0),
+      frozen_victims_(plan.size()) {}
 
 bool ChaosController::exhausted(Epoch epoch) const noexcept {
   if (!pending_.empty()) return false;
   if (std::find(link_down_.begin(), link_down_.end(), char{1}) !=
       link_down_.end()) {
     return false;
+  }
+  for (const std::vector<ServerId>& frozen : frozen_victims_) {
+    if (!frozen.empty()) return false;
   }
   return plan_.empty() || epoch > plan_.horizon();
 }
@@ -260,7 +264,7 @@ ChaosController::Applied ChaosController::before_epoch(
         applied.recovered.insert(applied.recovered.end(), revived.begin(),
                                  revived.end());
         std::vector<ServerId> victims = pick_live(sim, ev.kill);
-        const auto n = static_cast<std::uint32_t>(victims.size());
+        const std::uint32_t n = static_cast<std::uint32_t>(victims.size());
         const std::uint64_t cause = record(sim, epoch, ev.kind, applied, n);
         kill_batch(sim, std::move(victims), ev.kind, applied, on_kill, cause);
         break;
@@ -268,6 +272,70 @@ ChaosController::Applied ChaosController::before_epoch(
       case FaultKind::kFlashCrowd: {
         if (epoch == ev.at) {
           record(sim, epoch, ev.kind, applied, 0, {}, {}, {}, ev.factor);
+        }
+        break;
+      }
+      case FaultKind::kZoneOutage: {
+        if (ev.at != epoch) break;
+        // Correlated regional failure: every live server of every
+        // datacenter whose continent matches the zone index. A zone the
+        // world doesn't populate is a non-event, like a bad outage dc.
+        std::vector<ServerId> victims;
+        for (const Datacenter& dc : sim.topology().datacenters()) {
+          if (static_cast<std::uint32_t>(dc.continent) != ev.zone) continue;
+          for (const ServerId s : sim.topology().servers_in(dc.id)) {
+            if (sim.cluster().alive(s)) victims.push_back(s);
+          }
+        }
+        // Never take down the last zone still standing.
+        if (victims.empty() ||
+            sim.cluster().live_server_count() <= victims.size()) {
+          break;
+        }
+        const std::uint64_t cause = record(
+            sim, epoch, ev.kind, applied,
+            static_cast<std::uint32_t>(victims.size()), {}, {}, {},
+            static_cast<double>(ev.zone));
+        {
+          const CauseScope scope(sim.events(), cause);
+          sim.fail_servers(victims);
+        }
+        if (on_kill) on_kill(victims);
+        applied.killed.insert(applied.killed.end(), victims.begin(),
+                              victims.end());
+        if (ev.recover_after > 0) {
+          pending_.push_back({epoch + ev.recover_after, victims});
+        } else {
+          dead_pool_.insert(dead_pool_.end(), victims.begin(), victims.end());
+        }
+        break;
+      }
+      case FaultKind::kStaleStats: {
+        if (epoch == ev.at) {
+          // Freeze the victims' smoothed series: they keep feeding their
+          // epoch-`at` numbers into Eqs. 9-11/17 until `until`.
+          std::vector<ServerId> victims;
+          if (ev.servers.empty()) {
+            victims = pick_live(sim, ev.count);
+          } else {
+            for (const ServerId s : ev.servers) {
+              if (sim.cluster().alive(s)) victims.push_back(s);
+            }
+          }
+          if (!victims.empty()) {
+            const std::uint64_t cause =
+                record(sim, epoch, ev.kind, applied,
+                       static_cast<std::uint32_t>(victims.size()));
+            const CauseScope scope(sim.events(), cause);
+            for (const ServerId s : victims) sim.set_stats_frozen(s, true);
+            frozen_victims_[i] = std::move(victims);
+          }
+        }
+        if (epoch == ev.until && !frozen_victims_[i].empty()) {
+          for (const ServerId s : frozen_victims_[i]) {
+            sim.set_stats_frozen(s, false);
+          }
+          frozen_victims_[i].clear();
         }
         break;
       }

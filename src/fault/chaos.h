@@ -101,6 +101,9 @@ class ChaosController {
   /// Whether the i-th plan event (a flap or linkdown) currently holds its
   /// link down, so transitions fire exactly once.
   std::vector<char> link_down_;
+  /// Servers the i-th plan event (a stalestats) currently holds frozen;
+  /// thawed (and cleared) when the event's window closes.
+  std::vector<std::vector<ServerId>> frozen_victims_;
   std::array<std::uint64_t, kFaultKindCount> injected_by_kind_{};
 };
 

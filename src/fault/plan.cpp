@@ -19,6 +19,8 @@ const char* fault_kind_name(FaultKind kind) noexcept {
     case FaultKind::kLinkFlap: return "flap";
     case FaultKind::kChurn: return "churn";
     case FaultKind::kFlashCrowd: return "flashcrowd";
+    case FaultKind::kZoneOutage: return "zoneoutage";
+    case FaultKind::kStaleStats: return "stalestats";
   }
   return "?";
 }
@@ -99,6 +101,15 @@ std::string validate_fault_event(const FaultEvent& e) {
       }
       if (!(e.factor > 0.0)) return "field 'factor' must be positive";
       return "";
+    case FaultKind::kZoneOutage:
+      if (e.zone == kNoZone) return "field 'zone' is required";
+      return "";
+    case FaultKind::kStaleStats:
+      if (e.until <= e.at) return "field 'until' must be greater than 'at'";
+      if ((e.count == 0) == e.servers.empty()) {
+        return "exactly one of 'count' or 'servers' is required";
+      }
+      return "";
   }
   return "unknown event kind";
 }
@@ -115,6 +126,7 @@ Epoch FaultPlan::horizon() const noexcept {
     Epoch last = e.at;
     switch (e.kind) {
       case FaultKind::kDatacenterOutage:
+      case FaultKind::kZoneOutage:
         if (e.recover_after != 0) last = e.at + e.recover_after;
         break;
       case FaultKind::kLinkDown:
@@ -122,6 +134,7 @@ Epoch FaultPlan::horizon() const noexcept {
         break;
       case FaultKind::kLinkFlap:
       case FaultKind::kChurn:
+      case FaultKind::kStaleStats:
         last = e.until;
         break;
       case FaultKind::kFlashCrowd:
@@ -148,21 +161,24 @@ std::string FaultPlan::serialize() const {
     std::snprintf(buf, sizeof buf, " %s=%.12g", key, value);
     out += buf;
   };
+  const auto field_victims = [&](const FaultEvent& e) {
+    if (!e.servers.empty()) {
+      out += " servers=";
+      for (std::size_t i = 0; i < e.servers.size(); ++i) {
+        if (i > 0) out += ',';
+        out += std::to_string(e.servers[i].value());
+      }
+    } else {
+      field_u("count", e.count);
+    }
+  };
   for (const FaultEvent& e : events_) {
     out += fault_kind_name(e.kind);
     field_u("at", e.at);
     switch (e.kind) {
       case FaultKind::kCrash:
       case FaultKind::kRecover:
-        if (!e.servers.empty()) {
-          out += " servers=";
-          for (std::size_t i = 0; i < e.servers.size(); ++i) {
-            if (i > 0) out += ',';
-            out += std::to_string(e.servers[i].value());
-          }
-        } else {
-          field_u("count", e.count);
-        }
+        field_victims(e);
         break;
       case FaultKind::kDatacenterOutage:
         field_u("dc", e.dc.value());
@@ -189,6 +205,14 @@ std::string FaultPlan::serialize() const {
       case FaultKind::kFlashCrowd:
         field_u("duration", e.duration);
         field_f("factor", e.factor);
+        break;
+      case FaultKind::kZoneOutage:
+        field_u("zone", e.zone);
+        if (e.recover_after != 0) field_u("recover_after", e.recover_after);
+        break;
+      case FaultKind::kStaleStats:
+        field_u("until", e.until);
+        field_victims(e);
         break;
     }
     out += '\n';
@@ -314,6 +338,8 @@ FaultPlan::ParseResult FaultPlan::parse(std::string_view text) {
       } else if (key == "b") {
         err = want_u32(idv, false);
         if (err.empty()) event.link_b = DatacenterId{idv};
+      } else if (key == "zone") {
+        err = want_u32(event.zone, false);
       } else if (key == "recover_after") {
         err = want_epoch(event.recover_after, true);
       } else if (key == "restore_at") {

@@ -18,6 +18,8 @@
 //   flap       at=E until=E2 a=DA b=DB period=P down=K
 //   churn      at=E until=E2 period=P kill=N [recover=M]
 //   flashcrowd at=E duration=K factor=F
+//   zoneoutage at=E zone=Z [recover_after=K]
+//   stalestats at=E until=E2 (count=N | servers=1,2,3)
 //
 // Semantics (all epochs are "applied before stepping epoch E"):
 //  * crash kills N seeded-random live servers (or the listed ids);
@@ -31,7 +33,15 @@
 //  * churn, every P epochs in [at, until), kills N seeded-random live
 //    servers and revives M of the longest-dead chaos victims (a rolling
 //    wave: the dead population stays ~N*ceil(age/P) when M == N);
-//  * flashcrowd multiplies all query traffic by F for K epochs.
+//  * flashcrowd multiplies all query traffic by F for K epochs;
+//  * zoneoutage kills every live server of every datacenter whose
+//    continent index matches Z (the numeric geo::Continent value) — a
+//    correlated regional failure spanning multiple DCs at once; with
+//    recover_after, the victims come back K epochs later;
+//  * stalestats freezes TrafficStats smoothing for N seeded-random live
+//    servers (or the listed ids) over [at, until): the victims keep
+//    reporting their epoch-`at` load numbers — a Byzantine stale-stats
+//    server feeding Eq. 17 — and thaw at `until`.
 //
 // This header depends only on common/ — sim depends on fault's controller
 // (never the reverse), and the plan itself depends on nothing simulated.
@@ -55,12 +65,17 @@ enum class FaultKind : std::uint8_t {
   kLinkFlap,
   kChurn,
   kFlashCrowd,
+  kZoneOutage,
+  kStaleStats,
 };
-inline constexpr std::size_t kFaultKindCount = 7;
+inline constexpr std::size_t kFaultKindCount = 9;
 
 /// Stable lower-case keyword ("crash", ...), used by the spec grammar and
 /// the rfh_faults_injected_total{kind=...} telemetry label.
 [[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
+
+/// Sentinel for FaultEvent::zone — "no zone set".
+inline constexpr std::uint32_t kNoZone = 0xFFFFFFFFu;
 
 /// One scheduled fault. A single aggregate covers every kind; which
 /// fields are meaningful (and required) depends on `kind` — see the
@@ -71,14 +86,19 @@ struct FaultEvent {
   Epoch at = 0;
   /// End of the active window for flap/churn, exclusive.
   Epoch until = 0;
-  /// crash/recover: how many seeded-random servers (0 with explicit ids).
+  /// crash/recover/stalestats: how many seeded-random servers (0 with
+  /// explicit ids).
   std::uint32_t count = 0;
-  /// crash/recover: explicit victims (empty with `count`).
+  /// crash/recover/stalestats: explicit victims (empty with `count`).
   std::vector<ServerId> servers;
   /// outage: the datacenter to take down.
   DatacenterId dc;
-  /// outage: epochs until the victims recover (0 = never).
+  /// outage/zoneoutage: epochs until the victims recover (0 = never).
   Epoch recover_after = 0;
+  /// zoneoutage: numeric geo::Continent index of the zone to take down.
+  /// Not bounds-checked against the topology here (fault/ knows no geo);
+  /// the controller skips zones with no matching datacenters.
+  std::uint32_t zone = kNoZone;
   /// linkdown/flap: the link's endpoints.
   DatacenterId link_a;
   DatacenterId link_b;

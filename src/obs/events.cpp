@@ -94,6 +94,7 @@ struct NameVisitor {
   const char* operator()(const TrafficShift&) const { return "TrafficShift"; }
   const char* operator()(const RuleFired&) const { return "RuleFired"; }
   const char* operator()(const SloBreach&) const { return "SloBreach"; }
+  const char* operator()(const StatsFrozen&) const { return "StatsFrozen"; }
 };
 
 /// One default-constructed alternative per index, so names and indices

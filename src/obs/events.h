@@ -194,10 +194,12 @@ struct LinkRestored {
 /// A chaos-plan entry was applied by the fault subsystem (src/fault/):
 /// one event per injection, emitted before the epoch it acts on steps.
 /// `kind` is a static-duration string (fault_kind_name): "crash",
-/// "recover", "outage", "linkdown", "flap", "churn" or "flashcrowd".
-/// `servers` counts the servers killed or revived (0 for link and
-/// traffic events); dc / link endpoints are invalid when inapplicable.
-/// `magnitude` is the flash-crowd traffic factor (0 otherwise).
+/// "recover", "outage", "linkdown", "flap", "churn", "flashcrowd",
+/// "zoneoutage" or "stalestats". `servers` counts the servers killed,
+/// revived or frozen (0 for link and traffic events); dc / link
+/// endpoints are invalid when inapplicable. `magnitude` is the
+/// flash-crowd traffic factor, or the zone (continent) index for
+/// "zoneoutage" (0 otherwise).
 struct FaultInjected {
   Epoch epoch = 0;
   const char* kind = "";
@@ -307,12 +309,22 @@ struct SloBreach {
   double burn_long = 0.0;
 };
 
+/// Fault injection: a server's TrafficStats smoothing was frozen (it
+/// keeps reporting stale load numbers into Eqs. 9-11/17) or thawed.
+/// Emitted once per transition by the stalestats chaos event.
+struct StatsFrozen {
+  Epoch epoch = 0;
+  ServerId server;
+  bool frozen = true;
+};
+
 using Event =
     std::variant<QueryRoutedSummary, ReplicaAdded, MigrationExecuted, Suicide,
                  ActionDropped, ServerFailed, ServerRecovered, PrimaryPromoted,
                  Reseeded, LinkFailed, LinkRestored, FaultInjected,
                  EpochCompleted, PhaseSpan, StreamEpochSummary,
-                 QueueSaturated, TrafficShift, RuleFired, SloBreach>;
+                 QueueSaturated, TrafficShift, RuleFired, SloBreach,
+                 StatsFrozen>;
 
 /// Stable PascalCase type name ("ReplicaAdded", ...), used by sinks and
 /// the CLI's --trace-filter grammar.

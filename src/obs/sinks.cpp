@@ -190,6 +190,10 @@ void append_fields(JsonWriter& w, const SloBreach& e) {
   w.num("burn_short", e.burn_short);
   w.num("burn_long", e.burn_long);
 }
+void append_fields(JsonWriter& w, const StatsFrozen& e) {
+  w.id("server", e.server);
+  w.num("frozen", std::uint64_t{e.frozen ? 1u : 0u});
+}
 
 void append_event_json(std::string& out, const Event& event,
                        const TraceMeta* meta = nullptr) {
@@ -311,6 +315,7 @@ std::uint32_t chrome_tid(const Event& event) {
     std::uint32_t operator()(const TrafficShift&) const { return 1; }
     std::uint32_t operator()(const RuleFired&) const { return 2; }
     std::uint32_t operator()(const SloBreach&) const { return 3; }
+    std::uint32_t operator()(const StatsFrozen&) const { return 3; }
   };
   return std::visit(Visitor{}, event);
 }

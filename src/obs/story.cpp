@@ -123,6 +123,10 @@ struct DescribeVisitor {
                   e.objective, e.observed, e.target, e.burn_short,
                   e.burn_long);
   }
+  std::string operator()(const StatsFrozen& e) const {
+    return format("server %u traffic stats %s", e.server.value(),
+                  e.frozen ? "frozen (stale reports)" : "thawed");
+  }
 };
 
 }  // namespace

@@ -128,6 +128,10 @@ struct CondenseVisitor {
     rec.a = e.observed;
     rec.b = e.target;
   }
+  void operator()(const StatsFrozen& e) const {
+    rec.server = e.server.value();
+    rec.a = e.frozen ? 1.0 : 0.0;
+  }
 };
 
 std::string format(const char* fmt, ...) {
@@ -547,6 +551,10 @@ std::string describe_record(const TimelineRecord& rec) {
   if (t == event_type_index<SloBreach>()) {
     return format("SLO %s breached: %.4g vs target %.4g",
                   rec.label != nullptr ? rec.label : "?", rec.a, rec.b);
+  }
+  if (t == event_type_index<StatsFrozen>()) {
+    return format("server %u traffic stats %s", rec.server,
+                  rec.a != 0.0 ? "frozen (stale reports)" : "thawed");
   }
   if (t == event_type_index<QueueSaturated>()) {
     return format("server %u (dc %u) queue saturated: depth %.0f/%u, "

@@ -104,6 +104,27 @@ void HashRing::remove_server(ServerId server) {
   successor_cache_.clear();
 }
 
+void HashRing::remove_servers(std::span<const ServerId> servers) {
+  if (servers.empty()) return;
+  std::vector<std::uint64_t> doomed;
+  doomed.reserve(servers.size() * tokens_per_server_);
+  for (const ServerId server : servers) {
+    const auto it = server_tokens_.find(server);
+    RFH_ASSERT_MSG(it != server_tokens_.end(), "server not on ring");
+    doomed.insert(doomed.end(), it->second.begin(), it->second.end());
+    server_tokens_.erase(it);
+  }
+  std::sort(doomed.begin(), doomed.end());
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [&](const Token& t) {
+                               return std::binary_search(
+                                   doomed.begin(), doomed.end(), t.position);
+                             }),
+              ring_.end());
+  ++membership_epoch_;
+  successor_cache_.clear();
+}
+
 bool HashRing::contains(ServerId server) const {
   return server_tokens_.contains(server);
 }

@@ -110,7 +110,7 @@ bool ClusterState::can_accept(ServerId s, PartitionId p) const {
 
 bool ClusterState::alive(ServerId s) const { return servers_.alive(s); }
 
-std::vector<ClusterState::LostCopy> ClusterState::kill_server(ServerId s) {
+std::vector<ClusterState::LostCopy> ClusterState::take_down(ServerId s) {
   RFH_ASSERT_MSG(alive(s), "server already dead");
   std::vector<LostCopy> lost;
   for (std::uint32_t p = 0; p < partitions_.partitions(); ++p) {
@@ -122,15 +122,40 @@ std::vector<ClusterState::LostCopy> ClusterState::kill_server(ServerId s) {
     }
   }
   servers_.set_alive(s, false);
-  ring_.remove_server(s);
   live_list_erase(s);
   return lost;
+}
+
+std::vector<ClusterState::LostCopy> ClusterState::kill_server(ServerId s) {
+  std::vector<LostCopy> lost = take_down(s);
+  ring_.remove_server(s);
+  return lost;
+}
+
+void ClusterState::kill_servers(
+    std::span<const ServerId> servers,
+    const std::function<void(ServerId, std::span<const LostCopy>)>&
+        on_killed) {
+  for (const ServerId s : servers) {
+    const std::vector<LostCopy> lost = take_down(s);
+    if (on_killed) on_killed(s, lost);
+  }
+  ring_.remove_servers(servers);
 }
 
 void ClusterState::revive_server(ServerId s) {
   servers_.set_alive(s, true);
   ring_.add_server(s);
   live_list_insert(s);
+}
+
+void ClusterState::revive_servers(std::span<const ServerId> servers) {
+  if (servers.empty()) return;
+  for (const ServerId s : servers) {
+    servers_.set_alive(s, true);
+    live_list_insert(s);
+  }
+  ring_.add_servers(servers);
 }
 
 void ClusterState::live_list_insert(ServerId s) {

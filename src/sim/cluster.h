@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -82,8 +83,23 @@ class ClusterState {
     bool was_primary = false;
   };
   std::vector<LostCopy> kill_server(ServerId s);
+  /// Kill a batch of servers, invoking `on_killed(s, lost)` per victim in
+  /// span order with that server's losses in ascending-partition order —
+  /// the exact per-server sequence sequential kill_server calls produce.
+  /// Ring tokens are dropped in one compaction pass at the end, which is
+  /// what keeps mass churn at 100k+ servers from being quadratic; the
+  /// ring is not consulted in between, so no caller can observe the
+  /// deferred state.
+  void kill_servers(
+      std::span<const ServerId> servers,
+      const std::function<void(ServerId, std::span<const LostCopy>)>&
+          on_killed);
   /// Bring a (previously killed or never-started) server online.
   void revive_server(ServerId s);
+  /// Batched revive: per-server liveness bookkeeping plus one bulk ring
+  /// join (HashRing::add_servers) — same final state as sequential
+  /// revive_server calls.
+  void revive_servers(std::span<const ServerId> servers);
 
   // --- misc ------------------------------------------------------------
   [[nodiscard]] const HashRing& ring() const noexcept { return ring_; }
@@ -96,6 +112,9 @@ class ClusterState {
  private:
   void live_list_insert(ServerId s);
   void live_list_erase(ServerId s);
+  /// Copy removal + liveness bookkeeping for one kill, everything except
+  /// the ring update (shared by kill_server and kill_servers).
+  std::vector<LostCopy> take_down(ServerId s);
 
   const Topology* topology_;
   const SimConfig* config_;

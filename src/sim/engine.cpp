@@ -636,30 +636,39 @@ void Simulation::fail_servers(std::span<const ServerId> servers) {
   last_promotions_.clear();
   std::vector<ClusterState::LostCopy> all_lost;
   std::vector<std::uint64_t> lost_causes;  // aligned with all_lost
+  std::vector<ServerId> victims;
+  victims.reserve(servers.size());
+  std::vector<bool> doomed(world_.topology.server_count(), false);
   for (const ServerId s : servers) {
-    if (!cluster_.alive(s)) continue;
-    RFH_ASSERT_MSG(cluster_.live_server_count() > 1,
+    if (!cluster_.alive(s) || doomed[s.value()]) continue;
+    RFH_ASSERT_MSG(cluster_.live_server_count() >
+                       static_cast<std::uint32_t>(victims.size()) + 1,
                    "refusing to kill the last live server");
-    auto lost = cluster_.kill_server(s);
-    // Drop the victim's smoothed traffic so Eq. 17's mean (over *live*
-    // servers) no longer carries the ghost of its decaying tr_bar —
-    // before the promotion pass below, which reads survivors' stats only.
-    stats_.clear_server(s);
-    const std::uint64_t failure_id = events_.emit(ServerFailed{epoch_, s});
-    for (const ClusterState::LostCopy& copy : lost) {
-      all_lost.push_back(copy);
-      lost_causes.push_back(failure_id);
-      // The failure is now the partition's latest causal antecedent —
-      // the promotion/reseed pass below may refine it further.
-      if (failure_id != 0 &&
-          copy.partition.value() < partition_cause_.size()) {
-        partition_cause_[copy.partition.value()] = failure_id;
-      }
-    }
-    // Statistical echoes (TrafficShift) with no tighter per-partition
-    // cause chain to the most recent disturbance.
-    if (failure_id != 0) events_.set_ambient_cause(failure_id);
+    doomed[s.value()] = true;
+    victims.push_back(s);
   }
+  cluster_.kill_servers(
+      victims, [&](ServerId s, std::span<const ClusterState::LostCopy> lost) {
+        // Drop the victim's smoothed traffic so Eq. 17's mean (over
+        // *live* servers) no longer carries the ghost of its decaying
+        // tr_bar — before the promotion pass below, which reads
+        // survivors' stats only.
+        stats_.clear_server(s);
+        const std::uint64_t failure_id = events_.emit(ServerFailed{epoch_, s});
+        for (const ClusterState::LostCopy& copy : lost) {
+          all_lost.push_back(copy);
+          lost_causes.push_back(failure_id);
+          // The failure is now the partition's latest causal antecedent —
+          // the promotion/reseed pass below may refine it further.
+          if (failure_id != 0 &&
+              copy.partition.value() < partition_cause_.size()) {
+            partition_cause_[copy.partition.value()] = failure_id;
+          }
+        }
+        // Statistical echoes (TrafficShift) with no tighter per-partition
+        // cause chain to the most recent disturbance.
+        if (failure_id != 0) events_.set_ambient_cause(failure_id);
+      });
   // Liveness changed: relays and dead-DC skips may differ everywhere, and
   // handle_lost_copies below can move primaries.
   router_.invalidate_routes();
@@ -689,16 +698,31 @@ std::vector<ServerId> Simulation::fail_datacenter(DatacenterId dc) {
   return victims;
 }
 
+void Simulation::set_stats_frozen(ServerId s, bool frozen) {
+  if (stats_.frozen(s) == frozen) return;
+  stats_.set_frozen(s, frozen);
+  const std::uint64_t id = events_.emit(StatsFrozen{epoch_, s, frozen});
+  if (id != 0) events_.set_ambient_cause(id);
+}
+
 void Simulation::recover_servers(std::span<const ServerId> servers) {
-  bool any = false;
+  std::vector<ServerId> revived;
+  revived.reserve(servers.size());
+  std::vector<bool> seen(world_.topology.server_count(), false);
   for (const ServerId s : servers) {
-    if (cluster_.alive(s)) continue;
-    cluster_.revive_server(s);
+    if (cluster_.alive(s) || seen[s.value()]) continue;
+    seen[s.value()] = true;
+    revived.push_back(s);
+  }
+  // One bulk ring join instead of per-server sorted inserts, then emit in
+  // span order — the same final state and event sequence the sequential
+  // revive-then-emit loop produced.
+  cluster_.revive_servers(revived);
+  for (const ServerId s : revived) {
     const std::uint64_t id = events_.emit(ServerRecovered{epoch_, s});
     if (id != 0) events_.set_ambient_cause(id);
-    any = true;
   }
-  if (any) router_.invalidate_routes();
+  if (!revived.empty()) router_.invalidate_routes();
 }
 
 namespace {

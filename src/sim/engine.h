@@ -159,6 +159,13 @@ class Simulation {
     return traffic_multiplier_;
   }
 
+  /// Freeze or thaw a server's smoothed traffic statistics (the chaos
+  /// `stalestats` fault): while frozen the server keeps reporting its
+  /// stale tr_bar/arrival numbers into Eqs. 9-11/17. Emits a StatsFrozen
+  /// event on every actual transition; idempotent otherwise. Draws no
+  /// randomness, so seeded runs stay bit-identical when unused.
+  void set_stats_frozen(ServerId s, bool frozen);
+
   // --- observability ----------------------------------------------------
   /// The simulation's event bus. Attach sinks (obs/sinks.h) before
   /// stepping to capture a structured trace; with no sinks installed the

@@ -18,7 +18,8 @@ TrafficStats::TrafficStats(std::size_t partitions, std::size_t servers,
       node_cells_(partitions),
       node_traffic_sum_(partitions, 0.0),
       requester_queries_(partitions * datacenters, 0.0),
-      server_arrival_(servers, 0.0) {
+      server_arrival_(servers, 0.0),
+      frozen_(servers, 0) {
   RFH_ASSERT(alpha > 0.0 && alpha < 1.0);
 }
 
@@ -72,7 +73,10 @@ void TrafficStats::update(const EpochTraffic& traffic, ThreadPool* pool) {
                 take_old ? old_cells[i].server : fresh[j].server;
             const double prev = take_old ? old_cells[i].ewma : 0.0;
             const double obs = take_fresh ? fresh[j].node : 0.0;
-            const double v = a * prev + b * obs;
+            // A frozen server keeps its stale EWMA (a frozen absent cell
+            // stays absent: prev == 0.0 is not pushed, and contributes
+            // the same +0.0 to the Eq. 17 sum as the dense scan would).
+            const double v = frozen_[server] != 0 ? prev : a * prev + b * obs;
             sum += v;
             if (v != 0.0) merged.push_back(StatCell{server, v});
             if (take_old) ++i;
@@ -92,12 +96,23 @@ void TrafficStats::update(const EpochTraffic& traffic, ThreadPool* pool) {
                       shard_count_for(pool, servers_, /*min_grain=*/4096),
                       [&](unsigned /*shard*/, IndexRange range) {
                         for (std::size_t s = range.begin; s < range.end; ++s) {
+                          if (frozen_[s] != 0) continue;
                           server_arrival_[s] =
                               a * server_arrival_[s] +
                               b * traffic.server_work(
                                       ServerId{static_cast<std::uint32_t>(s)});
                         }
                       });
+}
+
+void TrafficStats::set_frozen(ServerId s, bool frozen) {
+  RFH_ASSERT(s.value() < servers_);
+  frozen_[s.value()] = frozen ? 1 : 0;
+}
+
+bool TrafficStats::frozen(ServerId s) const {
+  RFH_ASSERT(s.value() < servers_);
+  return frozen_[s.value()] != 0;
 }
 
 void TrafficStats::clear_server(ServerId s) {

@@ -51,6 +51,16 @@ class TrafficStats {
   /// inputs, making the result bit-identical for every worker count.
   void update(const EpochTraffic& traffic, ThreadPool* pool = nullptr);
 
+  /// Freeze (or thaw) a server's smoothed series: while frozen, update()
+  /// leaves the server's tr_bar cells and arrival rate untouched, so the
+  /// server keeps feeding its stale numbers into Eq. 17 — the Byzantine
+  /// stale-stats fault (fault/plan.h `stalestats`). Partition-axis
+  /// aggregates (q_bar, requester queries) stay live; only the
+  /// server-indexed series freeze. clear_server still wipes a frozen
+  /// server, so a frozen victim that later dies is forgotten as usual.
+  void set_frozen(ServerId s, bool frozen);
+  [[nodiscard]] bool frozen(ServerId s) const;
+
   /// Forget everything about a failed server. Without this, the
   /// exponentially decaying tr_bar entries of dead servers keep inflating
   /// Eq. 17's numerator while mean_node_traffic() divides by the *live*
@@ -93,6 +103,7 @@ class TrafficStats {
   std::vector<double> node_traffic_sum_;          // [p] (for Eq. 17)
   std::vector<double> requester_queries_;         // [p][dc]
   std::vector<double> server_arrival_;            // [s]
+  std::vector<char> frozen_;                      // [s] stale-stats flags
 };
 
 }  // namespace rfh

@@ -140,6 +140,41 @@ TEST(Fuzzer, GeneratesOnlyValidRoundTrippableCases) {
   }
 }
 
+TEST(Fuzzer, ReachesTheHostileFaultClauses) {
+  // The grammar's newest clauses — correlated zone outages and Byzantine
+  // stale-stats windows — must actually appear in the fuzz space, at
+  // most one mass-kill (dc outage or zone outage) per case, and every
+  // generated event must survive the text round-trip.
+  std::size_t zone_outages = 0;
+  std::size_t stale_stats = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const CheckCase c = make_fuzz_case(seed);
+    std::size_t mass_kills = 0;
+    for (const FaultEvent& ev : c.fault_plan.events()) {
+      if (ev.kind == FaultKind::kZoneOutage) {
+        ++zone_outages;
+        ++mass_kills;
+        EXPECT_LT(ev.zone, 6u) << "seed " << seed;
+      }
+      if (ev.kind == FaultKind::kDatacenterOutage) ++mass_kills;
+      if (ev.kind == FaultKind::kStaleStats) {
+        ++stale_stats;
+        EXPECT_GT(ev.until, ev.at) << "seed " << seed;
+        EXPECT_GT(ev.count, 0u) << "seed " << seed;
+      }
+      EXPECT_EQ(validate_fault_event(ev), "") << "seed " << seed;
+    }
+    EXPECT_LE(mass_kills, 1u) << "seed " << seed;
+    const FaultPlan::ParseResult reparsed =
+        FaultPlan::parse(c.fault_plan.serialize());
+    ASSERT_TRUE(reparsed.ok) << "seed " << seed << ": " << reparsed.error;
+    EXPECT_EQ(reparsed.plan.serialize(), c.fault_plan.serialize())
+        << "seed " << seed;
+  }
+  EXPECT_GT(zone_outages, 0u);
+  EXPECT_GT(stale_stats, 0u);
+}
+
 TEST(Differential, DefaultCaseRunsDivergenceFree) {
   CheckCase c;
   c.epochs = 16;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 #include "topology/world.h"
 
 namespace rfh {
@@ -128,6 +131,62 @@ TEST_F(ClusterTest, KillServerDropsCopiesAndReportsThem) {
   EXPECT_EQ(cluster_->replica_count(p0), 0u);
   EXPECT_EQ(cluster_->storage_used(ServerId{10}), 0u);
   EXPECT_FALSE(cluster_->ring().contains(ServerId{10}));
+  cluster_->check_invariants();
+}
+
+TEST_F(ClusterTest, BatchedKillMatchesSequentialKills) {
+  const PartitionId p0{0};
+  const PartitionId p1{1};
+  cluster_->add_replica(p0, ServerId{10}, true);
+  cluster_->add_replica(p0, ServerId{20});
+  cluster_->add_replica(p1, ServerId{20}, true);
+  cluster_->add_replica(p1, ServerId{30});
+
+  const std::vector<ServerId> wave{ServerId{10}, ServerId{20}, ServerId{30}};
+  std::vector<ServerId> order;
+  std::vector<ClusterState::LostCopy> losses;
+  cluster_->kill_servers(
+      wave, [&](ServerId s, std::span<const ClusterState::LostCopy> lost) {
+        order.push_back(s);
+        // Mid-batch, liveness and copies are already gone for this victim.
+        EXPECT_FALSE(cluster_->alive(s));
+        EXPECT_EQ(cluster_->copies_on(s), 0u);
+        losses.insert(losses.end(), lost.begin(), lost.end());
+      });
+
+  // Victim order and the per-victim ascending-partition loss report match
+  // what sequential kill_server calls produce.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], ServerId{10});
+  EXPECT_EQ(order[1], ServerId{20});
+  EXPECT_EQ(order[2], ServerId{30});
+  ASSERT_EQ(losses.size(), 4u);
+  EXPECT_EQ(losses[0].partition, p0);
+  EXPECT_TRUE(losses[0].was_primary);
+  EXPECT_EQ(losses[1].partition, p0);
+  EXPECT_FALSE(losses[1].was_primary);
+  EXPECT_EQ(losses[2].partition, p1);
+  EXPECT_TRUE(losses[2].was_primary);
+  EXPECT_EQ(losses[3].partition, p1);
+  EXPECT_FALSE(losses[3].was_primary);
+
+  EXPECT_EQ(cluster_->live_server_count(), 97u);
+  for (const ServerId s : wave) {
+    EXPECT_FALSE(cluster_->ring().contains(s));
+  }
+  cluster_->check_invariants();
+}
+
+TEST_F(ClusterTest, BatchedReviveMatchesSequentialRevives) {
+  const std::vector<ServerId> wave{ServerId{10}, ServerId{20}, ServerId{30}};
+  cluster_->kill_servers(wave, nullptr);
+  EXPECT_EQ(cluster_->live_server_count(), 97u);
+  cluster_->revive_servers(wave);
+  EXPECT_EQ(cluster_->live_server_count(), 100u);
+  for (const ServerId s : wave) {
+    EXPECT_TRUE(cluster_->alive(s));
+    EXPECT_TRUE(cluster_->ring().contains(s));
+  }
   cluster_->check_invariants();
 }
 

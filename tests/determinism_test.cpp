@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "check/case.h"
 #include "exec/sweep.h"
 #include "fault/invariants.h"
 #include "fault/plan.h"
@@ -321,6 +322,40 @@ TEST(EngineJobsDeterminismTest, TenThousandServerChurnByteIdenticalAtJobs8) {
   // Not vacuous: churn actually fired on the big world.
   EXPECT_GT(serial[0].run.faults_injected, 0u);
   EXPECT_FALSE(serial[0].run.killed.empty());
+}
+
+TEST(EngineJobsDeterminismTest, HostileCorpusScenariosByteIdenticalAtJobs8) {
+  // Every hostile scenario in the committed corpus — correlated zone
+  // outage, ring-splitting partition, cascading overload, Byzantine
+  // stale stats, link flap + churn under stream load — must produce
+  // byte-identical output with the epoch phases sharded across 8
+  // workers. These plans exercise exactly the mutation paths (correlated
+  // kills, link-state flips, stats freezes) most likely to be
+  // order-sensitive under sharding.
+  const char* const hostile[] = {
+      "zone_outage_regional", "ring_split_partition", "cascading_overload",
+      "byzantine_stale_stats", "flap_churn_stream"};
+  std::vector<SweepCell> cells;
+  for (const char* name : hostile) {
+    const std::string path = std::string(RFH_TEST_DATA_DIR) + "/corpus/" +
+                             name + ".json";
+    const CheckCase::ParseResult parsed = CheckCase::load(path);
+    ASSERT_TRUE(parsed.ok) << path << ": " << parsed.error;
+    SweepCell cell;
+    cell.label = name;
+    cell.scenario = parsed.value.to_scenario();
+    cell.policy = PolicyKind::kRfh;
+    cells.push_back(std::move(cell));
+  }
+  std::vector<SweepCell> threaded = cells;
+  for (SweepCell& cell : threaded) cell.scenario.engine_jobs = 8;
+
+  const std::vector<SweepCellResult> serial = run_grid(cells, 1);
+  expect_byte_identical(serial, run_grid(threaded, 1));
+  // Not vacuous: every hostile plan actually injected its faults.
+  for (const SweepCellResult& r : serial) {
+    EXPECT_GT(r.run.faults_injected, 0u) << r.label;
+  }
 }
 
 TEST(EngineJobsDeterminismTest, EveryJobsValueProducesTheSameSeries) {

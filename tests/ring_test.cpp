@@ -168,6 +168,39 @@ TEST(HashRing, PartitionsSpreadOverServers) {
   EXPECT_GT(owners.size(), 30u);
 }
 
+TEST(HashRing, BulkLeaveMatchesSequentialRemoves) {
+  HashRing bulk = make_ring(60, 8);
+  HashRing seq = make_ring(60, 8);
+  std::vector<ServerId> victims;
+  for (std::uint32_t s = 3; s < 60; s += 7) victims.push_back(ServerId{s});
+  bulk.remove_servers(victims);
+  for (const ServerId s : victims) seq.remove_server(s);
+  EXPECT_EQ(bulk.server_count(), seq.server_count());
+  for (const ServerId s : victims) EXPECT_FALSE(bulk.contains(s));
+  for (std::uint64_t key = 0; key < 512; ++key) {
+    EXPECT_EQ(bulk.primary(key), seq.primary(key));
+    EXPECT_EQ(bulk.preference_list(key, 5), seq.preference_list(key, 5));
+  }
+}
+
+TEST(HashRing, BulkLeaveThenRejoinRestoresMapping) {
+  HashRing ring = make_ring(40);
+  std::map<std::uint64_t, ServerId> before;
+  for (std::uint64_t key = 0; key < 256; ++key) {
+    before[key] = ring.primary(key);
+  }
+  const std::vector<ServerId> wave{ServerId{4}, ServerId{11}, ServerId{29},
+                                   ServerId{33}};
+  ring.remove_servers(wave);
+  EXPECT_EQ(ring.server_count(), 36u);
+  ring.add_servers(wave);
+  // Token positions are pure hashes of (server, index), so a rejoin puts
+  // every token back where it was and the keyspace mapping is restored.
+  for (const auto& [key, owner] : before) {
+    EXPECT_EQ(ring.primary(key), owner);
+  }
+}
+
 TEST(HashRingDeath, Misuse) {
   HashRing ring = make_ring(2);
   EXPECT_DEATH(ring.add_server(ServerId{0}), "");        // duplicate
