@@ -1,0 +1,165 @@
+// Extension experiment — redundancy schemes (replica vs erasure coding).
+//
+// The paper replicates whole partitions; the EC extension stores n = k+
+// extra fragments of size s/k and serves reads from any k of them
+// (sim/config.h RedundancyMode). This bench puts the two schemes on the
+// paper world under identical rolling churn and traces the three-way
+// trade the redundancy literature predicts:
+//
+//   storage   — steady-state bytes per logical partition, as a multiple
+//               of the partition size (replica r*s vs EC n*s/k);
+//   repair    — bytes replicated per epoch while churn keeps killing
+//               servers (replica moves whole copies, EC moves fragments);
+//   safety    — the analytic availability of the floor census each mode
+//               repairs toward (Eq. 14 vs its k-of-n binomial tail).
+//
+// All modes target the same min_availability, so the storage column is
+// an apples-to-apples "price of equal safety": ec(4,2) carries the same
+// >= 0.999 availability as 3-replica at two thirds of the disk.
+//
+//   bench_redundancy [--smoke] [--jobs=N]
+//
+// --smoke shrinks the horizon for CI (the ec-smoke job gates the
+// committed BENCH_redundancy_smoke.json with scripts/bench_diff.py).
+#include <cstdio>
+#include <cstring>
+
+#include "bench_args.h"
+#include "bench_report.h"
+#include "common/availability.h"
+#include "exec/sweep.h"
+#include "fault/plan.h"
+#include "harness/runner.h"
+#include "harness/scenario.h"
+
+namespace {
+
+struct ModeSpec {
+  const char* label;
+  rfh::RedundancyMode mode;
+  std::uint32_t k;
+  std::uint32_t m;
+};
+
+constexpr ModeSpec kModes[] = {
+    {"replica", rfh::RedundancyMode::kReplica, 0, 0},
+    {"ec_4_2", rfh::RedundancyMode::kErasure, 4, 2},
+    {"ec_8_3", rfh::RedundancyMode::kErasure, 8, 3},
+};
+
+struct ModeResult {
+  std::uint32_t floor = 0;
+  double analytic_availability = 0.0;
+  double storage_x = 0.0;          // bytes per partition / partition size
+  double repair_bytes_epoch = 0.0; // replication traffic under churn
+  double replicas = 0.0;           // steady-state copies per partition
+  double unserved = 0.0;
+};
+
+rfh::SweepCell make_cell(const ModeSpec& spec, rfh::Epoch settle,
+                         rfh::Epoch measured) {
+  rfh::Scenario scenario = rfh::Scenario::paper_random_query();
+  scenario.epochs = settle + measured;
+  // 0.999 puts the replica floor at exactly 3 copies (f = 0.1), the
+  // classic triplication baseline EC is sold against.
+  scenario.sim.min_availability = 0.999;
+  scenario.sim.redundancy = spec.mode;
+  if (spec.mode == rfh::RedundancyMode::kErasure) {
+    scenario.sim.ec_k = spec.k;
+    scenario.sim.ec_m = spec.m;
+  }
+  rfh::FaultEvent churn;
+  churn.kind = rfh::FaultKind::kChurn;
+  churn.at = settle;
+  churn.until = settle + measured;
+  churn.period = 5;
+  churn.kill = 2;
+  churn.recover = 2;
+  scenario.fault_plan.add(churn);
+
+  rfh::SweepCell cell;
+  cell.label = spec.label;
+  cell.scenario = scenario;
+  cell.policy = rfh::PolicyKind::kRfh;
+  return cell;
+}
+
+ModeResult summarize(const ModeSpec& spec, const rfh::PolicyRun& run,
+                     rfh::Epoch settle, rfh::Epoch measured) {
+  const rfh::Scenario probe = make_cell(spec, settle, measured).scenario;
+  const rfh::SimConfig& cfg = probe.sim;
+
+  ModeResult result;
+  result.floor = cfg.availability_floor();
+  result.analytic_availability =
+      cfg.redundancy == rfh::RedundancyMode::kErasure
+          ? rfh::ec_availability(result.floor, cfg.ec_k, cfg.failure_rate)
+          : rfh::availability(result.floor, cfg.failure_rate);
+
+  const double unit = static_cast<double>(cfg.unit_size());
+  const double partition = static_cast<double>(cfg.partition_size);
+  double replications = 0.0;
+  for (rfh::Epoch e = settle; e < settle + measured; ++e) {
+    const rfh::EpochMetrics& m = run.series[e];
+    result.replicas += m.avg_replicas_per_partition;
+    result.storage_x += m.avg_replicas_per_partition * unit / partition;
+    result.unserved += m.unserved_fraction;
+    replications += m.replications_this_epoch;
+  }
+  const double n = static_cast<double>(measured);
+  result.replicas /= n;
+  result.storage_x /= n;
+  result.unserved /= n;
+  result.repair_bytes_epoch = replications * unit / n;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const unsigned jobs = rfh::bench_jobs(argc, argv);
+  const rfh::Epoch settle = smoke ? 20 : 60;
+  const rfh::Epoch measured = smoke ? 60 : 240;
+
+  rfh::BenchReport report(smoke ? "redundancy_smoke" : "redundancy");
+  std::printf("# Redundancy schemes at equal availability target (0.999), "
+              "rolling churn 2 servers / 5 epochs, %u epochs measured\n",
+              measured);
+  std::printf("%-10s %6s %14s %10s %10s %16s %10s\n", "mode", "floor",
+              "availability", "storage_x", "replicas", "repair_B/epoch",
+              "unserved");
+
+  std::vector<rfh::SweepCell> cells;
+  for (const ModeSpec& spec : kModes) {
+    cells.push_back(make_cell(spec, settle, measured));
+  }
+  rfh::SweepOptions sweep_options;
+  sweep_options.jobs = jobs;
+  std::vector<rfh::SweepCellResult> results;
+  {
+    const auto stage = report.stage("sweep_redundancy_modes");
+    results = rfh::SweepRunner(sweep_options).run(cells);
+  }
+
+  for (std::size_t i = 0; i < std::size(kModes); ++i) {
+    const ModeSpec& spec = kModes[i];
+    const ModeResult r =
+        summarize(spec, results[i].run, settle, measured);
+    std::printf("%-10s %6u %14.6f %10.3f %10.2f %16.0f %10.4f\n", spec.label,
+                r.floor, r.analytic_availability, r.storage_x, r.replicas,
+                r.repair_bytes_epoch, r.unserved);
+    const std::string p(spec.label);
+    report.add_metric(p + "_floor", static_cast<double>(r.floor));
+    report.add_metric(p + "_availability", r.analytic_availability);
+    report.add_metric(p + "_storage_x", r.storage_x);
+    report.add_metric(p + "_replicas", r.replicas);
+    report.add_metric(p + "_repair_bytes_epoch", r.repair_bytes_epoch);
+    report.add_metric(p + "_unserved", r.unserved);
+  }
+  report.write_file();
+  return 0;
+}

@@ -279,9 +279,10 @@ rfh::Scenario meanfield_scenario(std::uint32_t n_dcs, rfh::Epoch horizon) {
   scenario.world.per_replica_capacity_hi = 1e9;
   // Hub placement concentrates copies; the default 16-vnode cap starts
   // dropping repairs (kNodeCap) once hot hubs fill up, which would make
-  // repair_prob < 1 — a modelling error, not a finite-size one.
-  scenario.world.max_vnodes = 1u << 20;
+  // repair_prob < 1 — a modelling error, not a finite-size one. The
+  // partitions hint raises the cap to exactly never-binding.
   scenario.sim.partitions = 8 * n_dcs;
+  scenario.world.partitions_hint = scenario.sim.partitions;
   scenario.sim.min_availability = 0.9995;
   scenario.sim.beta = 1e9;
   scenario.sim.gamma = 1e9;

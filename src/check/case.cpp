@@ -194,6 +194,9 @@ Scenario CheckCase::to_scenario() const {
   s.sim.storage_limit = phi;
   s.sim.failure_rate = failure_rate;
   s.sim.min_availability = min_availability;
+  s.sim.redundancy = redundancy;
+  s.sim.ec_k = ec_k;
+  s.sim.ec_m = ec_m;
   return s;
 }
 
@@ -231,6 +234,15 @@ std::string CheckCase::to_json() const {
   field("phi", format_double(phi), false);
   field("failure_rate", format_double(failure_rate), false);
   field("min_availability", format_double(min_availability), false);
+  // Emitted only when non-default so every pre-EC corpus file stays a
+  // byte-identical round-trip.
+  if (redundancy != RedundancyMode::kReplica) {
+    SimConfig spec;
+    spec.redundancy = redundancy;
+    spec.ec_k = ec_k;
+    spec.ec_m = ec_m;
+    field("redundancy", redundancy_spec(spec), true);
+  }
   field("fault_plan", fault_plan.empty() ? std::string() : fault_plan.serialize(),
         true, /*last=*/true);
   out += "}\n";
@@ -325,6 +337,20 @@ CheckCase::ParseResult CheckCase::from_json(std::string_view text) {
         c.workload = WorkloadKind::kStream;
       } else {
         err = "unknown workload '" + raw + "'";
+      }
+    } else if (key == "redundancy") {
+      if (!quoted) {
+        err = "field 'redundancy' expects a string";
+      } else {
+        SimConfig spec;
+        if (!parse_redundancy(raw, spec, err)) {
+          // err already set: an unsupported mode is a hard parse error,
+          // never a silent fall-back to replica.
+        } else {
+          c.redundancy = spec.redundancy;
+          c.ec_k = spec.ec_k;
+          c.ec_m = spec.ec_m;
+        }
       }
     } else if (key == "fault_plan") {
       if (!quoted) {

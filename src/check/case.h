@@ -45,6 +45,11 @@ struct CheckCase {
   double failure_rate = 0.1;
   double min_availability = 0.8;
 
+  // --- redundancy --------------------------------------------------------
+  RedundancyMode redundancy = RedundancyMode::kReplica;
+  std::uint32_t ec_k = 4;
+  std::uint32_t ec_m = 2;
+
   // --- chaos -------------------------------------------------------------
   FaultPlan fault_plan;
 

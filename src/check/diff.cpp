@@ -64,7 +64,9 @@ void mirror_prestep_events(const std::vector<Event>& events,
     } else if (const auto* frozen = std::get_if<StatsFrozen>(&event)) {
       ref.set_stats_frozen(frozen->server, frozen->frozen);
     }
-    // FaultInjected / PrimaryPromoted / Reseeded only delimit batches.
+    // FaultInjected / PrimaryPromoted / Reseeded / StripeLost only
+    // delimit batches (the reference's own fail_servers replays the
+    // stripe scan, so StripeLost needs no mirroring of its own).
   }
   flush();
 }

@@ -144,6 +144,15 @@ CheckCase make_fuzz_case(std::uint64_t seed) {
     }
     c.fault_plan.add(ev);
   }
+
+  // Redundancy axis, drawn after everything else so replica-mode cases
+  // reproduce the pre-EC generator exactly (same draw prefix): ~1/3 of
+  // cases run erasure-coded with a small stripe.
+  if (rng.uniform(3) == 0) {
+    c.redundancy = RedundancyMode::kErasure;
+    c.ec_k = u32_in(rng, 2, 4);
+    c.ec_m = u32_in(rng, 1, 2);
+  }
   return c;
 }
 

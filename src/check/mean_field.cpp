@@ -48,8 +48,10 @@ MeanFieldParams MeanFieldParams::from_scenario(const Scenario& scenario,
   RFH_ASSERT(n_servers > 0);
   MeanFieldParams params;
   params.failure_rate = scenario.sim.failure_rate;
-  params.r_target =
-      min_replicas(scenario.sim.min_availability, scenario.sim.failure_rate);
+  // availability_floor() dispatches on the redundancy mode: Eq. 14's
+  // min_replicas for replica runs, the k-of-n fragment floor for EC runs,
+  // so the oracle tracks the same target the engine repairs toward.
+  params.r_target = scenario.sim.availability_floor();
   params.max_replicas = scenario.sim.max_replicas_per_partition;
 
   // Expected kills per epoch over the run horizon: crash events land once,

@@ -55,7 +55,8 @@ ReferenceEngine::ReferenceEngine(const Scenario& scenario)
       stats_frozen_(world_.topology.server_count(), 0),
       overload_streak_(config_.partitions, 0),
       replication_bytes_(world_.topology.server_count(), 0),
-      migration_bytes_(world_.topology.server_count(), 0) {
+      migration_bytes_(world_.topology.server_count(), 0),
+      stripe_lost_(config_.partitions, 0) {
   // Bring every server up in topology order — the same insertion order the
   // engine's ClusterState uses, which fixes the ring's token layout.
   for (const Server& s : world_.topology.servers()) {
@@ -121,7 +122,7 @@ void ReferenceEngine::add_replica(PartitionId p, ServerId s, bool primary) {
   RFH_ASSERT(alive_[s.value()] != 0);
   RFH_ASSERT(!has_replica(p, s));
   replicas_[p.value()].push_back(Replica{s, primary});
-  storage_used_[s.value()] += config_.partition_size;
+  storage_used_[s.value()] += config_.unit_size();
   copies_on_[s.value()] += 1;
   total_replicas_ += 1;
 }
@@ -133,7 +134,7 @@ void ReferenceEngine::remove_replica(PartitionId p, ServerId s) {
       [s](const Replica& r) { return r.server == s; });
   RFH_ASSERT(it != list.end());
   list.erase(it);
-  storage_used_[s.value()] -= config_.partition_size;
+  storage_used_[s.value()] -= config_.unit_size();
   copies_on_[s.value()] -= 1;
   total_replicas_ -= 1;
 }
@@ -184,8 +185,18 @@ bool ReferenceEngine::can_accept(ServerId s, PartitionId p) const {
   if (alive_[s.value()] == 0 || has_replica(p, s)) return false;
   const ServerSpec& spec = world_.topology.server(s).spec;
   if (copies_on_[s.value()] >= spec.max_vnodes) return false;
+  if (config_.redundancy == RedundancyMode::kErasure) {
+    // Zone-diversity rule: at most m fragments of one stripe per
+    // datacenter, so no single DC loss drops a stripe below k.
+    const DatacenterId dc = world_.topology.server(s).datacenter;
+    std::uint32_t in_dc = 0;
+    for (const Replica& r : replicas_[p.value()]) {
+      if (world_.topology.server(r.server).datacenter == dc) ++in_dc;
+    }
+    if (in_dc >= config_.ec_m) return false;
+  }
   const auto projected =
-      static_cast<double>(storage_used_[s.value()] + config_.partition_size);
+      static_cast<double>(storage_used_[s.value()] + config_.unit_size());
   return projected <=
          config_.storage_limit * static_cast<double>(spec.storage_capacity);
 }
@@ -280,6 +291,12 @@ void ReferenceEngine::handle_lost_copies(std::span<const LostCopy> lost) {
     if (!home.valid() && !preference.empty()) home = preference.front();
     if (home.valid()) {
       add_replica(copy.partition, home, /*primary=*/true);
+      // A reseeded EC stripe starts below k fragments; mark it
+      // lost-but-already-counted so fail_servers' scan doesn't
+      // double-count (mirrors the engine).
+      if (config_.redundancy == RedundancyMode::kErasure) {
+        stripe_lost_[copy.partition.value()] = 1;
+      }
     }
   }
 }
@@ -304,6 +321,19 @@ void ReferenceEngine::fail_servers(std::span<const ServerId> servers) {
     clear_server_stats(s);
   }
   handle_lost_copies(all_lost);
+  if (config_.redundancy == RedundancyMode::kErasure) {
+    // Stripe-loss scan: fewer than k live fragments means the partition
+    // cannot be reconstructed — a data loss even though copies survive.
+    for (const LostCopy& copy : all_lost) {
+      const PartitionId p = copy.partition;
+      if (stripe_lost_[p.value()] != 0) continue;
+      const auto alive_fragments =
+          static_cast<std::uint32_t>(replicas_[p.value()].size());
+      if (alive_fragments == 0 || alive_fragments >= config_.ec_k) continue;
+      stripe_lost_[p.value()] = 1;
+      ++data_losses_;
+    }
+  }
 }
 
 void ReferenceEngine::recover_servers(std::span<const ServerId> servers) {
@@ -409,8 +439,18 @@ void ReferenceEngine::propagate(const QueryBatch& batch) {
       continue;
     }
 
+    // k-of-n reconstruction (EC mode): one logical query costs k
+    // fragment-reads; below k live fragments nothing can be served.
+    // kf is exactly 1.0 in replica mode (every scale is an FP no-op).
+    const double kf = static_cast<double>(config_.reconstruction_threshold());
+    if (kf > 1.0 &&
+        replicas_[flow.partition.value()].size() < config_.ec_k) {
+      e_unserved_[flow.partition.value()] += flow.queries;
+      continue;
+    }
+
     compute_route(flow.partition, flow.requester, holder, route);
-    double residual = flow.queries;
+    double residual = flow.queries * kf;
     for (const RouteStage& stage : route.stages) {
       if (residual <= 0.0) break;
       e_node_traffic_[traffic_index(flow.partition, stage.relay)] += residual;
@@ -428,17 +468,17 @@ void ReferenceEngine::propagate(const QueryBatch& batch) {
           e_node_traffic_[traffic_index(flow.partition, host)] += take;
           e_server_work_[host.value()] += take;
         }
-        e_routed_queries_ += take;
+        e_routed_queries_ += take / kf;
         e_path_hops_weighted_ +=
-            take * static_cast<double>(stage.hops_at_entry);
+            take / kf * static_cast<double>(stage.hops_at_entry);
         residual -= take;
       }
     }
     if (residual > 0.0) {
-      e_unserved_[flow.partition.value()] += residual;
-      e_routed_queries_ += residual;
+      e_unserved_[flow.partition.value()] += residual / kf;
+      e_routed_queries_ += residual / kf;
       e_path_hops_weighted_ +=
-          residual * static_cast<double>(route.total_hops);
+          residual / kf * static_cast<double>(route.total_hops);
     }
   }
 }
@@ -567,8 +607,9 @@ bool ReferenceEngine::holder_overloaded(PartitionId p, ServerId primary) const {
 void ReferenceEngine::decide(std::vector<ProposedReplicate>& replications,
                              std::vector<ProposedMigrate>& migrations,
                              std::vector<ProposedSuicide>& suicides) {
-  const std::uint32_t rmin =
-      min_replicas(config_.min_availability, config_.failure_rate);
+  // Eq. 14 floor: min_replicas in replica mode, the k-of-n binomial-tail
+  // fragment floor in EC mode.
+  const std::uint32_t rmin = config_.availability_floor();
 
   for (std::uint32_t pv = 0; pv < config_.partitions; ++pv) {
     const PartitionId p{pv};
@@ -721,7 +762,23 @@ void ReferenceEngine::apply(
     if (copies_on_[target.value()] >= spec.max_vnodes) {
       return DropReason::kNodeCap;
     }
-    return DropReason::kStorageCap;
+    if (config_.redundancy == RedundancyMode::kErasure) {
+      const DatacenterId dc = world_.topology.server(target).datacenter;
+      std::uint32_t in_dc = 0;
+      for (const Replica& r : replicas_[p.value()]) {
+        if (world_.topology.server(r.server).datacenter == dc) ++in_dc;
+      }
+      if (in_dc >= config_.ec_m) return DropReason::kZoneDiversity;
+    }
+    const auto projected =
+        static_cast<double>(storage_used_[target.value()] +
+                            config_.unit_size());
+    if (projected >
+        config_.storage_limit * static_cast<double>(spec.storage_capacity)) {
+      return DropReason::kStorageCap;  // the phi limit (Eq. 19)
+    }
+    RFH_ASSERT_MSG(false, "can_accept rejected for a reason classify missed");
+    return DropReason::kUnknown;
   };
 
   for (const ProposedReplicate& a : replications) {
@@ -740,21 +797,26 @@ void ReferenceEngine::apply(
       continue;
     }
     const ServerSpec& spec = world_.topology.server(src).spec;
-    if (replication_bytes_[src.value()] + config_.partition_size >
+    if (replication_bytes_[src.value()] + config_.unit_size() >
         spec.replication_bandwidth) {
       drop(DropReason::kBandwidth);
       continue;
     }
-    replication_bytes_[src.value()] += config_.partition_size;
+    replication_bytes_[src.value()] += config_.unit_size();
     add_replica(a.partition, a.target);
     const double cost = transfer_cost(
         world_.topology.server(src).datacenter,
-        world_.topology.server(a.target).datacenter, config_.partition_size,
+        world_.topology.server(a.target).datacenter, config_.unit_size(),
         spec.replication_bandwidth);
     report.replications += 1;
     report.replication_cost += cost;
     report.applied.push_back(RefAppliedAction{
         ActionKind::kReplicate, a.partition, src, a.target, a.rule});
+    if (config_.redundancy == RedundancyMode::kErasure &&
+        stripe_lost_[a.partition.value()] != 0 &&
+        replicas_[a.partition.value()].size() >= config_.ec_k) {
+      stripe_lost_[a.partition.value()] = 0;
+    }
   }
 
   for (const ProposedMigrate& a : migrations) {
@@ -769,17 +831,17 @@ void ReferenceEngine::apply(
       continue;
     }
     const ServerSpec& spec = world_.topology.server(a.from).spec;
-    if (migration_bytes_[a.from.value()] + config_.partition_size >
+    if (migration_bytes_[a.from.value()] + config_.unit_size() >
         spec.migration_bandwidth) {
       drop(DropReason::kBandwidth);
       continue;
     }
-    migration_bytes_[a.from.value()] += config_.partition_size;
+    migration_bytes_[a.from.value()] += config_.unit_size();
     remove_replica(a.partition, a.from);
     add_replica(a.partition, a.to);
     const double cost = transfer_cost(
         world_.topology.server(a.from).datacenter,
-        world_.topology.server(a.to).datacenter, config_.partition_size,
+        world_.topology.server(a.to).datacenter, config_.unit_size(),
         spec.migration_bandwidth);
     report.migrations += 1;
     report.migration_cost += cost;
@@ -789,7 +851,10 @@ void ReferenceEngine::apply(
 
   for (const ProposedSuicide& a : suicides) {
     if (!a.server.valid() || !has_replica(a.partition, a.server) ||
-        primary_of(a.partition) == a.server) {
+        primary_of(a.partition) == a.server ||
+        (config_.redundancy == RedundancyMode::kErasure &&
+         replicas_[a.partition.value()].size() <= config_.ec_k)) {
+      // EC guard: never suicide a stripe down to (or below) k fragments.
       drop(DropReason::kInvalid);
       continue;
     }

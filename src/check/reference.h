@@ -268,6 +268,9 @@ class ReferenceEngine {
   Epoch epoch_ = 0;
   double traffic_multiplier_ = 1.0;
   std::uint32_t data_losses_ = 0;
+  /// EC mode: mirrors the engine's stripe-loss flags (fewer than k live
+  /// fragments, already counted as a data loss). Unused in replica mode.
+  std::vector<std::uint8_t> stripe_lost_;
 };
 
 }  // namespace rfh

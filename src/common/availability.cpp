@@ -32,4 +32,43 @@ std::uint32_t min_replicas(double target, double failure_prob,
   return r;
 }
 
+double ec_availability(std::uint32_t fragments, std::uint32_t k,
+                       double failure_prob) noexcept {
+  RFH_ASSERT(failure_prob >= 0.0 && failure_prob <= 1.0);
+  RFH_ASSERT(k >= 1);
+  if (fragments < k) return 0.0;
+  // P(Bin(n, p) >= k) with p = per-fragment survival. Sum the small head
+  // P(Bin < k) and complement; C(n, i) grows by the multiplicative
+  // recurrence so no factorials are materialized.
+  const auto n = static_cast<double>(fragments);
+  const double p = 1.0 - failure_prob;
+  const double q = failure_prob;
+  double coeff = 1.0;  // C(n, 0)
+  double head = 0.0;   // sum_{i < k} C(n, i) p^i q^(n - i)
+  for (std::uint32_t i = 0; i < k; ++i) {
+    if (i > 0) {
+      coeff *= (n - static_cast<double>(i - 1)) / static_cast<double>(i);
+    }
+    head += coeff * std::pow(p, static_cast<double>(i)) *
+            std::pow(q, n - static_cast<double>(i));
+  }
+  if (head < 0.0) head = 0.0;
+  if (head > 1.0) head = 1.0;
+  return 1.0 - head;
+}
+
+std::uint32_t min_fragments(double target, double failure_prob,
+                            std::uint32_t k,
+                            std::uint32_t floor_fragments) noexcept {
+  RFH_ASSERT(target >= 0.0 && target < 1.0);
+  RFH_ASSERT(failure_prob >= 0.0 && failure_prob < 1.0);
+  RFH_ASSERT(k >= 1);
+  std::uint32_t n = floor_fragments > k ? floor_fragments : k;
+  while (ec_availability(n, k, failure_prob) < target) {
+    ++n;
+    RFH_ASSERT_MSG(n < 1u << 16, "min_fragments diverged");
+  }
+  return n;
+}
+
 }  // namespace rfh

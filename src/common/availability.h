@@ -32,4 +32,18 @@ double availability_eq14_literal(std::uint32_t replicas,
 std::uint32_t min_replicas(double target, double failure_prob,
                            std::uint32_t floor_copies = 2) noexcept;
 
+/// Erasure-coded generalization of Eq. 14: with n fragments each failing
+/// independently with probability f, the partition survives iff at least
+/// k fragments survive, so availability is the binomial tail
+/// P(Bin(n, 1 - f) >= k). At k = 1 this collapses to 1 - f^n, the
+/// replica bound above.
+double ec_availability(std::uint32_t fragments, std::uint32_t k,
+                       double failure_prob) noexcept;
+
+/// Minimum total fragment count n >= max(k, floor_fragments) such that
+/// ec_availability(n, k, f) >= target — the EC analogue of min_replicas.
+std::uint32_t min_fragments(double target, double failure_prob,
+                            std::uint32_t k,
+                            std::uint32_t floor_fragments) noexcept;
+
 }  // namespace rfh

@@ -169,8 +169,9 @@ void RfhPolicy::count_actions(const Actions& actions) {
 }
 
 Actions RfhPolicy::decide(const PolicyContext& ctx) {
-  const std::uint32_t rmin =
-      min_replicas(ctx.config.min_availability, ctx.config.failure_rate);
+  // Replica mode: Eq. 14's 1 - f^r bound. EC mode: the k-of-n binomial
+  // tail, floored at the full k + m stripe.
+  const std::uint32_t rmin = ctx.config.availability_floor();
   overload_streak_.resize(ctx.config.partitions, 0);
   if (cold_streak_.size() < ctx.config.partitions) {
     cold_streak_.resize(ctx.config.partitions);

@@ -44,6 +44,8 @@ const char* invariant_name(InvariantId id) noexcept {
     case InvariantId::kTelemetry: return "telemetry";
     case InvariantId::kQueueDepth: return "queue_depth";
     case InvariantId::kStreamAccounting: return "stream_accounting";
+    case InvariantId::kFragmentCensus: return "fragment_census";
+    case InvariantId::kZoneDiversity: return "zone_diversity";
   }
   return "?";
 }
@@ -67,6 +69,10 @@ std::size_t InvariantChecker::check_epoch(const Simulation& sim,
   check_storage(sim, epoch);
   check_accounting(sim, report);
   check_traffic(sim, report);
+  if (sim.config().redundancy == RedundancyMode::kErasure) {
+    check_fragment_census(sim, epoch);
+    check_zone_diversity(sim, epoch);
+  }
 
   queries_sum_ += report.total_queries;
   unserved_sum_ += report.unserved_queries;
@@ -135,8 +141,7 @@ std::size_t InvariantChecker::check_stream(const StreamEpochStats& stats,
 void InvariantChecker::check_replica_floor(const Simulation& sim,
                                            Epoch epoch) {
   const SimConfig& cfg = sim.config();
-  const std::uint32_t floor =
-      min_replicas(cfg.min_availability, cfg.failure_rate);
+  const std::uint32_t floor = cfg.availability_floor();
   if (excused_.empty()) {
     excused_.assign(cfg.partitions, 1);  // bootstrap: seeded with 1 copy
     prev_hosts_.resize(cfg.partitions);
@@ -241,13 +246,13 @@ void InvariantChecker::check_storage(const Simulation& sim, Epoch epoch) {
     const std::uint32_t copies = sim.cluster().copies_on(server.id);
     if (copies == 0) continue;
     const Bytes used = sim.cluster().storage_used(server.id);
-    if (used != copies * cfg.partition_size) {
+    if (used != copies * cfg.unit_size()) {
       report_violation(
           epoch, InvariantId::kStorage,
           format("server %u accounts %llu bytes for %u copies of %llu each",
                  server.id.value(), static_cast<unsigned long long>(used),
                  copies,
-                 static_cast<unsigned long long>(cfg.partition_size)));
+                 static_cast<unsigned long long>(cfg.unit_size())));
     }
     if (copies > server.spec.max_vnodes) {
       report_violation(epoch, InvariantId::kStorage,
@@ -320,6 +325,54 @@ void InvariantChecker::check_traffic(const Simulation& sim,
             format("partition %u replica on server %u served %.3f > "
                    "capacity %.3f",
                    p, server.id.value(), served, cap));
+      }
+    }
+  }
+}
+
+void InvariantChecker::check_fragment_census(const Simulation& sim,
+                                             Epoch epoch) {
+  const SimConfig& cfg = sim.config();
+  if (reached_k_.empty()) reached_k_.assign(cfg.partitions, 0);
+  for (std::uint32_t p = 0; p < cfg.partitions; ++p) {
+    const PartitionId pid{p};
+    const std::uint32_t count = sim.cluster().replica_count(pid);
+    if (count > cfg.max_replicas_per_partition) {
+      report_violation(
+          epoch, InvariantId::kFragmentCensus,
+          format("partition %u holds %u fragments > cap %u", p, count,
+                 cfg.max_replicas_per_partition));
+    }
+    if (count >= cfg.ec_k) {
+      reached_k_[p] = 1;
+      continue;
+    }
+    // Below k: reconstruction-infeasible. Legal only while the stripe is
+    // still fanning out from its seed (never reached k) or when the
+    // engine already recorded the stripe loss.
+    if (reached_k_[p] != 0 && !sim.stripe_lost(pid)) {
+      report_violation(
+          epoch, InvariantId::kFragmentCensus,
+          format("partition %u holds %u < k=%u fragments with no recorded "
+                 "stripe loss",
+                 p, count, cfg.ec_k));
+    }
+  }
+}
+
+void InvariantChecker::check_zone_diversity(const Simulation& sim,
+                                            Epoch epoch) {
+  const SimConfig& cfg = sim.config();
+  std::vector<std::uint32_t> per_dc(sim.topology().datacenter_count(), 0);
+  for (std::uint32_t p = 0; p < cfg.partitions; ++p) {
+    std::fill(per_dc.begin(), per_dc.end(), 0u);
+    for (const Replica& r : sim.cluster().replicas_of(PartitionId{p})) {
+      const DatacenterId dc = sim.topology().server(r.server).datacenter;
+      if (++per_dc[dc.value()] == cfg.ec_m + 1) {
+        report_violation(
+            epoch, InvariantId::kZoneDiversity,
+            format("partition %u packs > m=%u fragments into datacenter %u",
+                   p, cfg.ec_m, dc.value()));
       }
     }
   }

@@ -4,8 +4,9 @@
 // Simulation::step(), and verifies properties that no single subsystem
 // owns (see DESIGN.md for the catalogue):
 //
-//   replica_floor     every partition holds >= Eq. 14 minimum copies,
-//                     unless a recorded failure explains the deficit
+//   replica_floor     every partition holds >= Eq. 14 minimum copies
+//                     (the k-of-n fragment floor in EC mode), unless a
+//                     recorded failure explains the deficit
 //   dead_host         no copy (primary included) lives on a dead server
 //   routing           the primary of every partition is reachable: the
 //                     route ends in the holder's datacenter at a live,
@@ -21,6 +22,11 @@
 //   telemetry         registry counters reconcile with the accumulated
 //                     EpochReport fields (only when a registry is
 //                     attached and the checker saw every epoch)
+//   fragment_census   EC mode: no partition exceeds the copy cap, and a
+//                     stripe below k live fragments is either still
+//                     bootstrapping or recorded as a data loss
+//   zone_diversity    EC mode: no datacenter hosts more than m fragments
+//                     of one stripe (a single-DC loss can't sink it)
 //
 // Modes: kRecord collects violations for inspection (benches, the CLI);
 // kFailFast prints every violation of the offending epoch to stderr and
@@ -54,8 +60,13 @@ enum class InvariantId : std::uint8_t {
   /// Stream layer: arrivals == served + blocked + dropped per epoch, and
   /// arrivals match the batch engine's total queries.
   kStreamAccounting,
+  /// EC mode: stripe width within the cap; below-k stripes are either
+  /// bootstrapping or recorded data losses.
+  kFragmentCensus,
+  /// EC mode: at most m fragments of one stripe per datacenter.
+  kZoneDiversity,
 };
-inline constexpr std::size_t kInvariantCount = 9;
+inline constexpr std::size_t kInvariantCount = 11;
 
 /// Stable snake_case name ("replica_floor", ...).
 [[nodiscard]] const char* invariant_name(InvariantId id) noexcept;
@@ -109,6 +120,8 @@ class InvariantChecker {
   void check_accounting(const Simulation& sim, const EpochReport& report);
   void check_traffic(const Simulation& sim, const EpochReport& report);
   void check_telemetry(const Simulation& sim, Epoch epoch);
+  void check_fragment_census(const Simulation& sim, Epoch epoch);
+  void check_zone_diversity(const Simulation& sim, Epoch epoch);
 
   Mode mode_;
   std::vector<Violation> violations_;
@@ -120,6 +133,10 @@ class InvariantChecker {
   // a copy was lost to a server failure, until it climbs back.
   std::vector<char> excused_;
   std::vector<std::vector<ServerId>> prev_hosts_;
+
+  // fragment_census bootstrap state: 1 once the partition has ever held
+  // >= k live fragments (EC mode only).
+  std::vector<char> reached_k_;
 
   // telemetry reconciliation accumulators (sums of EpochReport fields).
   double queries_sum_ = 0.0;

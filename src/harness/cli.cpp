@@ -32,8 +32,8 @@ bool parse_double(const std::string& text, double& out) {
 std::vector<std::string> metric_names() {
   return {"utilization", "replicas", "path",   "imbalance", "latency",
           "sla",         "cost",     "migrations", "lag",   "stale",
-          "diversity",   "dropped",  "qdepth", "qdrop",     "qwait",
-          "qp99"};
+          "diversity",   "dropped",  "starved", "qdepth",   "qdrop",
+          "qwait",       "qp99"};
 }
 
 double metric_value(const EpochMetrics& m, const std::string& metric,
@@ -51,6 +51,7 @@ double metric_value(const EpochMetrics& m, const std::string& metric,
   if (metric == "stale") return m.stale_read_fraction;
   if (metric == "diversity") return m.diversity_level;
   if (metric == "dropped") return m.dropped_this_epoch;
+  if (metric == "starved") return m.repairs_starved;
   if (metric == "qdepth") return m.stream_max_queue_depth;
   if (metric == "qdrop") return m.stream_dropped;
   if (metric == "qwait") return m.stream_wait_mean_ms;
@@ -207,6 +208,12 @@ CliParseResult parse_cli(std::span<const char* const> args) {
                     "got '" + value + "'");
       }
       options.scenario.sim.storage_limit = v;
+    } else if (consume(arg, "--redundancy=", value)) {
+      std::string err;
+      if (!parse_redundancy(value, options.scenario.sim, err)) {
+        return fail("--redundancy expects replica or ec(k,m) with k >= 2, "
+                    "m >= 1, k + m <= 16, got '" + value + "'");
+      }
     } else if (consume(arg, "--arrival-rate=", value)) {
       double v = 0.0;
       if (!parse_double(value, v) || !(v > 0.0)) {

@@ -11,6 +11,9 @@
 //                                 (Table I thresholds; range-checked:
 //                                  0 < alpha < 1, beta > 0, gamma > 0,
 //                                  delta >= 0, mu >= 0, 0 < phi <= 1)
+//   --redundancy=replica|ec(k,m)  (redundancy scheme; ec needs k >= 2,
+//                                  m >= 1, k + m <= 16. replica is the
+//                                  default and reproduces the paper)
 //   --write-fraction=F            (enables consistency tracking)
 //   --arrival-rate=F              (stream only: Poisson mean arrivals per
 //                                  epoch; F > 0, default Table I's 300)

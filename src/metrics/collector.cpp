@@ -73,6 +73,9 @@ EpochMetrics MetricsCollector::collect(const Simulation& sim,
   m.dropped_node_cap = reason(DropReason::kNodeCap);
   m.dropped_dead_target = reason(DropReason::kDeadTarget);
   m.dropped_invalid = reason(DropReason::kInvalid);
+  m.dropped_zone_diversity = reason(DropReason::kZoneDiversity);
+  m.dropped_unknown = reason(DropReason::kUnknown);
+  m.repairs_starved = report.repairs_starved;
 
   series_.push_back(m);
   return m;

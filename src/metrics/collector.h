@@ -65,6 +65,11 @@ struct EpochMetrics {
   std::uint32_t dropped_node_cap = 0;
   std::uint32_t dropped_dead_target = 0;
   std::uint32_t dropped_invalid = 0;
+  std::uint32_t dropped_zone_diversity = 0;
+  std::uint32_t dropped_unknown = 0;
+  /// Availability-floor repairs refused on a node cap this epoch (the
+  /// starvation signal mirrored by rfh_repairs_starved_total).
+  std::uint32_t repairs_starved = 0;
 
   // Streaming-load layer (src/stream/; filled by the runner when the
   // scenario's workload is kStream, otherwise zero). Arrival accounting:

@@ -41,6 +41,8 @@ const char* drop_reason_name(DropReason reason) noexcept {
     case DropReason::kNodeCap: return "node_cap";
     case DropReason::kDeadTarget: return "dead_target";
     case DropReason::kInvalid: return "invalid";
+    case DropReason::kZoneDiversity: return "zone_diversity";
+    case DropReason::kUnknown: return "unknown";
   }
   return "?";
 }
@@ -95,6 +97,10 @@ struct NameVisitor {
   const char* operator()(const RuleFired&) const { return "RuleFired"; }
   const char* operator()(const SloBreach&) const { return "SloBreach"; }
   const char* operator()(const StatsFrozen&) const { return "StatsFrozen"; }
+  const char* operator()(const StripeLost&) const { return "StripeLost"; }
+  const char* operator()(const StripeReconstructed&) const {
+    return "StripeReconstructed";
+  }
 };
 
 /// One default-constructed alternative per index, so names and indices

@@ -88,8 +88,14 @@ enum class DropReason : std::uint8_t {
   kDeadTarget,
   /// Duplicate copy, missing source replica, or primary-protection rules.
   kInvalid,
+  /// EC zone-diversity rule: the target's datacenter already holds m
+  /// fragments of the stripe (replica mode never emits this).
+  kZoneDiversity,
+  /// can_accept refused but no classifier check matched — a rejection
+  /// path the classifier does not model yet (asserts in debug builds).
+  kUnknown,
 };
-inline constexpr std::size_t kDropReasonCount = 5;
+inline constexpr std::size_t kDropReasonCount = 7;
 
 [[nodiscard]] const char* drop_reason_name(DropReason reason) noexcept;
 
@@ -318,13 +324,31 @@ struct StatsFrozen {
   bool frozen = true;
 };
 
+/// EC mode: failures left the stripe with fewer than k live fragments —
+/// the partition is reconstruction-infeasible (counted as a data loss)
+/// until repair replication brings it back to k.
+struct StripeLost {
+  Epoch epoch = 0;
+  PartitionId partition;
+  /// Live fragments remaining (0 < fragments_alive < k; a stripe losing
+  /// every fragment is reported through Reseeded instead).
+  std::uint32_t fragments_alive = 0;
+};
+
+/// EC mode: repairs restored a previously lost stripe to at least k live
+/// fragments; reads can reconstruct again.
+struct StripeReconstructed {
+  Epoch epoch = 0;
+  PartitionId partition;
+};
+
 using Event =
     std::variant<QueryRoutedSummary, ReplicaAdded, MigrationExecuted, Suicide,
                  ActionDropped, ServerFailed, ServerRecovered, PrimaryPromoted,
                  Reseeded, LinkFailed, LinkRestored, FaultInjected,
                  EpochCompleted, PhaseSpan, StreamEpochSummary,
                  QueueSaturated, TrafficShift, RuleFired, SloBreach,
-                 StatsFrozen>;
+                 StatsFrozen, StripeLost, StripeReconstructed>;
 
 /// Stable PascalCase type name ("ReplicaAdded", ...), used by sinks and
 /// the CLI's --trace-filter grammar.

@@ -194,6 +194,13 @@ void append_fields(JsonWriter& w, const StatsFrozen& e) {
   w.id("server", e.server);
   w.num("frozen", std::uint64_t{e.frozen ? 1u : 0u});
 }
+void append_fields(JsonWriter& w, const StripeLost& e) {
+  w.id("partition", e.partition);
+  w.num("fragments_alive", std::uint64_t{e.fragments_alive});
+}
+void append_fields(JsonWriter& w, const StripeReconstructed& e) {
+  w.id("partition", e.partition);
+}
 
 void append_event_json(std::string& out, const Event& event,
                        const TraceMeta* meta = nullptr) {
@@ -316,6 +323,8 @@ std::uint32_t chrome_tid(const Event& event) {
     std::uint32_t operator()(const RuleFired&) const { return 2; }
     std::uint32_t operator()(const SloBreach&) const { return 3; }
     std::uint32_t operator()(const StatsFrozen&) const { return 3; }
+    std::uint32_t operator()(const StripeLost&) const { return 3; }
+    std::uint32_t operator()(const StripeReconstructed&) const { return 3; }
   };
   return std::visit(Visitor{}, event);
 }

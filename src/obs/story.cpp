@@ -127,6 +127,15 @@ struct DescribeVisitor {
     return format("server %u traffic stats %s", e.server.value(),
                   e.frozen ? "frozen (stale reports)" : "thawed");
   }
+  std::string operator()(const StripeLost& e) const {
+    return format("partition %u EC stripe lost: %u fragments alive "
+                  "(below k)",
+                  e.partition.value(), e.fragments_alive);
+  }
+  std::string operator()(const StripeReconstructed& e) const {
+    return format("partition %u EC stripe reconstructed (>= k fragments)",
+                  e.partition.value());
+  }
 };
 
 }  // namespace
@@ -150,6 +159,10 @@ struct ConcernsVisitor {
   bool operator()(const Reseeded& e) const { return e.partition == p; }
   bool operator()(const TrafficShift& e) const { return e.partition == p; }
   bool operator()(const RuleFired& e) const { return e.partition == p; }
+  bool operator()(const StripeLost& e) const { return e.partition == p; }
+  bool operator()(const StripeReconstructed& e) const {
+    return e.partition == p;
+  }
   template <typename Other>
   bool operator()(const Other&) const {
     return false;

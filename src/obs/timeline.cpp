@@ -132,6 +132,13 @@ struct CondenseVisitor {
     rec.server = e.server.value();
     rec.a = e.frozen ? 1.0 : 0.0;
   }
+  void operator()(const StripeLost& e) const {
+    rec.partition = e.partition.value();
+    rec.a = static_cast<double>(e.fragments_alive);
+  }
+  void operator()(const StripeReconstructed& e) const {
+    rec.partition = e.partition.value();
+  }
 };
 
 std::string format(const char* fmt, ...) {
@@ -555,6 +562,16 @@ std::string describe_record(const TimelineRecord& rec) {
   if (t == event_type_index<StatsFrozen>()) {
     return format("server %u traffic stats %s", rec.server,
                   rec.a != 0.0 ? "frozen (stale reports)" : "thawed");
+  }
+  if (t == event_type_index<StripeLost>()) {
+    return format("partition %u stripe lost: %.0f fragments alive, below "
+                  "the reconstruction threshold k (data loss)",
+                  rec.partition, rec.a);
+  }
+  if (t == event_type_index<StripeReconstructed>()) {
+    return format("partition %u stripe reconstructed: k live fragments "
+                  "restored",
+                  rec.partition);
   }
   if (t == event_type_index<QueueSaturated>()) {
     return format("server %u (dc %u) queue saturated: depth %.0f/%u, "

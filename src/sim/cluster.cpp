@@ -29,13 +29,13 @@ void ClusterState::add_replica(PartitionId p, ServerId s, bool primary) {
     RFH_ASSERT_MSG(!primary_of(p).valid(), "partition already has a primary");
   }
   partitions_.add(p, s, primary);
-  servers_.add_storage(s, config_->partition_size);
+  servers_.add_storage(s, config_->unit_size());
   servers_.inc_copies(s);
 }
 
 void ClusterState::remove_replica(PartitionId p, ServerId s) {
   partitions_.remove(p, s);
-  servers_.sub_storage(s, config_->partition_size);
+  servers_.sub_storage(s, config_->unit_size());
   servers_.dec_copies(s);
 }
 
@@ -102,8 +102,19 @@ bool ClusterState::can_accept(ServerId s, PartitionId p) const {
   if (!alive(s) || has_replica(p, s)) return false;
   const ServerSpec& spec = topology_->server(s).spec;
   if (copies_on(s) >= spec.max_vnodes) return false;
-  const auto projected = static_cast<double>(storage_used(s) +
-                                             config_->partition_size);
+  if (config_->redundancy == RedundancyMode::kErasure) {
+    // Zone diversity: no datacenter may hold more than m fragments of a
+    // stripe, so losing one whole DC can never destroy more fragments
+    // than the stripe's parity budget tolerates.
+    const DatacenterId dc = topology_->server(s).datacenter;
+    std::uint32_t in_dc = 0;
+    for (const Replica& r : replicas_of(p)) {
+      if (topology_->server(r.server).datacenter == dc) ++in_dc;
+    }
+    if (in_dc >= config_->ec_m) return false;
+  }
+  const auto projected =
+      static_cast<double>(storage_used(s) + config_->unit_size());
   return projected <=
          config_->storage_limit * static_cast<double>(spec.storage_capacity);
 }
@@ -182,7 +193,7 @@ void ClusterState::check_invariants() const {
     std::uint32_t primaries = 0;
     for (const Replica& r : partitions_.replicas(PartitionId{p})) {
       RFH_ASSERT_MSG(alive(r.server), "copy on dead server");
-      used[r.server.value()] += config_->partition_size;
+      used[r.server.value()] += config_->unit_size();
       copies[r.server.value()] += 1;
       total += 1;
       if (r.primary) ++primaries;

@@ -6,7 +6,8 @@
 // ring and keeps the cross-cutting invariants:
 //  * at most one copy of a partition per server;
 //  * every live partition has exactly one primary copy;
-//  * storage accounting balances: used[s] == copies_on(s) * partition_size;
+//  * storage accounting balances: used[s] == copies_on(s) * unit_size()
+//    (a full replica, or one EC fragment of partition_size / k);
 //  * dead servers host nothing and are not on the ring.
 //
 // Construction is bulk: liveness, the per-DC live lists and the ring are
@@ -64,7 +65,9 @@ class ClusterState {
   [[nodiscard]] double storage_fraction(ServerId s) const;
   [[nodiscard]] std::uint32_t copies_on(ServerId s) const;
   /// True if `s` may accept a new copy of `p`: live, not already hosting,
-  /// under the phi storage limit (Eq. 19) and the virtual-node cap.
+  /// under the phi storage limit (Eq. 19) and the virtual-node cap. In
+  /// EC mode the zone-diversity rule also applies: a datacenter may hold
+  /// at most m fragments of a stripe.
   [[nodiscard]] bool can_accept(ServerId s, PartitionId p) const;
 
   // --- liveness ------------------------------------------------------------

@@ -9,14 +9,65 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 
+#include "common/availability.h"
 #include "common/units.h"
 
 namespace rfh {
 
+/// Redundancy scheme for a partition's copies.
+///  * kReplica: each copy is a full replica (the paper's scheme); any one
+///    live copy can serve a read.
+///  * kErasure: copies are (k+m) erasure-coded fragments of size
+///    ceil(partition_size / k); any k live fragments reconstruct the
+///    partition (reads fan out to k fragments, so served traffic is
+///    counted in fragment units internally and folded back to logical
+///    queries at the edges).
+enum class RedundancyMode : std::uint8_t { kReplica = 0, kErasure = 1 };
+
 struct SimConfig {
   std::uint32_t partitions = 64;
   Bytes partition_size = kib(512);
+
+  /// Redundancy scheme. kReplica reproduces the paper byte-for-byte;
+  /// kErasure generalizes Eq. 14 to a k-of-n binomial tail and Eq. 1's
+  /// unit of transfer/storage to the fragment size partition_size / k.
+  RedundancyMode redundancy = RedundancyMode::kReplica;
+  /// Data fragments per stripe (EC mode only): any k of the n placed
+  /// fragments reconstruct the partition.
+  std::uint32_t ec_k = 4;
+  /// Parity fragments per stripe (EC mode only): the stripe is written
+  /// as n = k + m fragments.
+  std::uint32_t ec_m = 2;
+
+  /// Size of one placed unit: a full replica, or one EC fragment
+  /// (ceil(partition_size / k), matching Eq. 1's cost c = d * f * s / b
+  /// with s shrunk to s/k).
+  [[nodiscard]] Bytes unit_size() const noexcept {
+    if (redundancy == RedundancyMode::kErasure && ec_k > 1) {
+      return (partition_size + ec_k - 1) / ec_k;
+    }
+    return partition_size;
+  }
+  /// Live units needed to serve a read: 1 replica, or k fragments.
+  [[nodiscard]] std::uint32_t reconstruction_threshold() const noexcept {
+    return redundancy == RedundancyMode::kErasure ? ec_k : 1u;
+  }
+  /// The Eq. 14 copy floor for this config: min_replicas in replica
+  /// mode, or the k-of-n binomial-tail floor in EC mode (never below the
+  /// full k + m stripe, so a healthy stripe always carries its parity
+  /// budget). Every layer that reasons about "enough copies" — policy,
+  /// reference oracle, invariant checker, mean-field model — calls this
+  /// one helper.
+  [[nodiscard]] std::uint32_t availability_floor() const noexcept {
+    if (redundancy == RedundancyMode::kErasure) {
+      return min_fragments(min_availability, failure_rate, ec_k,
+                           ec_k + ec_m);
+    }
+    return min_replicas(min_availability, failure_rate);
+  }
 
   /// Per-copy failure probability f in the availability window.
   double failure_rate = 0.1;
@@ -64,5 +115,16 @@ struct SimConfig {
 
   std::uint64_t seed = 42;
 };
+
+/// Canonical spelling of a config's redundancy scheme: "replica" or
+/// "ec(k,m)". parse_redundancy accepts exactly these spellings.
+[[nodiscard]] std::string redundancy_spec(const SimConfig& config);
+
+/// Parse a redundancy spec ("replica" or "ec(k,m)" with k >= 2, m >= 1,
+/// k + m <= 16) into config.redundancy / ec_k / ec_m. Returns false and
+/// sets `error` on any other input — an unsupported mode must be
+/// rejected loudly, never silently defaulted to replica.
+[[nodiscard]] bool parse_redundancy(std::string_view text, SimConfig& config,
+                                    std::string& error);
 
 }  // namespace rfh

@@ -30,6 +30,7 @@ Simulation::Simulation(World world, const SimConfig& config,
       rng_failures_(Rng(config_.seed).fork(kFailureStreamTag)),
       partition_cause_(config_.partitions, 0),
       shift_baseline_(config_.partitions, -1.0),
+      stripe_lost_(config_.partitions, 0),
       replication_bytes_(world_.topology.server_count(), 0),
       migration_bytes_(world_.topology.server_count(), 0) {
   RFH_ASSERT(workload_ != nullptr);
@@ -129,9 +130,24 @@ void Simulation::propagate_flow(
     return;
   }
 
+  // k-of-n reconstruction (EC mode): a read fans out to k fragments, so
+  // one logical query costs k fragment-reads of capacity; with fewer than
+  // k live fragments the partition cannot be reconstructed at all. kf is
+  // exactly 1.0 in replica mode, where every scale below is an FP no-op.
+  const double kf = static_cast<double>(config_.reconstruction_threshold());
+  if (kf > 1.0 && cluster_.replica_count(flow.partition) < config_.ec_k) {
+    traffic_.unserved_mut(flow.partition) += flow.queries;
+    if (flow_log_ != nullptr) {
+      shard.segments.push_back(FlowSegment{flow.partition, flow.requester,
+                                           ServerId::invalid(), flow.requester,
+                                           flow.queries, -1.0});
+    }
+    return;
+  }
+
   const Route& route = router_.route(flow.partition, flow.requester, holder,
                                      live_by_dc, shard.route_ctx);
-  double residual = flow.queries;
+  double residual = flow.queries * kf;
   for (const RouteStage& stage : route.stages) {
     if (residual <= 0.0) break;
     // The relay sees (and forwards) the residual reaching this DC —
@@ -156,10 +172,11 @@ void Simulation::propagate_flow(
         shard.work.push_back(WorkDelta{host.value(), take});
       }
       shard.samples.push_back(PathDelta{
-          take, static_cast<double>(stage.hops_at_entry), stage.latency_ms});
+          take / kf, static_cast<double>(stage.hops_at_entry),
+          stage.latency_ms});
       if (flow_log_ != nullptr) {
         shard.segments.push_back(FlowSegment{flow.partition, flow.requester,
-                                             host, stage.dc, take,
+                                             host, stage.dc, take / kf,
                                              stage.latency_ms});
       }
       residual -= take;
@@ -167,14 +184,14 @@ void Simulation::propagate_flow(
   }
   if (residual > 0.0) {
     // Demand beyond even the primary's capacity: blocked this epoch.
-    traffic_.unserved_mut(flow.partition) += residual;
+    traffic_.unserved_mut(flow.partition) += residual / kf;
     shard.samples.push_back(
-        PathDelta{residual, static_cast<double>(route.total_hops),
+        PathDelta{residual / kf, static_cast<double>(route.total_hops),
                   route.total_latency_ms + config_.blocked_penalty_ms});
     if (flow_log_ != nullptr) {
       shard.segments.push_back(FlowSegment{
           flow.partition, flow.requester, ServerId::invalid(), flow.requester,
-          residual, route.total_latency_ms + config_.blocked_penalty_ms});
+          residual / kf, route.total_latency_ms + config_.blocked_penalty_ms});
     }
   }
 }
@@ -264,7 +281,10 @@ void Simulation::propagate(const QueryBatch& batch) {
 namespace {
 
 /// Why can_accept(target, p) said no — mirrors its checks in order so the
-/// dropped action's trace event names the binding constraint.
+/// dropped action's trace event names the binding constraint. Every check
+/// is evaluated for real (including the Eq. 19 phi limit), so a new
+/// rejection path in can_accept that this mirror misses shows up as
+/// kUnknown instead of being mislabeled kStorageCap.
 DropReason classify_rejected_target(const ClusterState& cluster,
                                     const Topology& topology,
                                     const SimConfig& config, ServerId target,
@@ -275,8 +295,22 @@ DropReason classify_rejected_target(const ClusterState& cluster,
   if (cluster.copies_on(target) >= spec.max_vnodes) {
     return DropReason::kNodeCap;
   }
-  (void)config;
-  return DropReason::kStorageCap;  // the phi limit (Eq. 19) is all that's left
+  if (config.redundancy == RedundancyMode::kErasure) {
+    const DatacenterId dc = topology.server(target).datacenter;
+    std::uint32_t in_dc = 0;
+    for (const Replica& r : cluster.replicas_of(p)) {
+      if (topology.server(r.server).datacenter == dc) ++in_dc;
+    }
+    if (in_dc >= config.ec_m) return DropReason::kZoneDiversity;
+  }
+  const auto projected =
+      static_cast<double>(cluster.storage_used(target) + config.unit_size());
+  if (projected >
+      config.storage_limit * static_cast<double>(spec.storage_capacity)) {
+    return DropReason::kStorageCap;  // the phi limit (Eq. 19)
+  }
+  RFH_ASSERT_MSG(false, "can_accept rejected for a reason classify missed");
+  return DropReason::kUnknown;
 }
 
 }  // namespace
@@ -330,32 +364,41 @@ void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
       continue;
     }
     if (!cluster_.can_accept(a.target, a.partition)) {
-      drop(ActionKind::kReplicate, a.partition, a.target,
-           classify_rejected_target(cluster_, world_.topology, config_,
-                                    a.target, a.partition),
-           rule_id);
+      const DropReason reason = classify_rejected_target(
+          cluster_, world_.topology, config_, a.target, a.partition);
+      // A node-cap drop of an availability-floor action is a *repair*
+      // the capacity layer refused — the starvation the default vnode
+      // cap silently caused at scale (see kStarvedRepairWarnThreshold).
+      if (reason == DropReason::kNodeCap &&
+          a.why.rule == DecisionRule::kAvailabilityFloor) {
+        ++report.repairs_starved;
+      }
+      drop(ActionKind::kReplicate, a.partition, a.target, reason, rule_id);
       continue;
     }
     if (cluster_.replica_count(a.partition) >=
         config_.max_replicas_per_partition) {
+      if (a.why.rule == DecisionRule::kAvailabilityFloor) {
+        ++report.repairs_starved;
+      }
       drop(ActionKind::kReplicate, a.partition, a.target, DropReason::kNodeCap,
            rule_id);
       continue;
     }
     const ServerSpec& spec = world_.topology.server(src).spec;
-    if (replication_bytes_[src.value()] + config_.partition_size >
+    if (replication_bytes_[src.value()] + config_.unit_size() >
         spec.replication_bandwidth) {
       // Source out of replication bandwidth this epoch.
       drop(ActionKind::kReplicate, a.partition, a.target,
            DropReason::kBandwidth, rule_id);
       continue;
     }
-    replication_bytes_[src.value()] += config_.partition_size;
+    replication_bytes_[src.value()] += config_.unit_size();
     cluster_.add_replica(a.partition, a.target);
     router_.invalidate_routes_for(a.partition);
     const double cost = transfer_cost(
         world_.topology.server(src).datacenter,
-        world_.topology.server(a.target).datacenter, config_.partition_size,
+        world_.topology.server(a.target).datacenter, config_.unit_size(),
         spec.replication_bandwidth);
     report.replications += 1;
     report.replication_cost += cost;
@@ -364,6 +407,14 @@ void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
                  rule_id != 0 ? rule_id : cause_of(a.partition),
                  ReplicaAdded{epoch_, a.partition, src, a.target, cost,
                               a.why}));
+    if (config_.redundancy == RedundancyMode::kErasure &&
+        stripe_lost_[a.partition.value()] != 0 &&
+        cluster_.replica_count(a.partition) >= config_.ec_k) {
+      stripe_lost_[a.partition.value()] = 0;
+      remember(a.partition,
+               events_.emit_caused(cause_of(a.partition),
+                                   StripeReconstructed{epoch_, a.partition}));
+    }
   }
 
   for (const MigrateAction& a : actions.migrations) {
@@ -383,19 +434,19 @@ void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
       continue;
     }
     const ServerSpec& spec = world_.topology.server(a.from).spec;
-    if (migration_bytes_[a.from.value()] + config_.partition_size >
+    if (migration_bytes_[a.from.value()] + config_.unit_size() >
         spec.migration_bandwidth) {
       drop(ActionKind::kMigrate, a.partition, a.to, DropReason::kBandwidth,
            rule_id);
       continue;
     }
-    migration_bytes_[a.from.value()] += config_.partition_size;
+    migration_bytes_[a.from.value()] += config_.unit_size();
     cluster_.remove_replica(a.partition, a.from);
     cluster_.add_replica(a.partition, a.to);
     router_.invalidate_routes_for(a.partition);
     const double cost = transfer_cost(
         world_.topology.server(a.from).datacenter,
-        world_.topology.server(a.to).datacenter, config_.partition_size,
+        world_.topology.server(a.to).datacenter, config_.unit_size(),
         spec.migration_bandwidth);
     report.migrations += 1;
     report.migration_cost += cost;
@@ -409,7 +460,11 @@ void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
   for (const SuicideAction& a : actions.suicides) {
     const std::uint64_t rule_id = rule_fired(a.partition, a.why);
     if (!a.server.valid() || !cluster_.has_replica(a.partition, a.server) ||
-        cluster_.primary_of(a.partition) == a.server) {
+        cluster_.primary_of(a.partition) == a.server ||
+        (config_.redundancy == RedundancyMode::kErasure &&
+         cluster_.replica_count(a.partition) <= config_.ec_k)) {
+      // The EC guard keeps a stripe from suiciding below k live
+      // fragments — a self-inflicted reconstruction failure.
       drop(ActionKind::kSuicide, a.partition, a.server, DropReason::kInvalid,
            rule_id);
       continue;
@@ -421,6 +476,13 @@ void Simulation::apply_actions(const Actions& actions, EpochReport& report) {
              events_.emit_caused(rule_id != 0 ? rule_id : cause_of(a.partition),
                                  Suicide{epoch_, a.partition, a.server,
                                          a.why}));
+  }
+
+  if (report.repairs_starved > kStarvedRepairWarnThreshold) {
+    log(LogLevel::kWarn,
+        "epoch %u: %u availability-floor repairs starved on node caps "
+        "(raise max_vnodes / partitions_hint)",
+        epoch_, report.repairs_starved);
   }
 }
 
@@ -528,6 +590,9 @@ void Simulation::set_telemetry(MetricRegistry* registry) {
   tel_.data_losses = &reg.counter(
       "rfh_data_losses_total", {},
       "Partitions that lost every copy and were reseeded empty");
+  tel_.repairs_starved = &reg.counter(
+      "rfh_repairs_starved_total", {},
+      "Availability-floor repairs dropped on a node cap");
   tel_.replicas =
       &reg.gauge("rfh_replicas", {}, "Copy census, primaries included");
   tel_.live_servers = &reg.gauge("rfh_live_servers", {}, "Live servers");
@@ -546,6 +611,7 @@ void Simulation::update_telemetry(const EpochReport& report) {
   for (std::size_t r = 0; r < kDropReasonCount; ++r) {
     tel_.dropped[r]->inc(static_cast<double>(report.dropped_by_reason[r]));
   }
+  tel_.repairs_starved->inc(static_cast<double>(report.repairs_starved));
   tel_.replication_cost->inc(report.replication_cost);
   tel_.migration_cost->inc(report.migration_cost);
   tel_.epochs->inc(1.0);
@@ -625,6 +691,11 @@ void Simulation::handle_lost_copies(std::span<const ClusterState::LostCopy> lost
     if (home.valid()) {
       cluster_.add_replica(copy.partition, home, /*primary=*/true);
       last_promotions_.push_back(Promotion{copy.partition, home, true});
+      // In EC mode a reseeded stripe starts below k fragments; mark it
+      // lost-but-already-counted so the stripe scan doesn't double-count.
+      if (config_.redundancy == RedundancyMode::kErasure) {
+        stripe_lost_[copy.partition.value()] = 1;
+      }
       const std::uint64_t id =
           events_.emit_caused(cause, Reseeded{epoch_, copy.partition, home});
       if (id != 0) partition_cause_[copy.partition.value()] = id;
@@ -673,6 +744,28 @@ void Simulation::fail_servers(std::span<const ServerId> servers) {
   // handle_lost_copies below can move primaries.
   router_.invalidate_routes();
   handle_lost_copies(all_lost, lost_causes);
+  if (config_.redundancy == RedundancyMode::kErasure) {
+    // Stripe-loss scan: a partition whose live fragment count fell below
+    // k is reconstruction-infeasible — a data loss even though copies
+    // survive. The stripe_lost_ flag dedups partitions hit repeatedly
+    // (multiple victims, or losses in earlier failure waves).
+    for (std::size_t i = 0; i < all_lost.size(); ++i) {
+      const PartitionId p = all_lost[i].partition;
+      if (stripe_lost_[p.value()] != 0) continue;
+      const std::uint32_t alive_fragments = cluster_.replica_count(p);
+      if (alive_fragments == 0 || alive_fragments >= config_.ec_k) continue;
+      stripe_lost_[p.value()] = 1;
+      ++data_losses_;
+      if (telemetry_ != nullptr) tel_.data_losses->inc(1.0);
+      log(LogLevel::kWarn,
+          "partition %u stripe lost: %u fragments alive, below k=%u",
+          p.value(), alive_fragments, config_.ec_k);
+      const std::uint64_t id = events_.emit_caused(
+          i < lost_causes.size() ? lost_causes[i] : 0,
+          StripeLost{epoch_, p, alive_fragments});
+      if (id != 0) partition_cause_[p.value()] = id;
+    }
+  }
 }
 
 std::vector<ServerId> Simulation::fail_random_servers(std::uint32_t n) {

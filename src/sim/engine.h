@@ -62,6 +62,12 @@ inline constexpr std::uint64_t kStreamStreamTag = 0x7374726D;  // "strm"
 /// drift stays silent and only perturbation echoes enter the trace.
 inline constexpr double kTrafficShiftThreshold = 0.25;
 
+/// kNodeCap drops of availability-floor repairs above this count per
+/// epoch emit a once-per-epoch warning and are tallied into
+/// rfh_repairs_starved_total — the silent repair-starvation signal the
+/// default vnode cap used to hide at 10k+ servers.
+inline constexpr std::uint32_t kStarvedRepairWarnThreshold = 0;
+
 /// Everything observable about one epoch, for metrics collection.
 struct EpochReport {
   Epoch epoch = 0;
@@ -74,6 +80,10 @@ struct EpochReport {
   std::uint32_t dropped_actions = 0;
   /// dropped_actions broken down by DropReason (indexed by its value).
   std::array<std::uint32_t, kDropReasonCount> dropped_by_reason{};
+  /// Availability-floor repairs dropped on a node cap this epoch — each
+  /// one is a partition below its target copy count whose repair the
+  /// capacity layer refused (see kStarvedRepairWarnThreshold).
+  std::uint32_t repairs_starved = 0;
   double replication_cost = 0.0;
   double migration_cost = 0.0;
   std::uint32_t total_replicas = 0;  // copies across partitions, primaries included
@@ -226,6 +236,12 @@ class Simulation {
   [[nodiscard]] std::uint32_t data_losses() const noexcept {
     return data_losses_;
   }
+  /// EC mode: true while the partition's stripe sits below k live
+  /// fragments (the loss is already counted in data_losses()). Always
+  /// false in replica mode.
+  [[nodiscard]] bool stripe_lost(PartitionId p) const noexcept {
+    return p.value() < stripe_lost_.size() && stripe_lost_[p.value()] != 0;
+  }
   /// Cumulative cost accumulators (paper Figs. 5 and 7 plot cumulative
   /// totals).
   [[nodiscard]] double cumulative_replication_cost() const noexcept {
@@ -332,6 +348,7 @@ class Simulation {
     Counter* migration_cost = nullptr;
     Counter* epochs = nullptr;
     Counter* data_losses = nullptr;
+    Counter* repairs_starved = nullptr;
     Gauge* replicas = nullptr;
     Gauge* live_servers = nullptr;
     Gauge* epoch = nullptr;
@@ -366,6 +383,11 @@ class Simulation {
   /// against (negative = not yet initialized).
   std::vector<double> shift_baseline_;
   std::uint32_t data_losses_ = 0;
+  /// EC mode: 1 when the stripe currently has fewer than k live fragments
+  /// (reconstruction-infeasible; counted as a data loss until repairs
+  /// bring it back above k, which emits StripeReconstructed). Unused in
+  /// replica mode.
+  std::vector<std::uint8_t> stripe_lost_;
   std::vector<Promotion> last_promotions_;
   /// Disabled links as normalized (min id, max id) datacenter pairs.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> disabled_links_;

@@ -68,7 +68,9 @@ ServerSpec draw_spec(const WorldOptions& o, Rng& rng) {
       static_cast<std::int64_t>(o.service_channels_hi)));
   spec.replication_bandwidth = o.replication_bandwidth;
   spec.migration_bandwidth = o.migration_bandwidth;
-  spec.max_vnodes = o.max_vnodes;
+  // Not RNG-drawn, so raising the cap via partitions_hint cannot perturb
+  // the capacity draws of an existing seeded world.
+  spec.max_vnodes = std::max(o.max_vnodes, o.partitions_hint);
   return spec;
 }
 

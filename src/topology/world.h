@@ -47,6 +47,14 @@ struct WorldOptions {
   BytesPerEpoch replication_bandwidth = mib(300);
   BytesPerEpoch migration_bandwidth = mib(100);
   std::uint32_t max_vnodes = 16;
+  /// Partition count the world will carry (0 = unknown). The effective
+  /// per-server vnode cap is max(max_vnodes, partitions_hint): one server
+  /// can never legally hold two copies of the same partition, so a cap at
+  /// the partition count is exactly never-binding. Without the hint the
+  /// fixed default cap silently starves availability-floor repairs once
+  /// the partition-to-server density outgrows it (dense worlds, shrunken
+  /// clusters) — set it whenever the partition count is known.
+  std::uint32_t partitions_hint = 0;
 
   std::uint64_t seed = 42;
 };

@@ -95,6 +95,83 @@ TEST_P(AvailabilityMonotonicityTest, DecreasingInFailureProbability) {
 INSTANTIATE_TEST_SUITE_P(FailureProbabilities, AvailabilityMonotonicityTest,
                          ::testing::Values(0.0, 0.05, 0.1, 0.3, 0.5, 0.9));
 
+// Brute-force oracle: enumerate all 2^n survival patterns of n fragments
+// (each alive with probability 1-f) and sum the mass of the patterns with
+// at least k survivors. Exponential, so only usable for small n — which
+// is exactly what makes it an independent check of the binomial-tail
+// recurrence in ec_availability.
+double ec_availability_bruteforce(std::uint32_t n, std::uint32_t k,
+                                  double f) {
+  double total = 0.0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::uint32_t alive = 0;
+    double p = 1.0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        ++alive;
+        p *= 1.0 - f;
+      } else {
+        p *= f;
+      }
+    }
+    if (alive >= k) total += p;
+  }
+  return total;
+}
+
+TEST(EcAvailability, MatchesBruteForceEnumeration) {
+  for (std::uint32_t n = 1; n <= 10; ++n) {
+    for (std::uint32_t k = 1; k <= n; ++k) {
+      for (const double f : {0.0, 0.05, 0.1, 0.3, 0.5, 0.9, 1.0}) {
+        EXPECT_NEAR(ec_availability(n, k, f),
+                    ec_availability_bruteforce(n, k, f), 1e-12)
+            << "n=" << n << " k=" << k << " f=" << f;
+      }
+    }
+  }
+}
+
+TEST(EcAvailability, CollapsesToReplicaBoundAtKEqualsOne) {
+  for (std::uint32_t n = 1; n <= 8; ++n) {
+    for (const double f : {0.05, 0.1, 0.3, 0.6}) {
+      EXPECT_NEAR(ec_availability(n, 1, f), availability(n, f), 1e-12)
+          << "n=" << n << " f=" << f;
+    }
+  }
+}
+
+TEST(EcAvailability, MonotoneInFragmentsAndAntitoneInK) {
+  const double f = 0.1;
+  for (std::uint32_t k = 1; k <= 4; ++k) {
+    for (std::uint32_t n = k; n < 12; ++n) {
+      EXPECT_LE(ec_availability(n, k, f), ec_availability(n + 1, k, f) + 1e-15);
+    }
+  }
+  for (std::uint32_t n = 4; n <= 12; ++n) {
+    for (std::uint32_t k = 1; k < n; ++k) {
+      EXPECT_GE(ec_availability(n, k, f), ec_availability(n, k + 1, f) - 1e-15);
+    }
+  }
+}
+
+TEST(MinFragments, ResultSatisfiesTargetAndIsMinimal) {
+  for (const double target : {0.8, 0.9, 0.99, 0.9999}) {
+    for (const double f : {0.05, 0.1, 0.3}) {
+      for (const std::uint32_t k : {2u, 4u, 8u}) {
+        const std::uint32_t floor = k + 2;
+        const std::uint32_t n = min_fragments(target, f, k, floor);
+        EXPECT_GE(n, floor);
+        EXPECT_GE(ec_availability(n, k, f), target)
+            << "target=" << target << " f=" << f << " k=" << k;
+        if (n > floor) {
+          EXPECT_LT(ec_availability(n - 1, k, f), target)
+              << "not minimal: target=" << target << " f=" << f << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
 TEST(AvailabilityDeath, RejectsOutOfRangeInputs) {
   EXPECT_DEATH(availability(1, -0.1), "");
   EXPECT_DEATH(availability(1, 1.1), "");

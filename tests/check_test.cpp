@@ -77,6 +77,41 @@ TEST(CheckCaseJson, RejectsWrongSchemaAndUnknownFields) {
   EXPECT_NE(unknown.error.find("not_a_field"), std::string::npos);
 }
 
+TEST(CheckCaseJson, RoundTripsErasureRedundancy) {
+  CheckCase c = sample_case();
+  c.redundancy = RedundancyMode::kErasure;
+  c.ec_k = 4;
+  c.ec_m = 2;
+  const CheckCase::ParseResult parsed = CheckCase::from_json(c.to_json());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value, c);
+  EXPECT_NE(c.to_json().find(R"js("redundancy": "ec(4,2)")js"),
+            std::string::npos);
+  // Replica-mode cases never emit the field, so the pre-EC corpus still
+  // round-trips byte-identically.
+  EXPECT_EQ(sample_case().to_json().find("redundancy"), std::string::npos);
+  const Scenario s = c.to_scenario();
+  EXPECT_EQ(s.sim.redundancy, RedundancyMode::kErasure);
+  EXPECT_EQ(s.sim.ec_k, 4u);
+  EXPECT_EQ(s.sim.ec_m, 2u);
+}
+
+TEST(CheckCaseJson, RejectsUnsupportedRedundancyModes) {
+  // Replay must hard-error on modes it cannot execute — silently falling
+  // back to replica would "pass" a case the engine never actually ran.
+  const auto with = [](const char* value) {
+    return std::string(R"({"schema": "rfh-check-case/1", "redundancy": ")") +
+           value + "\"}";
+  };
+  EXPECT_FALSE(CheckCase::from_json(with("raid5")).ok);
+  EXPECT_FALSE(CheckCase::from_json(with("ec(1,2)")).ok);
+  EXPECT_FALSE(CheckCase::from_json(with("ec(4,0)")).ok);
+  EXPECT_FALSE(CheckCase::from_json(with("ec(12,8)")).ok);
+  EXPECT_FALSE(CheckCase::from_json(with("ec(4;2)")).ok);
+  const CheckCase::ParseResult bad = CheckCase::from_json(with("raid5"));
+  EXPECT_NE(bad.error.find("raid5"), std::string::npos);
+}
+
 TEST(CheckCaseJson, RejectsOutOfRangeValues) {
   const auto with = [](const char* key, const char* value) {
     return std::string(R"({"schema": "rfh-check-case/1", ")") + key +
@@ -175,6 +210,26 @@ TEST(Fuzzer, ReachesTheHostileFaultClauses) {
   EXPECT_GT(stale_stats, 0u);
 }
 
+TEST(Fuzzer, ReachesTheErasureAxis) {
+  // EC cases must actually appear in the fuzz space (~1/3 of seeds) with
+  // in-grammar parameters, and every one must survive the JSON round-trip.
+  std::size_t ec_cases = 0;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const CheckCase c = make_fuzz_case(seed);
+    if (c.redundancy != RedundancyMode::kErasure) continue;
+    ++ec_cases;
+    EXPECT_GE(c.ec_k, 2u) << "seed " << seed;
+    EXPECT_LE(c.ec_k, 4u) << "seed " << seed;
+    EXPECT_GE(c.ec_m, 1u) << "seed " << seed;
+    EXPECT_LE(c.ec_m, 2u) << "seed " << seed;
+    const CheckCase::ParseResult parsed = CheckCase::from_json(c.to_json());
+    ASSERT_TRUE(parsed.ok) << "seed " << seed << ": " << parsed.error;
+    EXPECT_EQ(parsed.value, c);
+  }
+  EXPECT_GT(ec_cases, 15u);
+  EXPECT_LT(ec_cases, 60u);  // replica mode must stay the common case
+}
+
 TEST(Differential, DefaultCaseRunsDivergenceFree) {
   CheckCase c;
   c.epochs = 16;
@@ -190,6 +245,21 @@ TEST(Differential, FuzzedCasesRunDivergenceFree) {
   // fuzz-smoke job and `rfh_check --seeds=200` cover much more ground.
   for (std::uint64_t seed = 0; seed < 8; ++seed) {
     const DiffOutcome outcome = run_check_case(make_fuzz_case(seed));
+    EXPECT_TRUE(outcome.ok) << "seed " << seed << ": " << outcome.to_string();
+  }
+}
+
+TEST(Differential, ForcedEc42CasesRunDivergenceFree) {
+  // Every fuzz scenario re-run under ec(4,2): the engine and reference
+  // must agree fragment-for-fragment, and the EC invariants (fragment
+  // census, zone diversity) must hold every epoch. A wider 50-seed pass
+  // runs in the CI ec-smoke job via rfh_check.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    CheckCase c = make_fuzz_case(seed);
+    c.redundancy = RedundancyMode::kErasure;
+    c.ec_k = 4;
+    c.ec_m = 2;
+    const DiffOutcome outcome = run_check_case(c);
     EXPECT_TRUE(outcome.ok) << "seed " << seed << ": " << outcome.to_string();
   }
 }

@@ -395,6 +395,50 @@ PolicyRun run_with_memo(const Scenario& base, bool memo,
   return run_policy(scenario, PolicyKind::kRfh, failures);
 }
 
+TEST(RedundancyDeterminismTest, ReplicaModeIsByteIdenticalToDefault) {
+  // Threading the redundancy axis through the engine must leave replica
+  // runs untouched: reconstruction_threshold() == 1 makes every EC scale
+  // an FP no-op and the zone rule never engages. An explicitly-tagged
+  // replica run with nonzero (ignored) ec parameters must digest
+  // identically to the untouched default, churn included.
+  Scenario base = Scenario::paper_random_query();
+  base.epochs = 30;
+  FaultEvent churn;
+  churn.kind = FaultKind::kChurn;
+  churn.at = 2;
+  churn.until = 30;
+  churn.period = 3;
+  churn.kill = 2;
+  churn.recover = 2;
+  base.fault_plan.add(churn);
+  Scenario tagged = base;
+  tagged.sim.redundancy = RedundancyMode::kReplica;
+  tagged.sim.ec_k = 8;
+  tagged.sim.ec_m = 3;
+  const PolicyRun a = run_policy(base, PolicyKind::kRfh);
+  const PolicyRun b = run_policy(tagged, PolicyKind::kRfh);
+  EXPECT_EQ(series_digest(a.series), series_digest(b.series));
+  EXPECT_EQ(a.killed, b.killed);
+}
+
+TEST(RedundancyDeterminismTest, ErasureRunsAreReproducible) {
+  // Same seed, same ec(k,m) → the same series, and a different (k, m)
+  // actually changes the run (the axis is live, not decorative).
+  Scenario scenario = Scenario::paper_random_query();
+  scenario.epochs = 25;
+  scenario.sim.redundancy = RedundancyMode::kErasure;
+  scenario.sim.ec_k = 4;
+  scenario.sim.ec_m = 2;
+  const PolicyRun a = run_policy(scenario, PolicyKind::kRfh);
+  const PolicyRun b = run_policy(scenario, PolicyKind::kRfh);
+  EXPECT_EQ(series_digest(a.series), series_digest(b.series));
+  Scenario wider = scenario;
+  wider.sim.ec_k = 2;
+  wider.sim.ec_m = 1;
+  const PolicyRun c = run_policy(wider, PolicyKind::kRfh);
+  EXPECT_NE(series_digest(a.series), series_digest(c.series));
+}
+
 TEST(RouteMemoDeterminismTest, MemoOnEqualsMemoOff) {
   Scenario scenario = Scenario::paper_random_query();
   scenario.epochs = 25;

@@ -196,8 +196,8 @@ TEST(MeanFieldSim, SmallWorldCensusApproachesTheFixedPoint) {
   scenario.world.servers_per_rack = 5;
   scenario.world.per_replica_capacity_lo = 1e9;  // Eq. 12 never trips
   scenario.world.per_replica_capacity_hi = 1e9;
-  scenario.world.max_vnodes = 1u << 20;  // repairs never drop on caps
   scenario.sim.partitions = 64;
+  scenario.world.partitions_hint = 64;  // repairs never drop on caps
   scenario.sim.min_availability = 0.9995;  // r_min = 4
   scenario.sim.beta = 1e9;
   scenario.sim.gamma = 1e9;

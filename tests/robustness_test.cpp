@@ -7,6 +7,7 @@
 
 #include "common/log.h"
 #include "core/rfh_policy.h"
+#include "fault/invariants.h"
 #include "harness/runner.h"
 #include "test_util.h"
 
@@ -158,6 +159,93 @@ TEST(Robustness, ZeroDemandIsAValidSteadyState) {
   }
   EXPECT_EQ(actions, 0u);
   EXPECT_EQ(sim->cluster().total_replicas(), after_floor);
+}
+
+TEST(Robustness, ErasureInvariantsHoldUnderCombinedFailures) {
+  // ec(4,2) on the paper world under server + datacenter failures: the
+  // fragment-census and zone-diversity invariants must hold every epoch,
+  // and lost stripes must be re-detected rather than silently served.
+  SimConfig config;
+  config.redundancy = RedundancyMode::kErasure;
+  config.ec_k = 4;
+  config.ec_m = 2;
+  config.partitions = 16;
+  WorkloadParams params;
+  params.partitions = 16;
+  params.datacenters = 10;
+  auto sim = std::make_unique<Simulation>(
+      build_paper_world(test::uniform_world_options()), config,
+      std::make_unique<UniformWorkload>(params),
+      std::make_unique<RfhPolicy>());
+  InvariantChecker checker(InvariantChecker::Mode::kRecord);
+  const auto step_checked = [&](int epochs) {
+    for (int e = 0; e < epochs; ++e) {
+      const EpochReport r = sim->step();
+      checker.check_epoch(*sim, r);
+    }
+  };
+  step_checked(30);
+  sim->fail_random_servers(10);
+  step_checked(10);
+  sim->fail_datacenter(sim->world().by_letter('C'));
+  step_checked(20);
+  for (const auto& v : checker.violations()) {
+    ADD_FAILURE() << "epoch " << v.epoch << " " << invariant_name(v.id)
+                  << ": " << v.detail;
+  }
+  // Zone diversity by construction: no datacenter ever hosts more than m
+  // fragments of a stripe, so losing dc C alone cannot drop below k.
+  for (std::uint32_t p = 0; p < config.partitions; ++p) {
+    EXPECT_FALSE(sim->stripe_lost(PartitionId{p})) << "partition " << p;
+  }
+}
+
+TEST(Robustness, DefaultVnodeCapStarvesFloorRepairsAtScale) {
+  // Regression for the silent repair starvation the fixed default vnode
+  // cap causes at scale: a 100-datacenter x 100-server synthetic world
+  // (10k servers) carrying 800 partitions. Availability-floor repairs
+  // funnel through the same lowest-id feasible targets (first-fit /
+  // tied Erlang-B), so one decide pass proposes more copies at a server
+  // than its 16-vnode default cap has room for, and the overflow is
+  // dropped — previously indistinguishable from any other kNodeCap drop.
+  // With WorldOptions::partitions_hint the cap is exactly never-binding
+  // and every starved repair disappears.
+  const auto starved_repairs = [](bool with_hint) {
+    SimConfig config;
+    config.partitions = 800;
+    config.min_availability = 0.9995;  // floor of 4 fragments at f=0.1
+    config.beta = 1e9;                 // overload rules never fire:
+    config.gamma = 1e9;                // floor repairs are the only action
+    WorldOptions options = test::uniform_world_options();
+    options.rooms_per_datacenter = 2;
+    options.racks_per_room = 5;
+    options.servers_per_rack = 10;
+    if (with_hint) options.partitions_hint = config.partitions;
+    WorkloadParams params;
+    params.partitions = config.partitions;
+    params.datacenters = 100;
+    params.mean_queries_per_epoch = 1.0;
+    auto sim = std::make_unique<Simulation>(
+        build_synthetic_world(100, options), config,
+        std::make_unique<UniformWorkload>(params),
+        std::make_unique<RfhPolicy>());
+    std::uint64_t starved = 0;
+    for (int e = 0; e < 10; ++e) starved += sim->step().repairs_starved;
+    // Rolling churn keeps a repair backlog alive past the bootstrap.
+    for (int wave = 0; wave < 10; ++wave) {
+      sim->fail_random_servers(200);
+      starved += sim->step().repairs_starved;
+      std::vector<ServerId> dead;
+      for (const Server& s : sim->topology().servers()) {
+        if (!sim->cluster().alive(s.id)) dead.push_back(s.id);
+      }
+      sim->recover_servers(dead);
+      starved += sim->step().repairs_starved;
+    }
+    return starved;
+  };
+  EXPECT_GT(starved_repairs(/*with_hint=*/false), 0u);
+  EXPECT_EQ(starved_repairs(/*with_hint=*/true), 0u);
 }
 
 TEST(Logging, LevelFilterWorks) {
